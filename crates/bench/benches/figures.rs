@@ -1,0 +1,72 @@
+//! E5–E7: Fig. 4 steering profiles, collision analysis, questionnaire.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rdsim_bench::fixture_pair;
+use rdsim_math::RngStream;
+use rdsim_metrics::{traversal_time, CollisionAnalysis, SteeringProfile};
+use rdsim_operator::{Questionnaire, QuestionnaireSummary, SubjectProfile};
+use rdsim_units::SimDuration;
+use std::hint::black_box;
+
+fn benches(c: &mut Criterion) {
+    let (golden, faulty) = fixture_pair(7);
+
+    // Headline: the Fig. 4 comparison for the fixture subject.
+    let gp = SteeringProfile::extract("golden run", &golden.log, 100.0, 240.0);
+    let fp = SteeringProfile::extract("faulty run", &faulty.log, 100.0, 240.0);
+    println!(
+        "\n[fig4] golden rms {:.3} traversal {:?} | faulty rms {:.3} traversal {:?}\n",
+        gp.rms(),
+        gp.traversal,
+        fp.rms(),
+        fp.traversal
+    );
+
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(30);
+    g.bench_function("fig4_profile_extraction", |b| {
+        b.iter(|| {
+            black_box(SteeringProfile::extract(
+                "golden run",
+                black_box(&golden.log),
+                100.0,
+                240.0,
+            ))
+        })
+    });
+    g.bench_function("fig4_traversal_time", |b| {
+        b.iter(|| black_box(traversal_time(black_box(&faulty.log), 100.0, 240.0)))
+    });
+    g.bench_function("fig4_sparkline", |b| {
+        b.iter(|| black_box(gp.sparkline(black_box(72))))
+    });
+    g.bench_function("collision_analysis", |b| {
+        let records = vec![golden.clone(), faulty.clone()];
+        b.iter(|| black_box(CollisionAnalysis::analyze(black_box(&records))))
+    });
+    g.bench_function("questionnaire_answers", |b| {
+        let profiles: Vec<SubjectProfile> = (0..11)
+            .map(|i| SubjectProfile::typical(format!("T{i}")))
+            .collect();
+        b.iter(|| {
+            let mut rng = RngStream::from_seed(1).substream("bench-q");
+            let answers: Vec<Questionnaire> = profiles
+                .iter()
+                .map(|p| {
+                    Questionnaire::answer_from_feed(
+                        p,
+                        SimDuration::from_millis(420),
+                        SimDuration::from_millis(180),
+                        9000,
+                        &mut rng,
+                    )
+                })
+                .collect();
+            black_box(QuestionnaireSummary::aggregate(&answers))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(figure_benches, benches);
+criterion_main!(figure_benches);

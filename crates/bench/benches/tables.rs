@@ -1,0 +1,87 @@
+//! E2–E4: regeneration of Tables II, III and IV.
+//!
+//! Each bench regenerates one table from a pre-recorded single-subject
+//! study slice (the recording itself is benchmarked as `protocol_run`).
+//! The headline rows are printed once at start-up so a bench run doubles
+//! as a smoke regeneration of the experiments.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rdsim_bench::{bench_config, fixture_pair};
+use rdsim_core::{PaperFault, RunKind};
+use rdsim_experiments::{paper_roster, run_protocol, StudyResults};
+use rdsim_metrics::{SrrConfig, TtcConfig};
+use rdsim_operator::SubjectProfile;
+use std::hint::black_box;
+
+fn mini_study(seed: u64) -> StudyResults {
+    let (golden, faulty) = fixture_pair(seed);
+    let mut roster = paper_roster();
+    // Map the fixture subject onto T5's roster slot so the generators see
+    // an analysable subject.
+    for entry in &mut roster {
+        if entry.profile.id == "T5" {
+            entry.profile.id = "bench".to_owned();
+        }
+    }
+    StudyResults {
+        roster,
+        records: vec![golden, faulty],
+        questionnaires: Vec::new(),
+    }
+}
+
+fn benches(c: &mut Criterion) {
+    let study = mini_study(42);
+
+    // Headline rows, printed once.
+    let t2 = rdsim_experiments::table2(&study);
+    let t3 = rdsim_experiments::table3(&study, &TtcConfig::default());
+    let t4 = rdsim_experiments::table4(&study, &SrrConfig::default());
+    println!("\n[table2] {} row(s); first: {:?}", t2.len(), t2.first());
+    println!("[table3] {} row(s)", t3.len());
+    println!("[table4] {} row(s); first: {:?}\n", t4.len(), t4.first());
+
+    let mut g = c.benchmark_group("tables");
+    g.sample_size(20);
+
+    g.bench_function("table2_fault_counts", |b| {
+        b.iter(|| black_box(rdsim_experiments::table2(black_box(&study))))
+    });
+    g.bench_function("table3_ttc", |b| {
+        let cfg = TtcConfig::default();
+        b.iter(|| black_box(rdsim_experiments::table3(black_box(&study), &cfg)))
+    });
+    g.bench_function("table4_srr", |b| {
+        let cfg = SrrConfig::default();
+        b.iter(|| black_box(rdsim_experiments::table4(black_box(&study), &cfg)))
+    });
+    g.finish();
+
+    // The recording itself: one golden protocol run at bench scale.
+    let mut g = c.benchmark_group("protocol");
+    g.sample_size(10);
+    g.bench_function("protocol_run_250m", |b| {
+        let profile = SubjectProfile::typical("bench");
+        let cfg = bench_config();
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(run_protocol(&profile, RunKind::Golden, seed, &cfg))
+        })
+    });
+    g.bench_function("per_fault_windowing", |b| {
+        let (_, faulty) = fixture_pair(43);
+        let srr = SrrConfig::default();
+        let ttc = TtcConfig::default();
+        b.iter(|| {
+            for fault in PaperFault::ALL {
+                black_box(rdsim_metrics::srr_for_fault(&faulty, fault, &srr));
+                black_box(rdsim_metrics::ttc_stats_for_fault(&faulty, fault, &ttc));
+            }
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(table_benches, benches);
+criterion_main!(table_benches);

@@ -1,0 +1,100 @@
+//! E8–E9: the §VIII validity sweep points.
+//!
+//! A full sweep is minutes of simulated driving; the benches measure one
+//! representative sweep point per plant and print a reduced sweep once as
+//! the headline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rdsim_core::RunKind;
+use rdsim_experiments::{run_protocol, ScenarioConfig};
+use rdsim_netem::NetemConfig;
+use rdsim_operator::SubjectProfile;
+use rdsim_units::{Millis, MetersPerSecond, Ratio, SimDuration};
+use rdsim_vehicle::VehicleSpec;
+use std::hint::black_box;
+
+fn point_config(vehicle: VehicleSpec, fault: Option<NetemConfig>) -> ScenarioConfig {
+    let slow = vehicle.top_speed().get() < 12.0;
+    ScenarioConfig {
+        laps: 1,
+        progress_target: Some(if slow { 120.0 } else { 200.0 }),
+        max_duration: SimDuration::from_secs(60),
+        urban_speed: if slow {
+            MetersPerSecond::new(4.5)
+        } else {
+            MetersPerSecond::new(12.0)
+        },
+        lead_speed: if slow {
+            MetersPerSecond::new(3.2)
+        } else {
+            MetersPerSecond::new(9.5)
+        },
+        vehicle,
+        ambient_fault: fault,
+        driver_extrapolation: if slow { Some(0.25) } else { None },
+        ..ScenarioConfig::default()
+    }
+}
+
+fn headline() {
+    println!("\n[validity] reduced sweep (200 m / 120 m course):");
+    let profile = SubjectProfile::typical("bench-validity");
+    for (plant, vehicle) in [
+        ("simulator", VehicleSpec::passenger_car()),
+        ("model-vehicle", VehicleSpec::rc_model_car()),
+    ] {
+        for (label, fault) in [
+            ("baseline", None),
+            (
+                "delay 100ms",
+                Some(NetemConfig::default().with_delay(Millis::new(100.0))),
+            ),
+            (
+                "loss 10%",
+                Some(NetemConfig::default().with_loss(Ratio::from_percent(10.0))),
+            ),
+        ] {
+            let cfg = point_config(vehicle.clone(), fault);
+            let out = run_protocol(&profile, RunKind::Golden, 5, &cfg);
+            println!(
+                "  {plant:<14} {label:<12} progress {:>6.1} m  collided {}",
+                out.progress,
+                out.record.log.collided()
+            );
+        }
+    }
+    println!();
+}
+
+fn benches(c: &mut Criterion) {
+    headline();
+    let mut g = c.benchmark_group("validity");
+    g.sample_size(10);
+    let profile = SubjectProfile::typical("bench-validity");
+    g.bench_function("sweep_point_simulator", |b| {
+        let cfg = point_config(
+            VehicleSpec::passenger_car(),
+            Some(NetemConfig::default().with_delay(Millis::new(50.0))),
+        );
+        let mut seed = 100u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(run_protocol(&profile, RunKind::Golden, seed, &cfg))
+        })
+    });
+    g.bench_function("sweep_point_model_vehicle", |b| {
+        let cfg = point_config(
+            VehicleSpec::rc_model_car(),
+            Some(NetemConfig::default().with_delay(Millis::new(50.0))),
+        );
+        let mut seed = 200u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(run_protocol(&profile, RunKind::Golden, seed, &cfg))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(validity_benches, benches);
+criterion_main!(validity_benches);

@@ -1,0 +1,202 @@
+//! The test protocol (§V.E): training → golden run → faulty run, with
+//! randomised fault schedules at points of interest.
+
+use crate::{PaperFault, RunLog};
+use rdsim_math::RngStream;
+use rdsim_netem::InjectionWindow;
+use rdsim_units::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Which run of the protocol a record belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RunKind {
+    /// Free driving in an empty town (3–5 minutes) to get familiar with
+    /// the station.
+    Training,
+    /// The baseline run with no faults injected ("NFI").
+    Golden,
+    /// The run with faults injected at points of interest ("FI").
+    Faulty,
+}
+
+impl fmt::Display for RunKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            RunKind::Training => "training",
+            RunKind::Golden => "golden (NFI)",
+            RunKind::Faulty => "faulty (FI)",
+        })
+    }
+}
+
+/// A fault chosen for one point of interest, with its injection window.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScheduledFault {
+    /// Which of the paper's five faults was drawn.
+    pub fault: PaperFault,
+    /// When it is active.
+    pub window: InjectionWindow,
+}
+
+/// Draws a random fault for each point of interest, as the paper does:
+/// "the fault injection was done randomly … if a 5 ms delay was injected
+/// for one test subject, a 5 % packet loss might have been injected in the
+/// same scenario for another subject."
+///
+/// `points` are `(start, duration)` pairs; windows must not overlap
+/// (callers build them from disjoint scenario situations).
+///
+/// # Panics
+///
+/// Panics if two points overlap.
+pub fn random_schedule(
+    rng: &mut RngStream,
+    points: &[(SimTime, SimDuration)],
+) -> Vec<ScheduledFault> {
+    let mut schedule: Vec<ScheduledFault> = Vec::with_capacity(points.len());
+    for &(start, duration) in points {
+        let fault = *rng.choose(&PaperFault::ALL);
+        let window = InjectionWindow::new(start, duration, fault.config());
+        assert!(
+            schedule.iter().all(|s| !s.window.overlaps(&window)),
+            "fault points overlap at {start}"
+        );
+        schedule.push(ScheduledFault { fault, window });
+    }
+    schedule.sort_by_key(|s| s.window.start);
+    schedule
+}
+
+/// One completed run of the protocol, as analysed by the tables.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RunRecord {
+    /// The subject identifier ("T1" … "T12").
+    pub subject: String,
+    /// Which run this is. `None` only for the default value.
+    pub kind: Option<RunKind>,
+    /// The recorded data.
+    pub log: RunLog,
+    /// The fault schedule that was applied (empty for golden runs).
+    pub schedule: Vec<ScheduledFault>,
+}
+
+impl RunRecord {
+    /// Creates a record.
+    pub fn new(
+        subject: impl Into<String>,
+        kind: RunKind,
+        log: RunLog,
+        schedule: Vec<ScheduledFault>,
+    ) -> Self {
+        RunRecord {
+            subject: subject.into(),
+            kind: Some(kind),
+            log,
+            schedule,
+        }
+    }
+
+    /// How many times `fault` was injected (a Table II cell).
+    pub fn fault_count(&self, fault: PaperFault) -> usize {
+        self.schedule.iter().filter(|s| s.fault == fault).count()
+    }
+
+    /// Total injections (the Table II row total).
+    pub fn total_faults(&self) -> usize {
+        self.schedule.len()
+    }
+
+    /// The injection windows of a given fault, for windowed metrics.
+    pub fn fault_windows(&self, fault: PaperFault) -> Vec<InjectionWindow> {
+        self.schedule
+            .iter()
+            .filter(|s| s.fault == fault)
+            .map(|s| s.window)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn points(n: usize) -> Vec<(SimTime, SimDuration)> {
+        (0..n)
+            .map(|i| {
+                (
+                    SimTime::from_secs(10 + 30 * i as u64),
+                    SimDuration::from_secs(10),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn schedule_covers_every_point() {
+        let mut rng = RngStream::from_seed(1).substream("sched");
+        let sched = random_schedule(&mut rng, &points(12));
+        assert_eq!(sched.len(), 12);
+        // Sorted and non-overlapping.
+        for w in sched.windows(2) {
+            assert!(w[0].window.end() <= w[1].window.start);
+        }
+    }
+
+    #[test]
+    fn schedule_uses_varied_faults() {
+        let mut rng = RngStream::from_seed(2).substream("sched");
+        let sched = random_schedule(&mut rng, &points(40));
+        let distinct: std::collections::HashSet<PaperFault> =
+            sched.iter().map(|s| s.fault).collect();
+        assert!(distinct.len() >= 4, "40 draws should hit ≥4 of 5 faults");
+    }
+
+    #[test]
+    fn schedule_is_deterministic_per_stream() {
+        let draw = || {
+            let mut rng = RngStream::from_seed(3).substream("subject-T5");
+            random_schedule(&mut rng, &points(10))
+                .iter()
+                .map(|s| s.fault)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(draw(), draw());
+    }
+
+    #[test]
+    #[should_panic(expected = "overlap")]
+    fn overlapping_points_panic() {
+        let mut rng = RngStream::from_seed(4).substream("sched");
+        let pts = vec![
+            (SimTime::from_secs(10), SimDuration::from_secs(30)),
+            (SimTime::from_secs(20), SimDuration::from_secs(30)),
+        ];
+        let _ = random_schedule(&mut rng, &pts);
+    }
+
+    #[test]
+    fn record_counting() {
+        let mut rng = RngStream::from_seed(5).substream("sched");
+        let sched = random_schedule(&mut rng, &points(20));
+        let rec = RunRecord::new("T5", RunKind::Faulty, RunLog::new(), sched);
+        let total: usize = PaperFault::ALL
+            .iter()
+            .map(|&f| rec.fault_count(f))
+            .sum();
+        assert_eq!(total, rec.total_faults());
+        assert_eq!(rec.total_faults(), 20);
+        for f in PaperFault::ALL {
+            assert_eq!(rec.fault_windows(f).len(), rec.fault_count(f));
+        }
+        assert_eq!(rec.subject, "T5");
+        assert_eq!(rec.kind, Some(RunKind::Faulty));
+    }
+
+    #[test]
+    fn run_kind_display() {
+        assert_eq!(format!("{}", RunKind::Golden), "golden (NFI)");
+        assert_eq!(format!("{}", RunKind::Faulty), "faulty (FI)");
+        assert_eq!(format!("{}", RunKind::Training), "training");
+    }
+}

@@ -1,0 +1,60 @@
+//! The paper's methodology as a library: a Remote Driving System (RDS)
+//! architecture plus a human-in-the-loop fault-injection test engine.
+//!
+//! An RDS, following the paper's §III.A (and the 5GAA reference
+//! architecture it cites), has four subsystems:
+//!
+//! * **vehicle subsystem** — here the CARLA-substitute
+//!   [`rdsim_simulator::SimulatorServer`];
+//! * **operator subsystem** — the driving station plus the (simulated)
+//!   human driver, abstracted as the [`OperatorSubsystem`] trait so driver
+//!   models, scripted operators and replay operators are interchangeable;
+//! * **communication network subsystem** — a
+//!   [`rdsim_netem::DuplexLink`] carrying video frames one way and driving
+//!   commands the other, with a [`rdsim_netem::FaultInjector`] emulating
+//!   NETEM on the loopback path (bidirectional faults, as in the paper);
+//! * **infrastructure subsystem** (optional) — roadside sensing that
+//!   augments the operator's view ([`InfrastructureSubsystem`]).
+//!
+//! [`RdsSession`] wires the four together in simulated time and records a
+//! [`RunLog`] with exactly the paper's §V.F logging schema. [`fault`]
+//! provides the paper's fault catalog, and [`campaign`] the
+//! training/golden/faulty test protocol with randomised fault schedules.
+//!
+//! # Examples
+//!
+//! ```
+//! use rdsim_core::{RdsSession, RdsSessionConfig, ScriptedOperator};
+//! use rdsim_roadnet::town05;
+//! use rdsim_simulator::World;
+//! use rdsim_units::SimDuration;
+//! use rdsim_vehicle::{ControlInput, VehicleSpec};
+//!
+//! let mut world = World::new(town05(), 1);
+//! world.spawn_ego_at("ego-start", VehicleSpec::passenger_car());
+//! let mut session = RdsSession::new(world, RdsSessionConfig::default(), 1);
+//! let mut operator = ScriptedOperator::constant(ControlInput::new(0.4, 0.0, 0.0));
+//! session.run(&mut operator, SimDuration::from_secs(5));
+//! let log = session.into_log();
+//! assert!(!log.ego_samples().is_empty());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod campaign;
+pub mod fault;
+pub mod safety;
+mod infrastructure;
+mod protocol;
+mod runlog;
+mod session;
+mod station;
+
+pub use campaign::{random_schedule, RunKind, RunRecord, ScheduledFault};
+pub use fault::{FaultKind, FaultSpec, PaperFault};
+pub use infrastructure::{InfrastructureSubsystem, RoadsideUnit};
+pub use protocol::{decode_command, encode_command, CommandCodecError, COMMAND_PACKET_BYTES};
+pub use runlog::{EgoSample, LeadObservation, OtherSample, RunLog};
+pub use session::{RdsSession, RdsSessionConfig, SessionStats};
+pub use station::{OperatorSubsystem, ReceivedFrame, ScriptedOperator};

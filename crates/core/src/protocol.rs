@@ -1,0 +1,172 @@
+//! Wire format for driving commands (operator → vehicle).
+//!
+//! Commands are small fixed-size packets, checksummed like the video
+//! frames so corruption faults are detected rather than silently steering
+//! the car — mirroring how any sane teleoperation protocol CRCs its
+//! control channel.
+
+use bytes::Bytes;
+use rdsim_vehicle::ControlInput;
+use std::fmt;
+
+/// Size of an encoded command packet on the wire. Real remote-driving
+/// command packets are tens of bytes (CRC, sequence, timestamps, axes).
+pub const COMMAND_PACKET_BYTES: usize = 64;
+
+const MAGIC: &[u8; 4] = b"RDSC";
+const VERSION: u8 = 1;
+
+/// Error from [`decode_command`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CommandCodecError {
+    /// Buffer too small.
+    Truncated,
+    /// Wrong magic/version.
+    BadHeader,
+    /// Checksum failure — corrupted in flight.
+    ChecksumMismatch,
+}
+
+impl fmt::Display for CommandCodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CommandCodecError::Truncated => f.write_str("command truncated"),
+            CommandCodecError::BadHeader => f.write_str("bad command header"),
+            CommandCodecError::ChecksumMismatch => f.write_str("command checksum mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for CommandCodecError {}
+
+fn fnv1a(bytes: &[u8]) -> u32 {
+    let mut hash: u32 = 0x811C_9DC5;
+    for &b in bytes {
+        hash ^= u32::from(b);
+        hash = hash.wrapping_mul(0x0100_0193);
+    }
+    hash
+}
+
+/// Encodes a command with its sequence number into a fixed-size packet.
+pub fn encode_command(seq: u64, control: &ControlInput) -> Bytes {
+    let mut body = Vec::with_capacity(COMMAND_PACKET_BYTES - 9);
+    body.extend_from_slice(&seq.to_le_bytes());
+    body.extend_from_slice(&control.throttle.get().to_bits().to_le_bytes());
+    body.extend_from_slice(&control.brake.get().to_bits().to_le_bytes());
+    body.extend_from_slice(&control.steer.to_bits().to_le_bytes());
+    body.push(u8::from(control.reverse));
+    body.push(u8::from(control.handbrake));
+    let check = fnv1a(&body);
+    let mut out = Vec::with_capacity(COMMAND_PACKET_BYTES);
+    out.extend_from_slice(MAGIC);
+    out.push(VERSION);
+    out.extend_from_slice(&check.to_le_bytes());
+    out.extend_from_slice(&body);
+    out.resize(COMMAND_PACKET_BYTES, 0);
+    Bytes::from(out)
+}
+
+/// Decodes a command packet.
+///
+/// # Errors
+///
+/// Returns [`CommandCodecError`] for truncated, malformed or corrupted
+/// packets. The decoded control is sanitised (clamped into valid ranges).
+pub fn decode_command(payload: &[u8]) -> Result<(u64, ControlInput), CommandCodecError> {
+    const BODY_LEN: usize = 8 + 8 + 8 + 8 + 1 + 1;
+    if payload.len() < 9 + BODY_LEN {
+        return Err(CommandCodecError::Truncated);
+    }
+    if &payload[0..4] != MAGIC || payload[4] != VERSION {
+        return Err(CommandCodecError::BadHeader);
+    }
+    let check = u32::from_le_bytes(payload[5..9].try_into().expect("len 4"));
+    let body = &payload[9..9 + BODY_LEN];
+    if fnv1a(body) != check {
+        return Err(CommandCodecError::ChecksumMismatch);
+    }
+    let seq = u64::from_le_bytes(body[0..8].try_into().expect("len 8"));
+    let f = |range: std::ops::Range<usize>| {
+        f64::from_bits(u64::from_le_bytes(body[range].try_into().expect("len 8")))
+    };
+    let control = ControlInput {
+        throttle: rdsim_units::Ratio::new(f(8..16)),
+        brake: rdsim_units::Ratio::new(f(16..24)),
+        steer: f(24..32),
+        reverse: body[32] != 0,
+        handbrake: body[33] != 0,
+    }
+    .sanitized();
+    Ok((seq, control))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn roundtrip() {
+        let c = ControlInput::new(0.7, 0.1, -0.35).with_reverse(false);
+        let bytes = encode_command(42, &c);
+        assert_eq!(bytes.len(), COMMAND_PACKET_BYTES);
+        let (seq, back) = decode_command(&bytes).unwrap();
+        assert_eq!(seq, 42);
+        assert_eq!(back, c);
+    }
+
+    #[test]
+    fn roundtrip_flags() {
+        let c = ControlInput::new(0.0, 0.0, 0.0)
+            .with_reverse(true)
+            .with_handbrake(true);
+        let (_, back) = decode_command(&encode_command(7, &c)).unwrap();
+        assert!(back.reverse && back.handbrake);
+    }
+
+    #[test]
+    fn detects_corruption() {
+        let bytes = encode_command(1, &ControlInput::full_throttle());
+        let mut owned = bytes.to_vec();
+        owned[20] ^= 0x01; // flip a bit in the throttle field
+        assert_eq!(
+            decode_command(&owned).unwrap_err(),
+            CommandCodecError::ChecksumMismatch
+        );
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert_eq!(
+            decode_command(&[]).unwrap_err(),
+            CommandCodecError::Truncated
+        );
+        assert_eq!(
+            decode_command(&[0u8; COMMAND_PACKET_BYTES]).unwrap_err(),
+            CommandCodecError::BadHeader
+        );
+    }
+
+    #[test]
+    fn error_display_nonempty() {
+        assert!(!CommandCodecError::Truncated.to_string().is_empty());
+        assert!(!CommandCodecError::BadHeader.to_string().is_empty());
+        assert!(!CommandCodecError::ChecksumMismatch.to_string().is_empty());
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip_random(t in 0.0f64..1.0, b in 0.0f64..1.0, s in -1.0f64..1.0, seq in 0u64..u64::MAX) {
+            let c = ControlInput::new(t, b, s);
+            let (seq2, back) = decode_command(&encode_command(seq, &c)).unwrap();
+            prop_assert_eq!(seq2, seq);
+            prop_assert_eq!(back, c);
+        }
+
+        #[test]
+        fn decode_never_panics(data in proptest::collection::vec(proptest::num::u8::ANY, 0..128)) {
+            let _ = decode_command(&data);
+        }
+    }
+}

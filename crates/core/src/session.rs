@@ -1,0 +1,588 @@
+//! The HIL session: vehicle ↔ network ↔ operator in simulated time.
+
+use crate::{
+    decode_command, encode_command, EgoSample, InfrastructureSubsystem, LeadObservation,
+    OperatorSubsystem, OtherSample, ReceivedFrame, RunLog,
+};
+use rdsim_netem::{
+    DuplexLink, FaultInjector, InjectionWindow, NetemConfig, Packet, PacketKind,
+};
+use rdsim_simulator::{decode_frame, ActorKind, CameraConfig, SimulatorServer, World};
+use rdsim_units::{Meters, SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Session configuration.
+#[derive(Debug, Clone)]
+pub struct RdsSessionConfig {
+    /// Fixed simulation step (also the command rate: one command per step).
+    pub dt: SimDuration,
+    /// Camera configuration for the vehicle's video feed.
+    pub camera: CameraConfig,
+    /// Horizon for logging lead-vehicle observations.
+    pub lead_log_horizon: Meters,
+    /// Optional infrastructure subsystem augmenting the operator's view.
+    pub infrastructure: Option<InfrastructureSubsystem>,
+}
+
+impl Default for RdsSessionConfig {
+    /// 50 Hz stepping/commands, the paper's 25–30 fps camera, 150 m lead
+    /// logging horizon (metrics gate at 100 m downstream).
+    fn default() -> Self {
+        RdsSessionConfig {
+            dt: SimDuration::from_millis(20),
+            camera: CameraConfig::default(),
+            lead_log_horizon: Meters::new(150.0),
+            infrastructure: None,
+        }
+    }
+}
+
+/// Transport-level counters for a session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct SessionStats {
+    /// Video frames sent by the vehicle subsystem.
+    pub frames_sent: u64,
+    /// Frames decoded and shown at the station.
+    pub frames_delivered: u64,
+    /// Frames that arrived but failed their checksum.
+    pub frames_corrupted: u64,
+    /// Commands sent by the station.
+    pub commands_sent: u64,
+    /// Commands applied by the vehicle.
+    pub commands_delivered: u64,
+    /// Commands that arrived corrupted and were rejected.
+    pub commands_corrupted: u64,
+}
+
+/// A human-in-the-loop RDS test session (Fig. 3 of the paper): the
+/// simulator server streams frames through the emulated network to the
+/// operator; the operator's commands stream back through the same faults.
+#[derive(Debug)]
+pub struct RdsSession {
+    server: SimulatorServer,
+    link: DuplexLink,
+    injector: FaultInjector,
+    dt: SimDuration,
+    lead_log_horizon: Meters,
+    infrastructure: Option<InfrastructureSubsystem>,
+    log: RunLog,
+    stats: SessionStats,
+    frame_seq: u64,
+    cmd_seq: u64,
+    safety: Option<crate::safety::SafetyStack>,
+    last_cmd_received_at: Option<SimTime>,
+    highest_cmd_seq: Option<u64>,
+    /// Sliding delivery/miss window for the vehicle-side loss estimate.
+    cmd_window: std::collections::VecDeque<bool>,
+}
+
+impl RdsSession {
+    /// Creates a session around a world with a spawned ego vehicle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the world has no ego vehicle.
+    pub fn new(world: World, config: RdsSessionConfig, seed: u64) -> Self {
+        RdsSession {
+            server: SimulatorServer::new(world, config.camera, seed),
+            link: DuplexLink::new(seed ^ 0x6E65_7431),
+            injector: FaultInjector::new(),
+            dt: config.dt,
+            lead_log_horizon: config.lead_log_horizon,
+            infrastructure: config.infrastructure,
+            log: RunLog::new(),
+            stats: SessionStats::default(),
+            frame_seq: 0,
+            cmd_seq: 0,
+            safety: None,
+            last_cmd_received_at: None,
+            highest_cmd_seq: None,
+            cmd_window: std::collections::VecDeque::new(),
+        }
+    }
+
+    /// Installs a vehicle-side safety stack (the paper's test setup runs
+    /// without one; this is the hook its methodology exists to evaluate).
+    pub fn set_safety_stack(&mut self, stack: crate::safety::SafetyStack) {
+        self.safety = Some(stack);
+    }
+
+    /// The installed safety stack, if any.
+    pub fn safety_stack(&self) -> Option<&crate::safety::SafetyStack> {
+        self.safety.as_ref()
+    }
+
+    /// The vehicle-side link-quality estimate.
+    pub fn qos_estimate(&self) -> crate::safety::QosEstimate {
+        let misses = self.cmd_window.iter().filter(|&&m| m).count();
+        let loss = if self.cmd_window.is_empty() {
+            0.0
+        } else {
+            misses as f64 / self.cmd_window.len() as f64
+        };
+        crate::safety::QosEstimate {
+            command_age: self
+                .last_cmd_received_at
+                .map(|t| self.time().saturating_since(t)),
+            command_loss: rdsim_units::Ratio::new(loss),
+            commands_received: self.stats.commands_delivered,
+        }
+    }
+
+    fn note_cmd_delivery(&mut self, seq: u64) {
+        const WINDOW: usize = 100;
+        if let Some(prev) = self.highest_cmd_seq {
+            if seq > prev {
+                for _ in 0..(seq - prev - 1).min(WINDOW as u64) {
+                    self.cmd_window.push_back(true); // missed
+                }
+            }
+        }
+        self.cmd_window.push_back(false); // delivered
+        while self.cmd_window.len() > WINDOW {
+            self.cmd_window.pop_front();
+        }
+        self.highest_cmd_seq = Some(self.highest_cmd_seq.map_or(seq, |p| p.max(seq)));
+    }
+
+    /// The simulated world (read access).
+    pub fn world(&self) -> &World {
+        self.server.world()
+    }
+
+    /// Mutable world access for scenario setup between runs.
+    pub fn world_mut(&mut self) -> &mut World {
+        self.server.world_mut()
+    }
+
+    /// The vehicle-subsystem server.
+    pub fn server(&self) -> &SimulatorServer {
+        &self.server
+    }
+
+    /// Mutable access to the server (e.g. to enable the neutral-fallback
+    /// safety hook).
+    pub fn server_mut(&mut self) -> &mut SimulatorServer {
+        &mut self.server
+    }
+
+    /// Transport statistics so far.
+    pub fn stats(&self) -> SessionStats {
+        self.stats
+    }
+
+    /// Current simulation time.
+    pub fn time(&self) -> SimTime {
+        self.server.world().time()
+    }
+
+    /// The session step.
+    pub fn dt(&self) -> SimDuration {
+        self.dt
+    }
+
+    /// Schedules a fault window.
+    ///
+    /// # Errors
+    ///
+    /// Returns the conflicting window on overlap.
+    pub fn schedule_fault(&mut self, window: InjectionWindow) -> Result<(), InjectionWindow> {
+        self.injector.schedule(window)
+    }
+
+    /// Injects a rule immediately (test-leader style ad-hoc injection).
+    pub fn inject_now(&mut self, config: NetemConfig) {
+        let now = self.time();
+        self.injector.inject_now(&mut self.link, config, now);
+    }
+
+    /// Injects a rule on one direction only — the unidirectional variants
+    /// of the related 4G/5G evaluation work.
+    pub fn inject_now_on(&mut self, direction: rdsim_netem::Direction, config: NetemConfig) {
+        let now = self.time();
+        self.injector
+            .inject_now_on(&mut self.link, direction, config, now);
+    }
+
+    /// Clears the active rule immediately.
+    pub fn clear_fault_now(&mut self) {
+        let now = self.time();
+        self.injector.clear_now(&mut self.link, now);
+    }
+
+    /// Advances one step: faults, plant, uplink, operator, downlink, log.
+    pub fn step(&mut self, operator: &mut dyn OperatorSubsystem) {
+        // 1. Fault windows open/close on the pre-step clock.
+        let t_pre = self.time();
+        self.injector.advance(&mut self.link, t_pre);
+
+        // 2. Plant advances and may capture frames.
+        let frames = self.server.tick(self.dt);
+        let now = self.time();
+
+        // 3. Frames enter the uplink (vehicle → operator).
+        for frame in frames {
+            self.stats.frames_sent += 1;
+            let seq = self.frame_seq;
+            self.frame_seq += 1;
+            self.link
+                .uplink
+                .send(Packet::new(seq, PacketKind::Video, frame.payload), now);
+        }
+
+        // 4. Delivered frames reach the station display.
+        for pkt in self.link.uplink.receive(now) {
+            match decode_frame(&pkt.payload) {
+                Ok(snapshot) => {
+                    self.stats.frames_delivered += 1;
+                    let snapshot = match &self.infrastructure {
+                        Some(infra) => infra.augment(&snapshot),
+                        None => snapshot,
+                    };
+                    let captured_at = snapshot.time;
+                    operator.on_frame(ReceivedFrame {
+                        snapshot,
+                        captured_at,
+                        received_at: now,
+                    });
+                }
+                Err(_) => {
+                    self.stats.frames_corrupted += 1;
+                    operator.on_bad_frame(now);
+                }
+            }
+        }
+
+        // 5. The station samples the operator and sends a command.
+        let control = operator.command(now);
+        let seq = self.cmd_seq;
+        self.cmd_seq += 1;
+        self.stats.commands_sent += 1;
+        self.link.downlink.send(
+            Packet::new(seq, PacketKind::Command, encode_command(seq, &control)),
+            now,
+        );
+
+        // 6. Delivered commands are applied by the vehicle subsystem.
+        for pkt in self.link.downlink.receive(now) {
+            match decode_command(&pkt.payload) {
+                Ok((cmd_seq, ctrl)) => {
+                    self.stats.commands_delivered += 1;
+                    self.note_cmd_delivery(cmd_seq);
+                    self.last_cmd_received_at = Some(now);
+                    self.server.apply_command(ctrl);
+                }
+                Err(_) => {
+                    self.stats.commands_corrupted += 1;
+                }
+            }
+        }
+
+        // 6b. The safety stack may override the active command based on
+        // the vehicle-side QoS estimate — every step, not only when a
+        // command arrives (watchdogs act precisely when nothing arrives).
+        if self.safety.is_some() {
+            let qos = self.qos_estimate();
+            let speed = {
+                let world = self.server.world();
+                world
+                    .ego_id()
+                    .map(|id| world.actor(id).state().speed)
+                    .unwrap_or_default()
+            };
+            let active = self.server.active_command();
+            let stack = self.safety.as_mut().expect("checked");
+            let effective = stack.apply(now, &qos, active, speed);
+            if effective != active {
+                self.server.apply_command(effective);
+            }
+        }
+
+        // 7. Log one sample.
+        self.sample(now);
+    }
+
+    /// Runs for a duration (rounded down to whole steps).
+    pub fn run(&mut self, operator: &mut dyn OperatorSubsystem, duration: SimDuration) {
+        for _ in 0..duration.div_steps(self.dt) {
+            self.step(operator);
+        }
+    }
+
+    /// Consumes the session, returning the completed run log.
+    pub fn into_log(mut self) -> RunLog {
+        self.log.set_faults(self.injector.log().to_vec());
+        self.log.set_duration(self.time().saturating_since(SimTime::ZERO));
+        self.log
+    }
+
+    fn sample(&mut self, now: SimTime) {
+        let world = self.server.world();
+        let Some(ego_id) = world.ego_id() else { return };
+        let ego = world.actor(ego_id);
+        let control = ego.applied_control();
+        let lead = world
+            .ego_lead_gap(self.lead_log_horizon)
+            .map(|(actor, gap, closing)| LeadObservation {
+                actor,
+                gap,
+                closing_speed: closing,
+            });
+        let frame = world.snapshot().frame_id;
+        self.log.push_ego(EgoSample {
+            t: now,
+            frame,
+            position: ego.state().position(),
+            velocity: ego.state().velocity(),
+            speed: ego.state().speed,
+            accel: ego.state().accel,
+            throttle: control.throttle.get(),
+            steer: control.steer,
+            brake: control.brake.get(),
+            lead,
+        });
+        let ego_pos = ego.state().position();
+        let others: Vec<OtherSample> = world
+            .actors()
+            .iter()
+            .filter(|a| {
+                a.id() != ego_id
+                    && a.kind() == ActorKind::Vehicle
+                    && !a.is_stationary_behavior()
+            })
+            .map(|a| OtherSample {
+                actor: a.id(),
+                t: now,
+                frame,
+                distance_from_ego: ego_pos.distance_m(a.state().position()),
+                position: a.state().position(),
+                speed: a.state().speed,
+            })
+            .collect();
+        for o in others {
+            self.log.push_other(o);
+        }
+        let world = self.server.world_mut();
+        let collisions = world.drain_collisions();
+        let invasions = world.drain_lane_invasions();
+        self.log.extend_collisions(collisions);
+        self.log.extend_lane_invasions(invasions);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{PaperFault, ScriptedOperator};
+    use rdsim_netem::InjectionWindow;
+    use rdsim_roadnet::town05;
+    use rdsim_simulator::Behavior;
+    use rdsim_simulator::LaneFollowConfig;
+    use rdsim_units::{Hertz, MetersPerSecond};
+    use rdsim_vehicle::{ControlInput, VehicleSpec};
+
+    fn session_with_lead(seed: u64) -> RdsSession {
+        let mut world = World::new(town05(), seed);
+        world.spawn_ego_at("ego-start", VehicleSpec::passenger_car());
+        world.spawn_npc_at(
+            "lead-start",
+            ActorKind::Vehicle,
+            VehicleSpec::passenger_car(),
+            Behavior::LaneFollow(LaneFollowConfig::urban(MetersPerSecond::new(8.0))),
+            MetersPerSecond::new(8.0),
+        );
+        let config = RdsSessionConfig {
+            camera: CameraConfig::fixed(Hertz::new(25.0), 2_000),
+            ..RdsSessionConfig::default()
+        };
+        RdsSession::new(world, config, seed)
+    }
+
+    #[test]
+    fn fault_free_session_runs_and_logs() {
+        let mut s = session_with_lead(1);
+        let mut op = ScriptedOperator::constant(ControlInput::new(0.5, 0.0, 0.0));
+        s.run(&mut op, SimDuration::from_secs(10));
+        let stats = s.stats();
+        assert_eq!(stats.commands_sent, 500);
+        assert_eq!(stats.commands_delivered, 500);
+        assert_eq!(stats.frames_corrupted, 0);
+        assert!(stats.frames_delivered >= 245, "≈250 frames in 10 s at 25 fps");
+        assert_eq!(stats.frames_delivered, stats.frames_sent);
+        assert!(op.frames_seen() >= 245);
+
+        let log = s.into_log();
+        assert_eq!(log.ego_samples().len(), 500);
+        assert!(!log.other_samples().is_empty(), "lead vehicle is logged");
+        assert!(log.has_lead_data());
+        assert_eq!(log.duration(), SimDuration::from_secs(10));
+        // The ego actually moved under the operator's throttle.
+        let last = log.ego_samples().last().unwrap();
+        assert!(last.speed.get() > 5.0);
+    }
+
+    #[test]
+    fn delay_fault_postpones_frames_and_commands() {
+        let mut s = session_with_lead(2);
+        s.schedule_fault(InjectionWindow::new(
+            SimTime::ZERO,
+            SimDuration::from_secs(3600),
+            PaperFault::Delay50ms.config(),
+        ))
+        .unwrap();
+        let mut op = ScriptedOperator::constant(ControlInput::new(0.5, 0.0, 0.0));
+        // Step a few times: commands take 50 ms to arrive, so the first
+        // few steps leave the plant coasting.
+        for _ in 0..2 {
+            s.step(&mut op);
+        }
+        assert_eq!(s.stats().commands_sent, 2);
+        assert_eq!(s.stats().commands_delivered, 0, "50 ms not yet elapsed");
+        for _ in 0..3 {
+            s.step(&mut op);
+        }
+        assert!(s.stats().commands_delivered > 0, "after 100 ms they land");
+        // Frame latency visible end to end.
+        let log = s.into_log();
+        assert_eq!(log.fault_events().len(), 1);
+    }
+
+    #[test]
+    fn loss_fault_drops_traffic() {
+        let mut s = session_with_lead(3);
+        s.inject_now(NetemConfig::default().with_loss(rdsim_units::Ratio::from_percent(50.0)));
+        let mut op = ScriptedOperator::constant(ControlInput::new(0.4, 0.0, 0.0));
+        s.run(&mut op, SimDuration::from_secs(20));
+        let stats = s.stats();
+        assert!(stats.commands_delivered < stats.commands_sent * 7 / 10);
+        assert!(stats.frames_delivered < stats.frames_sent * 7 / 10);
+        assert!(stats.commands_delivered > stats.commands_sent * 3 / 10);
+    }
+
+    #[test]
+    fn corruption_rejected_by_checksums() {
+        let mut s = session_with_lead(4);
+        s.inject_now(NetemConfig::default().with_corrupt(rdsim_units::Ratio::from_percent(50.0)));
+        let mut op = ScriptedOperator::constant(ControlInput::new(0.4, 0.0, 0.0));
+        s.run(&mut op, SimDuration::from_secs(10));
+        let stats = s.stats();
+        assert!(stats.frames_corrupted > 0 || stats.commands_corrupted > 0);
+        // Commands were either applied intact or rejected — never mangled:
+        // the throttle the plant saw is exactly the scripted 0.4.
+        assert!((s.server().active_command().throttle.get() - 0.4).abs() < 1e-12);
+        // Corrupted frames surfaced as bad-frame notifications.
+        assert_eq!(stats.frames_corrupted, op.bad_frames());
+    }
+
+    #[test]
+    fn adhoc_injection_logs_events() {
+        let mut s = session_with_lead(5);
+        let mut op = ScriptedOperator::constant(ControlInput::COAST);
+        s.run(&mut op, SimDuration::from_secs(1));
+        s.inject_now(PaperFault::Loss5Pct.config());
+        s.run(&mut op, SimDuration::from_secs(1));
+        s.clear_fault_now();
+        s.run(&mut op, SimDuration::from_secs(1));
+        let log = s.into_log();
+        assert_eq!(log.fault_events().len(), 2);
+        assert_eq!(
+            PaperFault::from_config(&log.fault_events()[0].config),
+            Some(PaperFault::Loss5Pct)
+        );
+    }
+
+    #[test]
+    fn scheduled_window_attributed_in_log() {
+        let mut s = session_with_lead(6);
+        s.schedule_fault(InjectionWindow::new(
+            SimTime::from_secs(2),
+            SimDuration::from_secs(3),
+            PaperFault::Delay25ms.config(),
+        ))
+        .unwrap();
+        let mut op = ScriptedOperator::constant(ControlInput::new(0.3, 0.0, 0.0));
+        s.run(&mut op, SimDuration::from_secs(8));
+        let log = s.into_log();
+        assert_eq!(log.fault_events().len(), 2, "added + deleted");
+        assert_eq!(log.fault_events()[0].time, SimTime::from_secs(2));
+        assert_eq!(log.fault_events()[1].time, SimTime::from_secs(5));
+    }
+
+    #[test]
+    fn infrastructure_augments_operator_view() {
+        use crate::{InfrastructureSubsystem, RoadsideUnit};
+        use rdsim_math::Vec2;
+
+        // Vehicle camera limited to 50 m; the parked van 230 m ahead is
+        // only visible through the roadside unit.
+        let build = |with_unit: bool| {
+            let mut world = World::new(town05(), 7);
+            world.spawn_ego_at("ego-start", VehicleSpec::passenger_car());
+            world.spawn_npc_at(
+                "slalom-1",
+                ActorKind::Vehicle,
+                VehicleSpec::van(),
+                Behavior::Stationary,
+                MetersPerSecond::ZERO,
+            );
+            let mut infra = InfrastructureSubsystem::new();
+            infra.set_vehicle_visibility(Some(Meters::new(50.0)));
+            if with_unit {
+                infra.add_unit(RoadsideUnit::new(Vec2::new(250.0, 0.0), Meters::new(60.0)));
+            }
+            let config = RdsSessionConfig {
+                camera: CameraConfig::fixed(Hertz::new(25.0), 2_000),
+                infrastructure: Some(infra),
+                ..RdsSessionConfig::default()
+            };
+            RdsSession::new(world, config, 7)
+        };
+
+        struct CountingOp {
+            saw_van: bool,
+        }
+        impl OperatorSubsystem for CountingOp {
+            fn on_frame(&mut self, frame: ReceivedFrame) {
+                if !frame.snapshot.others.is_empty() {
+                    self.saw_van = true;
+                }
+            }
+            fn command(&mut self, _now: SimTime) -> ControlInput {
+                ControlInput::COAST
+            }
+        }
+
+        let mut without = build(false);
+        let mut op1 = CountingOp { saw_van: false };
+        without.run(&mut op1, SimDuration::from_secs(2));
+        assert!(!op1.saw_van, "van hidden beyond vehicle visibility");
+
+        let mut with = build(true);
+        let mut op2 = CountingOp { saw_van: false };
+        with.run(&mut op2, SimDuration::from_secs(2));
+        assert!(op2.saw_van, "roadside unit reveals the van");
+    }
+
+    #[test]
+    fn determinism_end_to_end() {
+        let run = |seed| {
+            let mut s = session_with_lead(seed);
+            s.schedule_fault(InjectionWindow::new(
+                SimTime::from_secs(1),
+                SimDuration::from_secs(2),
+                PaperFault::Loss5Pct.config(),
+            ))
+            .unwrap();
+            let mut op = ScriptedOperator::constant(ControlInput::new(0.5, 0.0, 0.01));
+            s.run(&mut op, SimDuration::from_secs(6));
+            let log = s.into_log();
+            let last = log.ego_samples().last().copied().unwrap();
+            (
+                last.position.x,
+                last.position.y,
+                log.ego_samples().len(),
+            )
+        };
+        assert_eq!(run(11), run(11));
+    }
+}

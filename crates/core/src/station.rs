@@ -1,0 +1,186 @@
+//! The operator subsystem: the driving station plus whoever sits at it.
+
+use rdsim_simulator::WorldSnapshot;
+use rdsim_units::{SimDuration, SimTime};
+use rdsim_vehicle::ControlInput;
+
+/// A frame as delivered to the driving station.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReceivedFrame {
+    /// Decoded scene.
+    pub snapshot: WorldSnapshot,
+    /// When the camera captured it.
+    pub captured_at: SimTime,
+    /// When it arrived at the station.
+    pub received_at: SimTime,
+}
+
+impl ReceivedFrame {
+    /// The glass-to-glass latency of this frame.
+    pub fn latency(&self) -> SimDuration {
+        self.received_at.saturating_since(self.captured_at)
+    }
+}
+
+/// The operator subsystem of the RDS: consumes the video feed, produces
+/// driving commands. Implemented by the simulated human driver models in
+/// `rdsim-operator`, and by scripted operators for deterministic tests.
+pub trait OperatorSubsystem {
+    /// Delivers a successfully decoded frame to the station display.
+    ///
+    /// Frames arrive in network order, which under jitter is not capture
+    /// order; implementations should ignore frames older than the newest
+    /// one already shown (real video pipelines do the same).
+    fn on_frame(&mut self, frame: ReceivedFrame);
+
+    /// Notifies that a frame arrived but failed its checksum (corruption
+    /// fault). Default: ignored, like a decoder dropping a broken frame.
+    fn on_bad_frame(&mut self, _received_at: SimTime) {}
+
+    /// Samples the operator's controls at time `now`. Called at the
+    /// station's command rate (every session step).
+    fn command(&mut self, now: SimTime) -> ControlInput;
+}
+
+/// A deterministic operator for tests and examples: plays a fixed control,
+/// or a piecewise schedule.
+#[derive(Debug, Clone)]
+pub struct ScriptedOperator {
+    schedule: Vec<(SimTime, ControlInput)>,
+    frames_seen: u64,
+    bad_frames: u64,
+    last_frame_id: Option<u64>,
+}
+
+impl ScriptedOperator {
+    /// An operator that always outputs the same control.
+    pub fn constant(control: ControlInput) -> Self {
+        ScriptedOperator {
+            schedule: vec![(SimTime::ZERO, control)],
+            frames_seen: 0,
+            bad_frames: 0,
+            last_frame_id: None,
+        }
+    }
+
+    /// An operator following a piecewise-constant schedule: each entry
+    /// `(from, control)` applies from its time until the next entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the schedule is empty or not sorted by time.
+    pub fn piecewise(schedule: Vec<(SimTime, ControlInput)>) -> Self {
+        assert!(!schedule.is_empty(), "schedule must not be empty");
+        assert!(
+            schedule.windows(2).all(|w| w[0].0 <= w[1].0),
+            "schedule must be time-sorted"
+        );
+        ScriptedOperator {
+            schedule,
+            frames_seen: 0,
+            bad_frames: 0,
+            last_frame_id: None,
+        }
+    }
+
+    /// Frames successfully received.
+    pub fn frames_seen(&self) -> u64 {
+        self.frames_seen
+    }
+
+    /// Corrupted frames notified.
+    pub fn bad_frames(&self) -> u64 {
+        self.bad_frames
+    }
+
+    /// Newest frame id displayed.
+    pub fn last_frame_id(&self) -> Option<u64> {
+        self.last_frame_id
+    }
+}
+
+impl OperatorSubsystem for ScriptedOperator {
+    fn on_frame(&mut self, frame: ReceivedFrame) {
+        self.frames_seen += 1;
+        if self.last_frame_id.map_or(true, |id| frame.snapshot.frame_id > id) {
+            self.last_frame_id = Some(frame.snapshot.frame_id);
+        }
+    }
+
+    fn on_bad_frame(&mut self, _received_at: SimTime) {
+        self.bad_frames += 1;
+    }
+
+    fn command(&mut self, now: SimTime) -> ControlInput {
+        let mut current = self.schedule[0].1;
+        for (from, control) in &self.schedule {
+            if *from <= now {
+                current = *control;
+            } else {
+                break;
+            }
+        }
+        current
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame(id: u64, captured_ms: u64, received_ms: u64) -> ReceivedFrame {
+        ReceivedFrame {
+            snapshot: WorldSnapshot {
+                time: SimTime::from_millis(captured_ms),
+                frame_id: id,
+                ego: None,
+                others: Vec::new(),
+            },
+            captured_at: SimTime::from_millis(captured_ms),
+            received_at: SimTime::from_millis(received_ms),
+        }
+    }
+
+    #[test]
+    fn latency() {
+        assert_eq!(frame(0, 100, 150).latency(), SimDuration::from_millis(50));
+    }
+
+    #[test]
+    fn constant_operator() {
+        let mut op = ScriptedOperator::constant(ControlInput::full_throttle());
+        assert_eq!(op.command(SimTime::ZERO), ControlInput::full_throttle());
+        assert_eq!(
+            op.command(SimTime::from_secs(100)),
+            ControlInput::full_throttle()
+        );
+    }
+
+    #[test]
+    fn piecewise_schedule() {
+        let mut op = ScriptedOperator::piecewise(vec![
+            (SimTime::ZERO, ControlInput::full_throttle()),
+            (SimTime::from_secs(5), ControlInput::full_brake()),
+        ]);
+        assert_eq!(op.command(SimTime::from_secs(1)), ControlInput::full_throttle());
+        assert_eq!(op.command(SimTime::from_secs(5)), ControlInput::full_brake());
+        assert_eq!(op.command(SimTime::from_secs(9)), ControlInput::full_brake());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_schedule_panics() {
+        let _ = ScriptedOperator::piecewise(vec![]);
+    }
+
+    #[test]
+    fn frame_bookkeeping_ignores_stale() {
+        let mut op = ScriptedOperator::constant(ControlInput::COAST);
+        op.on_frame(frame(5, 0, 10));
+        op.on_frame(frame(3, 0, 11)); // out-of-order: counted, not shown
+        assert_eq!(op.frames_seen(), 2);
+        assert_eq!(op.last_frame_id(), Some(5));
+        op.on_bad_frame(SimTime::from_millis(12));
+        assert_eq!(op.bad_frames(), 1);
+    }
+}

@@ -1,0 +1,312 @@
+//! Regenerates every table and figure of the paper.
+//!
+//! ```text
+//! repro [all|table1|table2|table3|table4|fig4|collisions|questionnaire|
+//!        validity|model-vehicle] [--seed N] [--quick]
+//! ```
+//!
+//! `--quick` shortens the runs (for smoke testing); the full study drives
+//! two laps of the course per run, as the experiments in `EXPERIMENTS.md`
+//! were recorded.
+
+use rdsim_experiments::{
+    collision_summary, figure4, model_vehicle_sweep, questionnaire_summary, run_study, table2,
+    table3, table4, validity_sweep, ScenarioConfig, StationSpec, StudyResults, SweepReport,
+    TextTable,
+};
+use rdsim_metrics::{SrrConfig, TtcConfig, TtcStats};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut command = "all".to_owned();
+    let mut seed = 424242u64;
+    let mut quick = false;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--seed" => match iter.next().and_then(|s| s.parse().ok()) {
+                Some(s) => seed = s,
+                None => {
+                    eprintln!("--seed needs an integer");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--quick" => quick = true,
+            other if !other.starts_with('-') => command = other.to_owned(),
+            other => {
+                eprintln!("unknown flag '{other}'");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let config = if quick {
+        ScenarioConfig::quick()
+    } else {
+        ScenarioConfig::default()
+    };
+
+    let needs_study = matches!(
+        command.as_str(),
+        "all" | "table2" | "table3" | "table4" | "fig4" | "collisions" | "questionnaire"
+    );
+    let study = if needs_study {
+        eprintln!(
+            "running the study (seed {seed}, {} mode) …",
+            if quick { "quick" } else { "full" }
+        );
+        Some(run_study(seed, &config))
+    } else {
+        None
+    };
+
+    match command.as_str() {
+        "all" => {
+            let study = study.as_ref().expect("study ran");
+            print_table1();
+            print_table2(study);
+            print_table3(study);
+            print_table4(study);
+            print_fig4(study);
+            print_collisions(study);
+            print_questionnaire(study);
+            print_sweep(&validity_sweep(seed));
+            print_sweep(&model_vehicle_sweep(seed));
+        }
+        "table1" => print_table1(),
+        "table2" => print_table2(study.as_ref().expect("study")),
+        "table3" => print_table3(study.as_ref().expect("study")),
+        "table4" => print_table4(study.as_ref().expect("study")),
+        "fig4" => print_fig4(study.as_ref().expect("study")),
+        "collisions" => print_collisions(study.as_ref().expect("study")),
+        "questionnaire" => print_questionnaire(study.as_ref().expect("study")),
+        "validity" => print_sweep(&validity_sweep(seed)),
+        "model-vehicle" => print_sweep(&model_vehicle_sweep(seed)),
+        other => {
+            eprintln!("unknown command '{other}'");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn print_table1() {
+    println!("\n== Table I: Technical Specifications for Driving Station ==\n");
+    println!("{}", StationSpec::paper_station());
+    println!();
+}
+
+fn fault_headers() -> Vec<String> {
+    ["5ms", "25ms", "50ms", "2%", "5%"]
+        .into_iter()
+        .map(str::to_owned)
+        .collect()
+}
+
+fn print_table2(study: &StudyResults) {
+    println!("\n== Table II: Summary for Faults Injected ==\n");
+    let mut header = vec!["Test".to_owned()];
+    header.extend(fault_headers());
+    header.push("Total".to_owned());
+    let mut t = TextTable::new(header);
+    let rows = table2(study);
+    let mut totals = [0usize; 6];
+    for row in &rows {
+        let mut cells = vec![row.test.clone()];
+        for (i, c) in row.counts.iter().enumerate() {
+            cells.push(c.to_string());
+            totals[i] += c;
+        }
+        cells.push(row.total.to_string());
+        totals[5] += row.total;
+        t.row(cells);
+    }
+    let mut total_row = vec!["Total".to_owned()];
+    total_row.extend(totals.iter().map(|c| c.to_string()));
+    t.row(total_row);
+    println!("{t}");
+}
+
+fn ttc_cell(stats: &Option<TtcStats>, pick: impl Fn(&TtcStats) -> f64) -> String {
+    match stats {
+        Some(s) => format!("{:.2}", pick(s)),
+        None => "-".to_owned(),
+    }
+}
+
+fn print_table3(study: &StudyResults) {
+    println!("\n== Table III: Statistics for TTC (in sec) ==");
+    let rows = table3(study, &TtcConfig::default());
+    for (title, pick) in [
+        (
+            "Maximum TTC",
+            (|s: &TtcStats| s.max.get()) as fn(&TtcStats) -> f64,
+        ),
+        ("Average TTC", |s: &TtcStats| s.avg.get()),
+        ("Minimum TTC", |s: &TtcStats| s.min.get()),
+    ] {
+        println!("\n-- {title} --\n");
+        let mut header = vec!["Test".to_owned(), "NFI".to_owned()];
+        header.extend(fault_headers());
+        let mut t = TextTable::new(header);
+        for row in &rows {
+            let mut cells = vec![row.test.clone(), ttc_cell(&row.nfi, pick)];
+            for f in &row.per_fault {
+                cells.push(ttc_cell(f, pick));
+            }
+            t.row(cells);
+        }
+        println!("{t}");
+    }
+}
+
+fn print_table4(study: &StudyResults) {
+    println!("\n== Table IV: Statistics for SRR (in reversals per minute) ==\n");
+    let rows = table4(study, &SrrConfig::default());
+    let mut header = vec!["Test".to_owned(), "NFI".to_owned(), "FI".to_owned()];
+    header.extend(fault_headers());
+    header.push("Avg".to_owned());
+    let mut t = TextTable::new(header);
+    let fmt = |v: &Option<f64>| match v {
+        Some(v) => format!("{v:.1}"),
+        None => "x".to_owned(),
+    };
+    let mut col_sums = vec![(0.0f64, 0usize); 8];
+    for row in &rows {
+        let mut cells = vec![row.test.clone(), fmt(&row.nfi), fmt(&row.fi)];
+        for f in &row.per_fault {
+            cells.push(fmt(f));
+        }
+        cells.push(fmt(&row.avg));
+        t.row(cells);
+        let all = [
+            row.nfi,
+            row.fi,
+            row.per_fault[0],
+            row.per_fault[1],
+            row.per_fault[2],
+            row.per_fault[3],
+            row.per_fault[4],
+            row.avg,
+        ];
+        for (i, v) in all.iter().enumerate() {
+            if let Some(v) = v {
+                col_sums[i].0 += v;
+                col_sums[i].1 += 1;
+            }
+        }
+    }
+    let mut avg_row = vec!["Avg".to_owned()];
+    for (sum, n) in &col_sums {
+        avg_row.push(if *n > 0 {
+            format!("{:.2}", sum / *n as f64)
+        } else {
+            "x".to_owned()
+        });
+    }
+    t.row(avg_row);
+    println!("{t}");
+}
+
+fn print_fig4(study: &StudyResults) {
+    println!("\n== Fig. 4: Results from steering profile ==\n");
+    match figure4(study, None) {
+        Some(fig) => {
+            let fmt_t = |t: &Option<rdsim_units::Seconds>| match t {
+                Some(t) => format!("{:.1} s", t.get()),
+                None => "(section not traversed)".to_owned(),
+            };
+            println!("subject {}", fig.subject);
+            println!(
+                "  faulty : {}  traversal {}  rms {:.3}",
+                fig.faulty.sparkline(72),
+                fmt_t(&fig.faulty.traversal),
+                fig.faulty.rms()
+            );
+            println!(
+                "  golden : {}  traversal {}  rms {:.3}",
+                fig.golden.sparkline(72),
+                fmt_t(&fig.golden.traversal),
+                fig.golden.rms()
+            );
+        }
+        None => println!("(no subject with steering data in both runs)"),
+    }
+    println!();
+}
+
+fn print_collisions(study: &StudyResults) {
+    println!("\n== §VI.E: Collision analysis ==\n");
+    let a = collision_summary(study);
+    println!(
+        "{} participants: {} collided in the golden run, {} in the faulty run",
+        a.subjects, a.collided_golden, a.collided_faulty
+    );
+    if a.crashes_by_fault.is_empty() {
+        println!("no crash attributable to a fault window");
+    } else {
+        for (fault, count) in &a.crashes_by_fault {
+            println!("  {fault}: {count} crash(es)");
+        }
+    }
+    if a.crashes_outside_windows > 0 {
+        println!(
+            "  ({} crash(es) outside fault windows)",
+            a.crashes_outside_windows
+        );
+    }
+    println!();
+}
+
+fn print_questionnaire(study: &StudyResults) {
+    println!("\n== §VI.F: Answers from Questionnaire ==\n");
+    let q = questionnaire_summary(study);
+    println!(
+        "1) {} of {} have gaming experience ({} recent)",
+        q.with_gaming_experience, q.respondents, q.with_recent_gaming
+    );
+    println!(
+        "2) {} of {} have car-racing game experience",
+        q.with_racing_games, q.respondents
+    );
+    println!(
+        "3) {} of {} had no prior driving-station experience",
+        q.without_station_experience, q.respondents
+    );
+    println!(
+        "4) mean QoE {:.2} (min {}, max {})",
+        q.mean_qoe, q.min_qoe, q.max_qoe
+    );
+    println!(
+        "5) {} of {} consider virtual testing useful",
+        q.virtual_testing_useful, q.respondents
+    );
+    println!(
+        "6) {} of {} felt a difference when faults were injected",
+        q.felt_difference, q.respondents
+    );
+    println!();
+}
+
+fn print_sweep(report: &SweepReport) {
+    println!("\n== §VIII validity: {} ==\n", report.plant);
+    let mut t = TextTable::new(vec![
+        "condition".into(),
+        "mean |lat| (m)".into(),
+        "worst |lat| (m)".into(),
+        "collided".into(),
+        "completion".into(),
+        "verdict".into(),
+    ]);
+    for p in report.delays.iter().chain(&report.losses) {
+        t.row(vec![
+            p.label.clone(),
+            format!("{:.2}", p.mean_lateral),
+            format!("{:.2}", p.worst_lateral),
+            if p.collided { "yes" } else { "no" }.into(),
+            format!("{:.0}%", p.completion * 100.0),
+            p.verdict.to_string(),
+        ]);
+    }
+    println!("{t}");
+}

@@ -1,0 +1,44 @@
+//! The paper-reproduction harness: scenarios, subject roster, campaign
+//! runner and table/figure generators.
+//!
+//! Experiment index (matching `DESIGN.md`):
+//!
+//! | id | artifact | entry point |
+//! |----|----------|-------------|
+//! | E1 | Table I — driving-station spec | [`StationSpec::paper_station`] |
+//! | E2 | Table II — faults injected | [`table2`] |
+//! | E3 | Table III — TTC statistics | [`table3`] |
+//! | E4 | Table IV — SRR statistics | [`table4`] |
+//! | E5 | Fig. 4 — steering profiles | [`figure4`] |
+//! | E6 | §VI.E — collision analysis | [`collision_summary`] |
+//! | E7 | §VI.F — questionnaire | [`questionnaire_summary`] |
+//! | E8 | §VIII — simulator validity sweeps | [`validity_sweep`] |
+//! | E9 | §VIII — model-vehicle comparison | [`model_vehicle_sweep`] |
+//!
+//! Everything is deterministic given the campaign seed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod figures;
+mod roster;
+mod runner;
+mod scenario;
+mod station;
+mod study;
+mod tables;
+mod validity;
+
+pub use figures::{figure4, Figure4};
+pub use roster::{paper_roster, RosterEntry};
+pub use runner::{run_protocol, RunOutput, ScenarioConfig};
+pub use scenario::{CourseMap, FaultPoint, ScenarioPlan};
+pub use station::StationSpec;
+pub use study::{
+    collision_summary, questionnaire_summary, run_study, table2, table3, table4, StudyResults,
+    Table2Row, Table3Row, Table4Row,
+};
+pub use tables::TextTable;
+pub use validity::{
+    model_vehicle_sweep, validity_sweep, Drivability, SweepPoint, SweepReport,
+};

@@ -1,0 +1,426 @@
+//! Runs one protocol run (training / golden / faulty) for one subject.
+
+use crate::{CourseMap, ScenarioPlan};
+use rdsim_core::{
+    PaperFault, RdsSession, RdsSessionConfig, RunKind, RunRecord, ScheduledFault,
+};
+use rdsim_math::RngStream;
+use rdsim_netem::InjectionWindow;
+use rdsim_operator::{HumanDriverModel, Instruction, SubjectProfile};
+use rdsim_roadnet::town05;
+use rdsim_simulator::{
+    ActorId, ActorKind, Behavior, CameraConfig, LaneFollowConfig, World,
+};
+use rdsim_units::{MetersPerSecond, SimDuration, SimTime};
+use rdsim_vehicle::VehicleSpec;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of a scenario run.
+#[derive(Debug, Clone)]
+pub struct ScenarioConfig {
+    /// Laps of the ring to complete.
+    pub laps: u32,
+    /// Alternatively, stop after this much forward progress (metres);
+    /// overrides `laps` when set (used by the validity sweeps).
+    pub progress_target: Option<f64>,
+    /// Instructed speed on urban segments.
+    pub urban_speed: MetersPerSecond,
+    /// Instructed speed on the highway segment.
+    pub highway_speed: MetersPerSecond,
+    /// Cruise speed of the dynamic lead vehicle.
+    pub lead_speed: MetersPerSecond,
+    /// Camera (video feed) configuration.
+    pub camera: CameraConfig,
+    /// Simulation step.
+    pub dt: SimDuration,
+    /// Hard wall-clock guard per run.
+    pub max_duration: SimDuration,
+    /// The ego plant.
+    pub vehicle: VehicleSpec,
+    /// A network condition applied for the whole run (used by the
+    /// validity sweeps). Point-of-interest injections in faulty runs
+    /// override it while active, so combine only with non-faulty kinds.
+    pub ambient_fault: Option<rdsim_netem::NetemConfig>,
+    /// Overrides the driver's mental-extrapolation quality (operators
+    /// have a poor internal model of an unfamiliar plant; see
+    /// [`HumanDriverModel::set_extrapolation`]).
+    pub driver_extrapolation: Option<f64>,
+}
+
+impl Default for ScenarioConfig {
+    /// The full paper-style run: two laps (~6 sim-minutes of driving).
+    fn default() -> Self {
+        ScenarioConfig {
+            laps: 2,
+            progress_target: None,
+            urban_speed: MetersPerSecond::new(12.0),
+            highway_speed: MetersPerSecond::new(18.0),
+            lead_speed: MetersPerSecond::new(9.5),
+            camera: CameraConfig::default(),
+            dt: SimDuration::from_millis(20),
+            max_duration: SimDuration::from_secs(900),
+            vehicle: VehicleSpec::passenger_car(),
+            ambient_fault: None,
+            driver_extrapolation: None,
+        }
+    }
+}
+
+impl ScenarioConfig {
+    /// A shortened configuration for tests: a partial lap covering the
+    /// following and slalom scenarios.
+    pub fn quick() -> Self {
+        ScenarioConfig {
+            laps: 1,
+            progress_target: Some(500.0),
+            max_duration: SimDuration::from_secs(120),
+            ..ScenarioConfig::default()
+        }
+    }
+}
+
+/// The outcome of one run: the analysable record plus the operator-side
+/// feed-quality statistics the questionnaire model consumes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunOutput {
+    /// The run record (log + schedule).
+    pub record: RunRecord,
+    /// Accumulated display stutter experienced by the operator.
+    pub stutter_time: SimDuration,
+    /// Worst single display gap.
+    pub worst_display_gap: SimDuration,
+    /// Frames the operator received.
+    pub frames_seen: u64,
+    /// Forward progress achieved (metres along the course).
+    pub progress: f64,
+}
+
+/// Runs one protocol run for a subject.
+///
+/// Golden and faulty runs drive the full scenario course (lead vehicle,
+/// parked vans, slow highway vehicle, cyclists); the training run is free
+/// driving in an empty town. Fault injection happens only in faulty runs,
+/// at the plan's points of interest, drawing a random fault per point per
+/// lap exactly as §V.C describes.
+pub fn run_protocol(
+    profile: &SubjectProfile,
+    kind: RunKind,
+    seed: u64,
+    config: &ScenarioConfig,
+) -> RunOutput {
+    let net = town05();
+    let course = CourseMap::new(&net);
+    let plan = ScenarioPlan::town05();
+
+    // --- World and actors.
+    let mut world = World::new(net.clone(), seed);
+    world.spawn_ego_at("ego-start", config.vehicle.clone());
+    let lead = if kind == RunKind::Training {
+        None
+    } else {
+        let lead = world.spawn_npc_at(
+            "lead-start",
+            ActorKind::Vehicle,
+            VehicleSpec::passenger_car(),
+            Behavior::LaneFollow(LaneFollowConfig::urban(config.lead_speed)),
+            config.lead_speed,
+        );
+        // Parked vans hug the curb (≈0.8 m right of the lane centre), as
+        // parked vehicles do; the lane change still is mandatory — the
+        // remaining clearance in the own lane is under half a car width.
+        for name in ["slalom-1", "slalom-2", "slalom-3"] {
+            let sp = net.spawn_point(name).expect("slalom spawn").clone();
+            let lane = net.lane(sp.lane);
+            let pose = lane
+                .centerline()
+                .offset_point_at(sp.s, rdsim_units::Meters::new(-0.8));
+            let heading = lane.centerline().heading_at(sp.s);
+            let id = world.spawn(
+                ActorKind::Vehicle,
+                VehicleSpec::van(),
+                Behavior::Stationary,
+                rdsim_roadnet::LanePosition::new(sp.lane, sp.s),
+                MetersPerSecond::ZERO,
+            );
+            // Re-seat at the curb offset.
+            world.teleport_pose(id, rdsim_math::Pose2::new(pose, heading));
+        }
+        world.spawn_npc_at(
+            "overtake-slow",
+            ActorKind::Vehicle,
+            VehicleSpec::passenger_car(),
+            Behavior::LaneFollow(LaneFollowConfig::urban(MetersPerSecond::new(4.0))),
+            MetersPerSecond::new(4.0),
+        );
+        for name in ["cyclist-1", "cyclist-2"] {
+            let mut cfg = LaneFollowConfig::cyclist(MetersPerSecond::new(4.0));
+            cfg.keeper.lateral_offset = rdsim_units::Meters::new(-2.2);
+            world.spawn_npc_at(
+                name,
+                ActorKind::Cyclist,
+                VehicleSpec::bicycle(),
+                Behavior::LaneFollow(cfg),
+                MetersPerSecond::new(4.0),
+            );
+        }
+        Some(lead)
+    };
+
+    // --- Session and driver.
+    let session_config = RdsSessionConfig {
+        dt: config.dt,
+        camera: config.camera,
+        ..RdsSessionConfig::default()
+    };
+    let mut session = RdsSession::new(world, session_config, seed);
+    if let Some(fault) = config.ambient_fault {
+        session.inject_now(fault);
+    }
+    let mut driver = HumanDriverModel::new(profile, net.clone(), seed);
+    driver.set_vehicle_hint(config.vehicle.wheelbase(), config.vehicle.max_steer());
+    if let Some(extrapolation) = config.driver_extrapolation {
+        driver.set_extrapolation(extrapolation);
+    }
+
+    // --- Fault schedule draws (one per point per lap).
+    let mut fault_rng = RngStream::from_seed(seed).substream(&format!("faults-{}", profile.id));
+    let laps_planned = config.laps.max(1);
+    let draws: Vec<Vec<PaperFault>> = (0..laps_planned)
+        .map(|_| plan.draw_faults(&mut fault_rng))
+        .collect();
+
+    // --- Main loop.
+    let target = config
+        .progress_target
+        .unwrap_or(config.laps as f64 * course.lap_length() - 40.0);
+    let mut schedule: Vec<ScheduledFault> = Vec::new();
+    let mut active_fault: Option<(usize, SimTime, PaperFault)> = None;
+    let mut consumed = vec![vec![false; plan.fault_points.len()]; laps_planned as usize];
+    let mut progress = 0.0;
+    let mut lap = 0usize;
+    let ego = session.world().ego_id().expect("ego spawned");
+    let mut prev_s = course.chain_s(session.world().network(), ego_pos(&session, ego));
+    let mut stopping = false;
+
+    let max_steps = config.max_duration.div_steps(config.dt);
+    for _ in 0..max_steps {
+        let pos = ego_pos(&session, ego);
+        let s = {
+            let world = session.world();
+            course.chain_s(world.network(), pos)
+        };
+        // Unwrapped progress and lap counting.
+        let mut delta = s - prev_s;
+        if delta < -course.lap_length() / 2.0 {
+            delta += course.lap_length();
+            lap = (lap + 1).min(laps_planned as usize - 1);
+        }
+        if delta.abs() < 60.0 {
+            progress += delta.max(0.0);
+        }
+        prev_s = s;
+
+        // Instructions (the test leader's directions).
+        let in_slalom = course.within(s, plan.slalom.0, plan.slalom.1);
+        let in_overtake = course.within(s, plan.overtake.0, plan.overtake.1);
+        let on_highway = course.within(s, plan.highway.0, plan.highway.1);
+        let (chain, speed) = if in_slalom || in_overtake {
+            (
+                course.inner(),
+                if on_highway {
+                    config.highway_speed
+                } else {
+                    config.urban_speed
+                },
+            )
+        } else if on_highway {
+            (course.outer(), config.highway_speed)
+        } else {
+            (course.outer(), config.urban_speed)
+        };
+        let lane = {
+            let world = session.world();
+            course.nearest_of(world.network(), chain, pos)
+        };
+        if progress >= target {
+            stopping = true;
+        }
+        if stopping {
+            driver.set_instruction(Instruction::stop_in(lane));
+        } else {
+            driver.set_instruction(Instruction::drive(lane, speed));
+        }
+
+        // Lead-vehicle phase scripting: it clears the slalom zone via the
+        // inner lane, like a cooperating road user.
+        if let Some(lead) = lead {
+            let lead_pos = ego_pos(&session, lead);
+            let world = session.world();
+            let lead_s = course.chain_s(world.network(), lead_pos);
+            let lead_in_zone =
+                course.within(lead_s, plan.slalom.0 - 25.0, plan.slalom.1 + 10.0);
+            let (lead_chain, lead_speed) = if lead_in_zone {
+                (course.inner(), MetersPerSecond::new(13.0))
+            } else {
+                (course.outer(), config.lead_speed)
+            };
+            let lead_lane = course.nearest_of(world.network(), lead_chain, lead_pos);
+            let cfg = LaneFollowConfig::urban(lead_speed).with_lane(lead_lane);
+            session
+                .world_mut()
+                .set_behavior(lead, Behavior::LaneFollow(cfg));
+        }
+
+        // Fault points (faulty runs only).
+        if kind == RunKind::Faulty && !stopping {
+            if let Some((idx, started, fault)) = active_fault {
+                let point = plan.fault_points[idx];
+                if !course.within(s, point.from, point.to) {
+                    let now = session.time();
+                    session.clear_fault_now();
+                    schedule.push(ScheduledFault {
+                        fault,
+                        window: InjectionWindow::new(
+                            started,
+                            now.saturating_since(started),
+                            fault.config(),
+                        ),
+                    });
+                    active_fault = None;
+                }
+            }
+            if active_fault.is_none() {
+                if let Some(idx) = plan
+                    .fault_points
+                    .iter()
+                    .position(|p| course.within(s, p.from, p.to))
+                {
+                    if !consumed[lap][idx] {
+                        consumed[lap][idx] = true;
+                        let fault = draws[lap][idx];
+                        session.inject_now(fault.config());
+                        active_fault = Some((idx, session.time(), fault));
+                    }
+                }
+            }
+        }
+
+        session.step(&mut driver);
+
+        if stopping {
+            let world = session.world();
+            if world.actor(ego).state().speed.get() < 0.3 {
+                break;
+            }
+        }
+    }
+
+    // Close any dangling fault window.
+    if let Some((_, started, fault)) = active_fault {
+        let now = session.time();
+        session.clear_fault_now();
+        schedule.push(ScheduledFault {
+            fault,
+            window: InjectionWindow::new(started, now.saturating_since(started), fault.config()),
+        });
+    }
+
+    let stutter_time = driver.perception().stutter_time();
+    let worst_display_gap = driver.perception().worst_display_gap();
+    let frames_seen = driver.perception().frames_seen();
+    let log = session.into_log();
+    RunOutput {
+        record: RunRecord::new(profile.id.clone(), kind, log, schedule),
+        stutter_time,
+        worst_display_gap,
+        frames_seen,
+        progress,
+    }
+}
+
+fn ego_pos(session: &RdsSession, id: ActorId) -> rdsim_math::Vec2 {
+    session.world().actor(id).state().position()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdsim_core::RunKind;
+
+    fn profile() -> SubjectProfile {
+        SubjectProfile::typical("TQ")
+    }
+
+    #[test]
+    fn golden_quick_run_completes_without_crash() {
+        let out = run_protocol(&profile(), RunKind::Golden, 101, &ScenarioConfig::quick());
+        assert!(
+            out.progress >= 490.0,
+            "should cover the target distance, got {}",
+            out.progress
+        );
+        assert!(out.record.schedule.is_empty(), "golden run has no faults");
+        assert!(!out.record.log.collided(), "golden run must be clean");
+        assert!(out.frames_seen > 500);
+        assert!(out.record.log.has_lead_data(), "lead vehicle is observed");
+    }
+
+    #[test]
+    fn faulty_quick_run_injects_at_points_of_interest() {
+        let out = run_protocol(&profile(), RunKind::Faulty, 101, &ScenarioConfig::quick());
+        // The 500 m quick course crosses three fault points.
+        assert!(
+            (1..=3).contains(&out.record.schedule.len()),
+            "expected 1–3 injections, got {}",
+            out.record.schedule.len()
+        );
+        // Injection log mirrors the schedule (added + deleted per window).
+        assert_eq!(
+            out.record.log.fault_events().len(),
+            out.record.schedule.len() * 2
+        );
+        for sf in &out.record.schedule {
+            assert!(sf.window.duration > SimDuration::from_secs(1));
+        }
+    }
+
+    #[test]
+    fn training_run_has_no_traffic() {
+        let out = run_protocol(&profile(), RunKind::Training, 55, &ScenarioConfig::quick());
+        assert!(out.record.log.other_samples().is_empty());
+        assert!(!out.record.log.collided());
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let a = run_protocol(&profile(), RunKind::Faulty, 7, &ScenarioConfig::quick());
+        let b = run_protocol(&profile(), RunKind::Faulty, 7, &ScenarioConfig::quick());
+        assert_eq!(a.record.log.ego_samples().len(), b.record.log.ego_samples().len());
+        assert_eq!(
+            a.record.log.ego_samples().last().map(|s| s.position),
+            b.record.log.ego_samples().last().map(|s| s.position)
+        );
+        let faults_a: Vec<_> = a.record.schedule.iter().map(|s| s.fault).collect();
+        let faults_b: Vec<_> = b.record.schedule.iter().map(|s| s.fault).collect();
+        assert_eq!(faults_a, faults_b);
+    }
+
+    #[test]
+    fn different_subjects_draw_different_faults() {
+        let mut p2 = profile();
+        p2.id = "TZ".to_owned();
+        let cfg = ScenarioConfig::quick();
+        let a = run_protocol(&profile(), RunKind::Faulty, 7, &cfg);
+        let b = run_protocol(&p2, RunKind::Faulty, 7, &cfg);
+        // Same seed, different subject id ⇒ independent fault draws (the
+        // sequences may coincide by chance for very short runs, so compare
+        // the underlying draw streams via more draws).
+        let plan = ScenarioPlan::town05();
+        let mut ra = RngStream::from_seed(7).substream("faults-TQ");
+        let mut rb = RngStream::from_seed(7).substream("faults-TZ");
+        let da: Vec<_> = (0..5).flat_map(|_| plan.draw_faults(&mut ra)).collect();
+        let db: Vec<_> = (0..5).flat_map(|_| plan.draw_faults(&mut rb)).collect();
+        assert_ne!(da, db);
+        let _ = (a, b);
+    }
+}

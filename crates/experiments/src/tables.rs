@@ -1,0 +1,116 @@
+//! Fixed-width text tables for the `repro` binary's output.
+
+use std::fmt;
+
+/// A simple monospace table builder.
+///
+/// # Examples
+///
+/// ```
+/// use rdsim_experiments::TextTable;
+///
+/// let mut t = TextTable::new(vec!["Test".into(), "NFI".into(), "FI".into()]);
+/// t.row(vec!["T1".into(), "4.5".into(), "3.9".into()]);
+/// let s = t.to_string();
+/// assert!(s.contains("Test"));
+/// assert!(s.contains("T1"));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new(header: Vec<String>) -> Self {
+        TextTable {
+            header,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row. Short rows are padded with empty cells; long rows
+    /// extend the column count.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` if no data rows have been added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    fn column_count(&self) -> usize {
+        self.rows
+            .iter()
+            .map(Vec::len)
+            .chain(std::iter::once(self.header.len()))
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+impl fmt::Display for TextTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let cols = self.column_count();
+        let mut widths = vec![0usize; cols];
+        let all_rows = std::iter::once(&self.header).chain(self.rows.iter());
+        for row in all_rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        let write_row = |f: &mut fmt::Formatter<'_>, row: &[String]| -> fmt::Result {
+            for i in 0..cols {
+                let cell = row.get(i).map(String::as_str).unwrap_or("");
+                if i > 0 {
+                    write!(f, "  ")?;
+                }
+                write!(f, "{cell:>width$}", width = widths[i])?;
+            }
+            writeln!(f)
+        };
+        write_row(f, &self.header)?;
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols.saturating_sub(1));
+        writeln!(f, "{}", "-".repeat(total))?;
+        for row in &self.rows {
+            write_row(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = TextTable::new(vec!["A".into(), "Long".into()]);
+        t.row(vec!["xxx".into(), "1".into()]);
+        t.row(vec!["y".into()]);
+        let s = t.to_string();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4); // header, rule, two rows
+        assert!(lines[0].contains('A') && lines[0].contains("Long"));
+        assert!(lines[1].starts_with('-'));
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn empty_table() {
+        let t = TextTable::new(vec!["H".into()]);
+        assert!(t.is_empty());
+        let s = t.to_string();
+        assert!(s.contains('H'));
+    }
+
+}

@@ -1,0 +1,372 @@
+//! Fault injection: scheduled rule add/delete with a full event log.
+//!
+//! The paper's data-logging schema (§V.F) records for every fault
+//! injection: timestamp, fault type, value, and whether the rule was added
+//! or deleted. [`FaultInjector`] owns that lifecycle: callers schedule
+//! [`InjectionWindow`]s (or trigger them ad hoc), the injector applies the
+//! rule to a [`DuplexLink`] at the right simulated times, and every
+//! transition is logged.
+
+use crate::{DuplexLink, NetemConfig};
+use rdsim_units::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Whether a rule was added or deleted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum InjectionAction {
+    /// The rule became active.
+    Added,
+    /// The rule was removed (link back to passthrough).
+    Deleted,
+}
+
+/// Which direction(s) of a duplex link a rule applies to.
+///
+/// The paper's loopback setup is inherently [`Direction::Both`]; the
+/// unidirectional modes reproduce the per-direction experiments of the
+/// related 4G/5G evaluation work it cites.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum Direction {
+    /// Both directions (the paper's loopback semantics).
+    #[default]
+    Both,
+    /// Vehicle → operator only (video feed).
+    Uplink,
+    /// Operator → vehicle only (commands).
+    Downlink,
+}
+
+impl fmt::Display for Direction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Direction::Both => "both",
+            Direction::Uplink => "uplink",
+            Direction::Downlink => "downlink",
+        })
+    }
+}
+
+impl fmt::Display for InjectionAction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            InjectionAction::Added => "added",
+            InjectionAction::Deleted => "deleted",
+        })
+    }
+}
+
+/// One entry of the injection log: exactly the tuple the paper records.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct InjectionEvent {
+    /// When the transition happened.
+    pub time: SimTime,
+    /// The rule involved.
+    pub config: NetemConfig,
+    /// Added or deleted.
+    pub action: InjectionAction,
+    /// The direction(s) affected.
+    #[serde(default)]
+    pub direction: Direction,
+}
+
+/// A scheduled fault window: `config` is active during
+/// `[start, start + duration)`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct InjectionWindow {
+    /// Activation time.
+    pub start: SimTime,
+    /// How long the rule stays active.
+    pub duration: SimDuration,
+    /// The rule to apply.
+    pub config: NetemConfig,
+}
+
+impl InjectionWindow {
+    /// Creates a window.
+    pub fn new(start: SimTime, duration: SimDuration, config: NetemConfig) -> Self {
+        InjectionWindow {
+            start,
+            duration,
+            config,
+        }
+    }
+
+    /// End of the window.
+    pub fn end(&self) -> SimTime {
+        self.start + self.duration
+    }
+
+    /// `true` if `t` falls inside the window.
+    pub fn contains(&self, t: SimTime) -> bool {
+        t >= self.start && t < self.end()
+    }
+
+    /// `true` if this window overlaps another.
+    pub fn overlaps(&self, other: &InjectionWindow) -> bool {
+        self.start < other.end() && other.start < self.end()
+    }
+}
+
+/// Applies scheduled fault windows to a duplex link and logs transitions.
+///
+/// Windows must not overlap (the paper injects one fault at a time).
+#[derive(Debug, Default)]
+pub struct FaultInjector {
+    windows: Vec<InjectionWindow>,
+    log: Vec<InjectionEvent>,
+    active: Option<usize>,
+}
+
+impl FaultInjector {
+    /// Creates an injector with no scheduled faults.
+    pub fn new() -> Self {
+        FaultInjector::default()
+    }
+
+    /// Schedules a fault window.
+    ///
+    /// # Errors
+    ///
+    /// Returns the conflicting window if the new one overlaps an existing
+    /// schedule entry.
+    pub fn schedule(&mut self, window: InjectionWindow) -> Result<(), InjectionWindow> {
+        if let Some(conflict) = self.windows.iter().find(|w| w.overlaps(&window)) {
+            return Err(*conflict);
+        }
+        self.windows.push(window);
+        self.windows.sort_by_key(|w| w.start);
+        Ok(())
+    }
+
+    /// All scheduled windows, sorted by start time.
+    pub fn windows(&self) -> &[InjectionWindow] {
+        &self.windows
+    }
+
+    /// The currently active window, if any.
+    pub fn active_window(&self) -> Option<&InjectionWindow> {
+        self.active.map(|i| &self.windows[i])
+    }
+
+    /// Advances the injector to time `now`, applying and removing rules on
+    /// the link as windows open and close. Call once per simulation step
+    /// *before* stepping the link.
+    pub fn advance(&mut self, link: &mut DuplexLink, now: SimTime) {
+        // Close the active window if its time has passed.
+        if let Some(idx) = self.active {
+            let w = self.windows[idx];
+            if now >= w.end() {
+                link.set_both(NetemConfig::passthrough());
+                self.log.push(InjectionEvent {
+                    time: w.end(),
+                    config: w.config,
+                    action: InjectionAction::Deleted,
+                    direction: Direction::Both,
+                });
+                self.active = None;
+            }
+        }
+        // Open a window whose start has arrived.
+        if self.active.is_none() {
+            if let Some(idx) = self.windows.iter().position(|w| w.contains(now)) {
+                let w = self.windows[idx];
+                link.set_both(w.config);
+                self.log.push(InjectionEvent {
+                    time: now.max(w.start),
+                    config: w.config,
+                    action: InjectionAction::Added,
+                    direction: Direction::Both,
+                });
+                self.active = Some(idx);
+            }
+        }
+    }
+
+    /// Immediately applies a rule outside any schedule (ad-hoc injection,
+    /// e.g. from an interactive test leader) and logs it.
+    pub fn inject_now(&mut self, link: &mut DuplexLink, config: NetemConfig, now: SimTime) {
+        self.inject_now_on(link, Direction::Both, config, now);
+    }
+
+    /// Immediately applies a rule to one or both directions and logs it.
+    pub fn inject_now_on(
+        &mut self,
+        link: &mut DuplexLink,
+        direction: Direction,
+        config: NetemConfig,
+        now: SimTime,
+    ) {
+        match direction {
+            Direction::Both => link.set_both(config),
+            Direction::Uplink => link.uplink.set_config(config),
+            Direction::Downlink => link.downlink.set_config(config),
+        }
+        self.log.push(InjectionEvent {
+            time: now,
+            config,
+            action: InjectionAction::Added,
+            direction,
+        });
+    }
+
+    /// Immediately clears the active rule and logs the deletion.
+    pub fn clear_now(&mut self, link: &mut DuplexLink, now: SimTime) {
+        let config = *link.uplink.config();
+        link.set_both(NetemConfig::passthrough());
+        self.log.push(InjectionEvent {
+            time: now,
+            config,
+            action: InjectionAction::Deleted,
+            direction: Direction::Both,
+        });
+        self.active = None;
+    }
+
+    /// The complete injection log.
+    pub fn log(&self) -> &[InjectionEvent] {
+        &self.log
+    }
+
+    /// `true` once every scheduled window lies in the past.
+    pub fn finished(&self, now: SimTime) -> bool {
+        self.windows.iter().all(|w| now >= w.end())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdsim_units::Millis;
+
+    fn delay_rule(ms: f64) -> NetemConfig {
+        NetemConfig::default().with_delay(Millis::new(ms))
+    }
+
+    #[test]
+    fn window_geometry() {
+        let w = InjectionWindow::new(
+            SimTime::from_secs(10),
+            SimDuration::from_secs(5),
+            delay_rule(50.0),
+        );
+        assert_eq!(w.end(), SimTime::from_secs(15));
+        assert!(w.contains(SimTime::from_secs(10)));
+        assert!(w.contains(SimTime::from_millis(14_999)));
+        assert!(!w.contains(SimTime::from_secs(15)));
+        assert!(!w.contains(SimTime::from_secs(9)));
+    }
+
+    #[test]
+    fn overlap_detection() {
+        let a = InjectionWindow::new(
+            SimTime::from_secs(0),
+            SimDuration::from_secs(10),
+            delay_rule(5.0),
+        );
+        let b = InjectionWindow::new(
+            SimTime::from_secs(5),
+            SimDuration::from_secs(10),
+            delay_rule(25.0),
+        );
+        let c = InjectionWindow::new(
+            SimTime::from_secs(10),
+            SimDuration::from_secs(5),
+            delay_rule(50.0),
+        );
+        assert!(a.overlaps(&b));
+        assert!(!a.overlaps(&c)); // touching, not overlapping
+        let mut inj = FaultInjector::new();
+        inj.schedule(a).unwrap();
+        assert_eq!(inj.schedule(b).unwrap_err(), a);
+        inj.schedule(c).unwrap();
+        assert_eq!(inj.windows().len(), 2);
+    }
+
+    #[test]
+    fn advance_applies_and_removes_rules() {
+        let mut link = DuplexLink::new(1);
+        let mut inj = FaultInjector::new();
+        inj.schedule(InjectionWindow::new(
+            SimTime::from_secs(1),
+            SimDuration::from_secs(2),
+            delay_rule(50.0),
+        ))
+        .unwrap();
+
+        inj.advance(&mut link, SimTime::ZERO);
+        assert!(link.uplink.config().is_passthrough());
+        assert!(inj.active_window().is_none());
+
+        inj.advance(&mut link, SimTime::from_secs(1));
+        assert!(!link.uplink.config().is_passthrough());
+        assert!(!link.downlink.config().is_passthrough(), "bidirectional");
+        assert!(inj.active_window().is_some());
+
+        inj.advance(&mut link, SimTime::from_secs(3));
+        assert!(link.uplink.config().is_passthrough());
+        assert!(inj.finished(SimTime::from_secs(3)));
+
+        let log = inj.log();
+        assert_eq!(log.len(), 2);
+        assert_eq!(log[0].action, InjectionAction::Added);
+        assert_eq!(log[0].time, SimTime::from_secs(1));
+        assert_eq!(log[1].action, InjectionAction::Deleted);
+        assert_eq!(log[1].time, SimTime::from_secs(3));
+    }
+
+    #[test]
+    fn back_to_back_windows() {
+        let mut link = DuplexLink::new(1);
+        let mut inj = FaultInjector::new();
+        inj.schedule(InjectionWindow::new(
+            SimTime::from_secs(1),
+            SimDuration::from_secs(1),
+            delay_rule(5.0),
+        ))
+        .unwrap();
+        inj.schedule(InjectionWindow::new(
+            SimTime::from_secs(2),
+            SimDuration::from_secs(1),
+            delay_rule(25.0),
+        ))
+        .unwrap();
+        inj.advance(&mut link, SimTime::from_secs(1));
+        assert_eq!(inj.active_window().unwrap().config, delay_rule(5.0));
+        // At t=2 the first closes and the second opens within one call.
+        inj.advance(&mut link, SimTime::from_secs(2));
+        assert_eq!(inj.active_window().unwrap().config, delay_rule(25.0));
+        assert_eq!(inj.log().len(), 3);
+    }
+
+    #[test]
+    fn adhoc_injection() {
+        let mut link = DuplexLink::new(1);
+        let mut inj = FaultInjector::new();
+        inj.inject_now(&mut link, delay_rule(50.0), SimTime::from_secs(4));
+        assert!(!link.uplink.config().is_passthrough());
+        inj.clear_now(&mut link, SimTime::from_secs(6));
+        assert!(link.uplink.config().is_passthrough());
+        let log = inj.log();
+        assert_eq!(log.len(), 2);
+        assert_eq!(log[1].action, InjectionAction::Deleted);
+        assert_eq!(log[1].config, delay_rule(50.0));
+    }
+
+    #[test]
+    fn late_advance_still_opens_window() {
+        // If the caller steps coarsely and lands inside the window, the
+        // rule is applied and logged at the window start time.
+        let mut link = DuplexLink::new(1);
+        let mut inj = FaultInjector::new();
+        inj.schedule(InjectionWindow::new(
+            SimTime::from_secs(1),
+            SimDuration::from_secs(10),
+            delay_rule(25.0),
+        ))
+        .unwrap();
+        inj.advance(&mut link, SimTime::from_secs(5));
+        assert!(inj.active_window().is_some());
+        assert_eq!(inj.log()[0].time, SimTime::from_secs(5));
+    }
+}

@@ -1,0 +1,283 @@
+//! Emulated links: unidirectional and duplex.
+
+use crate::{NetemConfig, NetemQdisc, Packet, Qdisc};
+use rdsim_units::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Delivery statistics of one link direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct LinkStats {
+    /// Packets offered to the link.
+    pub sent: u64,
+    /// Packets delivered to the receiver.
+    pub delivered: u64,
+    /// Packets dropped by loss faults.
+    pub dropped: u64,
+    /// Duplicate copies delivered.
+    pub duplicates: u64,
+    /// Corrupted packets delivered.
+    pub corrupted: u64,
+    /// Total payload bytes delivered.
+    pub bytes_delivered: u64,
+    /// Sum of delivery latencies (for the mean).
+    pub total_latency: SimDuration,
+    /// Worst delivery latency observed.
+    pub max_latency: SimDuration,
+}
+
+impl LinkStats {
+    /// Mean delivery latency, or zero when nothing was delivered.
+    pub fn mean_latency(&self) -> SimDuration {
+        if self.delivered == 0 {
+            SimDuration::ZERO
+        } else {
+            self.total_latency / self.delivered
+        }
+    }
+
+    /// Fraction of offered packets that were dropped.
+    pub fn loss_rate(&self) -> f64 {
+        if self.sent == 0 {
+            0.0
+        } else {
+            self.dropped as f64 / self.sent as f64
+        }
+    }
+}
+
+/// One direction of an emulated network path: an egress NETEM qdisc, as in
+/// the paper's loopback setup where outgoing traffic of each endpoint
+/// traverses the fault rules.
+#[derive(Debug)]
+pub struct Link {
+    qdisc: NetemQdisc,
+    stats: LinkStats,
+}
+
+impl Link {
+    /// Creates a passthrough link with the given RNG seed.
+    pub fn new(seed: u64) -> Self {
+        Link {
+            qdisc: NetemQdisc::new(seed),
+            stats: LinkStats::default(),
+        }
+    }
+
+    /// Creates a link with an initial fault configuration.
+    pub fn with_config(config: NetemConfig, seed: u64) -> Self {
+        Link {
+            qdisc: NetemQdisc::with_config(config, seed),
+            stats: LinkStats::default(),
+        }
+    }
+
+    /// The active fault configuration.
+    pub fn config(&self) -> &NetemConfig {
+        self.qdisc.config()
+    }
+
+    /// Replaces the fault configuration (like `tc qdisc change`).
+    pub fn set_config(&mut self, config: NetemConfig) {
+        self.qdisc.set_config(config);
+    }
+
+    /// Sends a packet into the link at time `now`, stamping `sent_at`.
+    pub fn send(&mut self, mut packet: Packet, now: SimTime) {
+        packet.sent_at = now;
+        self.stats.sent += 1;
+        let before_drops = self.qdisc.dropped();
+        self.qdisc.enqueue(packet, now);
+        self.stats.dropped += self.qdisc.dropped() - before_drops;
+    }
+
+    /// Receives every packet whose delivery time has arrived.
+    pub fn receive(&mut self, now: SimTime) -> Vec<Packet> {
+        let out = self.qdisc.dequeue(now);
+        for p in &out {
+            self.stats.delivered += 1;
+            self.stats.bytes_delivered += p.len() as u64;
+            if p.duplicate {
+                self.stats.duplicates += 1;
+            }
+            if p.corrupted {
+                self.stats.corrupted += 1;
+            }
+            let lat = p.latency_at(now);
+            self.stats.total_latency += lat;
+            if lat > self.stats.max_latency {
+                self.stats.max_latency = lat;
+            }
+        }
+        out
+    }
+
+    /// Time of the next pending delivery, if any.
+    pub fn next_delivery(&self) -> Option<SimTime> {
+        self.qdisc.next_release()
+    }
+
+    /// Packets currently in flight.
+    pub fn in_flight(&self) -> usize {
+        self.qdisc.len()
+    }
+
+    /// Delivery statistics.
+    pub fn stats(&self) -> &LinkStats {
+        &self.stats
+    }
+
+    /// Drops all in-flight packets and resets statistics.
+    pub fn reset(&mut self) {
+        self.qdisc.clear();
+        self.stats = LinkStats::default();
+    }
+}
+
+/// A bidirectional path built from two independent [`Link`]s.
+///
+/// In the paper both directions run over the same loopback interface, so a
+/// single NETEM rule affects both the video feed (vehicle → operator) and
+/// the command stream (operator → vehicle). [`DuplexLink::set_both`]
+/// mirrors that bidirectional behaviour; per-direction configs are also
+/// available for the unidirectional experiments of related work.
+#[derive(Debug)]
+pub struct DuplexLink {
+    /// Vehicle → operator direction (video, QoS).
+    pub uplink: Link,
+    /// Operator → vehicle direction (commands, meta-commands).
+    pub downlink: Link,
+}
+
+impl DuplexLink {
+    /// Creates a passthrough duplex link; the two directions draw from
+    /// independent RNG substreams of `seed`.
+    pub fn new(seed: u64) -> Self {
+        DuplexLink {
+            uplink: Link::new(seed.wrapping_mul(2).wrapping_add(1)),
+            downlink: Link::new(seed.wrapping_mul(2).wrapping_add(2)),
+        }
+    }
+
+    /// Applies the same fault configuration to both directions — the
+    /// paper's loopback semantics.
+    pub fn set_both(&mut self, config: NetemConfig) {
+        self.uplink.set_config(config);
+        self.downlink.set_config(config);
+    }
+
+    /// Resets both directions.
+    pub fn reset(&mut self) {
+        self.uplink.reset();
+        self.downlink.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PacketKind;
+    use rdsim_units::{Millis, Ratio};
+
+    fn video(seq: u64) -> Packet {
+        Packet::new(seq, PacketKind::Video, vec![0u8; 1000])
+    }
+
+    #[test]
+    fn send_receive_roundtrip() {
+        let mut link = Link::new(1);
+        link.send(video(1), SimTime::from_millis(5));
+        let out = link.receive(SimTime::from_millis(5));
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].sent_at, SimTime::from_millis(5));
+        assert_eq!(link.stats().sent, 1);
+        assert_eq!(link.stats().delivered, 1);
+        assert_eq!(link.stats().bytes_delivered, 1000);
+    }
+
+    #[test]
+    fn stats_track_latency() {
+        let mut link =
+            Link::with_config(NetemConfig::default().with_delay(Millis::new(50.0)), 1);
+        link.send(video(1), SimTime::ZERO);
+        link.send(video(2), SimTime::ZERO);
+        assert_eq!(link.in_flight(), 2);
+        let out = link.receive(SimTime::from_millis(50));
+        assert_eq!(out.len(), 2);
+        assert_eq!(link.stats().mean_latency(), SimDuration::from_millis(50));
+        assert_eq!(link.stats().max_latency, SimDuration::from_millis(50));
+    }
+
+    #[test]
+    fn loss_reflected_in_stats() {
+        let mut link = Link::with_config(NetemConfig::default().with_loss(Ratio::ONE), 1);
+        for seq in 0..10 {
+            link.send(video(seq), SimTime::ZERO);
+        }
+        assert!(link.receive(SimTime::from_secs(1)).is_empty());
+        assert_eq!(link.stats().dropped, 10);
+        assert_eq!(link.stats().loss_rate(), 1.0);
+    }
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let s = LinkStats::default();
+        assert_eq!(s.mean_latency(), SimDuration::ZERO);
+        assert_eq!(s.loss_rate(), 0.0);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut link =
+            Link::with_config(NetemConfig::default().with_delay(Millis::new(50.0)), 1);
+        link.send(video(1), SimTime::ZERO);
+        link.reset();
+        assert_eq!(link.in_flight(), 0);
+        assert_eq!(link.stats().sent, 0);
+        assert!(link.receive(SimTime::from_secs(1)).is_empty());
+    }
+
+    #[test]
+    fn duplex_bidirectional_faults() {
+        let mut duplex = DuplexLink::new(9);
+        duplex.set_both(NetemConfig::default().with_delay(Millis::new(25.0)));
+        duplex.uplink.send(video(1), SimTime::ZERO);
+        duplex
+            .downlink
+            .send(Packet::new(1, PacketKind::Command, vec![1u8]), SimTime::ZERO);
+        // Both directions experience the delay.
+        assert!(duplex.uplink.receive(SimTime::from_millis(20)).is_empty());
+        assert!(duplex.downlink.receive(SimTime::from_millis(20)).is_empty());
+        assert_eq!(duplex.uplink.receive(SimTime::from_millis(25)).len(), 1);
+        assert_eq!(duplex.downlink.receive(SimTime::from_millis(25)).len(), 1);
+        duplex.reset();
+        assert_eq!(duplex.uplink.stats().sent, 0);
+    }
+
+    #[test]
+    fn duplex_directions_use_independent_randomness() {
+        let mut duplex = DuplexLink::new(9);
+        duplex.set_both(NetemConfig::default().with_loss(Ratio::from_percent(50.0)));
+        let n = 2000;
+        for seq in 0..n {
+            duplex.uplink.send(video(seq), SimTime::ZERO);
+            duplex
+                .downlink
+                .send(Packet::new(seq, PacketKind::Command, vec![0u8; 8]), SimTime::ZERO);
+        }
+        let up = duplex.uplink.receive(SimTime::from_secs(1));
+        let down = duplex.downlink.receive(SimTime::from_secs(1));
+        // Same loss probability, but different realisations.
+        let up_set: Vec<u64> = up.iter().map(|p| p.seq).collect();
+        let down_set: Vec<u64> = down.iter().map(|p| p.seq).collect();
+        assert_ne!(up_set, down_set);
+    }
+
+    #[test]
+    fn next_delivery_reports_pending() {
+        let mut link =
+            Link::with_config(NetemConfig::default().with_delay(Millis::new(10.0)), 2);
+        assert_eq!(link.next_delivery(), None);
+        link.send(video(1), SimTime::from_millis(100));
+        assert_eq!(link.next_delivery(), Some(SimTime::from_millis(110)));
+    }
+}

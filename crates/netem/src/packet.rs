@@ -1,0 +1,151 @@
+//! Packets carried across emulated links.
+
+use bytes::Bytes;
+use rdsim_units::SimTime;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// What a packet carries, mirroring the paper's RDS traffic classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PacketKind {
+    /// A video frame from the vehicle subsystem to the operator station.
+    Video,
+    /// A driving command (steer/throttle/brake) from operator to vehicle.
+    Command,
+    /// A meta-command (weather, spawn, sensor config) — CARLA's second
+    /// client-to-server stream.
+    Meta,
+    /// Quality-of-service telemetry.
+    Qos,
+}
+
+impl fmt::Display for PacketKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            PacketKind::Video => "video",
+            PacketKind::Command => "command",
+            PacketKind::Meta => "meta",
+            PacketKind::Qos => "qos",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A packet in flight on an emulated link.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Packet {
+    /// Sender-assigned sequence number (unique per stream).
+    pub seq: u64,
+    /// Traffic class.
+    pub kind: PacketKind,
+    /// Payload bytes (for video frames this is the encoded frame).
+    #[serde(with = "bytes_serde")]
+    pub payload: Bytes,
+    /// When the packet entered the link; set by [`crate::Link::send`].
+    pub sent_at: SimTime,
+    /// `true` if a corruption fault flipped bits in the payload.
+    pub corrupted: bool,
+    /// `true` if this packet is a duplicate created by a duplication fault.
+    pub duplicate: bool,
+}
+
+impl Packet {
+    /// Creates a packet. `sent_at` is stamped by the link on send.
+    pub fn new(seq: u64, kind: PacketKind, payload: impl Into<Bytes>) -> Self {
+        Packet {
+            seq,
+            kind,
+            payload: payload.into(),
+            sent_at: SimTime::ZERO,
+            corrupted: false,
+            duplicate: false,
+        }
+    }
+
+    /// Payload size in bytes.
+    pub fn len(&self) -> usize {
+        self.payload.len()
+    }
+
+    /// `true` for an empty payload.
+    pub fn is_empty(&self) -> bool {
+        self.payload.is_empty()
+    }
+
+    /// Latency experienced by the packet if delivered at `now`.
+    pub fn latency_at(&self, now: SimTime) -> rdsim_units::SimDuration {
+        now.saturating_since(self.sent_at)
+    }
+}
+
+impl fmt::Display for Packet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}#{} ({} B{}{})",
+            self.kind,
+            self.seq,
+            self.len(),
+            if self.corrupted { ", corrupted" } else { "" },
+            if self.duplicate { ", dup" } else { "" },
+        )
+    }
+}
+
+mod bytes_serde {
+    use bytes::Bytes;
+    use serde::{Deserialize, Deserializer, Serializer};
+
+    pub fn serialize<S: Serializer>(b: &Bytes, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_bytes(b)
+    }
+
+    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<Bytes, D::Error> {
+        let v = Vec::<u8>::deserialize(d)?;
+        Ok(Bytes::from(v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdsim_units::SimDuration;
+
+    #[test]
+    fn construction_and_accessors() {
+        let p = Packet::new(7, PacketKind::Video, vec![1u8, 2, 3]);
+        assert_eq!(p.seq, 7);
+        assert_eq!(p.kind, PacketKind::Video);
+        assert_eq!(p.len(), 3);
+        assert!(!p.is_empty());
+        assert!(!p.corrupted);
+        assert!(!p.duplicate);
+    }
+
+    #[test]
+    fn empty_packet() {
+        let p = Packet::new(0, PacketKind::Qos, Vec::<u8>::new());
+        assert!(p.is_empty());
+        assert_eq!(p.len(), 0);
+    }
+
+    #[test]
+    fn latency() {
+        let mut p = Packet::new(1, PacketKind::Command, vec![0u8]);
+        p.sent_at = SimTime::from_millis(100);
+        assert_eq!(
+            p.latency_at(SimTime::from_millis(150)),
+            SimDuration::from_millis(50)
+        );
+        // Before send time: saturates.
+        assert_eq!(p.latency_at(SimTime::from_millis(50)), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn display_forms() {
+        let p = Packet::new(3, PacketKind::Meta, vec![0u8; 10]);
+        assert_eq!(format!("{p}"), "meta#3 (10 B)");
+        assert_eq!(format!("{}", PacketKind::Video), "video");
+        assert_eq!(format!("{}", PacketKind::Qos), "qos");
+    }
+}

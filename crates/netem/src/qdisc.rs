@@ -1,0 +1,678 @@
+//! Queuing disciplines: FIFO and the NETEM fault-injecting qdisc.
+
+use crate::{LossConfig, NetemConfig, Packet};
+use rdsim_math::RngStream;
+use rdsim_units::{SimDuration, SimTime};
+use std::collections::BinaryHeap;
+
+/// A queuing discipline: packets go in at `enqueue` time and come out of
+/// `dequeue` once their release time has passed.
+///
+/// This trait is object-safe so links can swap disciplines at runtime.
+pub trait Qdisc: std::fmt::Debug + Send {
+    /// Offers a packet to the discipline at simulation time `now`.
+    ///
+    /// Returns the number of queue entries created (0 if the packet was
+    /// dropped by a loss fault, 2 if a duplication fault copied it).
+    fn enqueue(&mut self, packet: Packet, now: SimTime) -> usize;
+
+    /// Removes and returns every packet whose release time is `<= now`,
+    /// in release order.
+    fn dequeue(&mut self, now: SimTime) -> Vec<Packet>;
+
+    /// Number of packets currently queued.
+    fn len(&self) -> usize;
+
+    /// `true` if no packets are queued.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Release time of the earliest queued packet, if any.
+    fn next_release(&self) -> Option<SimTime>;
+
+    /// Drops all queued packets (used when tearing a link down).
+    fn clear(&mut self);
+}
+
+/// An entry in the delay queue, ordered by `(release, tiebreak)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct QueueEntry {
+    release: SimTime,
+    /// Monotone enqueue counter: makes the ordering total and stable.
+    tiebreak: u64,
+    packet: Packet,
+}
+
+impl Ord for QueueEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reverse for a min-heap on (release, tiebreak).
+        other
+            .release
+            .cmp(&self.release)
+            .then(other.tiebreak.cmp(&self.tiebreak))
+    }
+}
+
+impl PartialOrd for QueueEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A plain FIFO discipline with zero delay: models the fault-free loopback
+/// path of the paper's test rig.
+#[derive(Debug, Default)]
+pub struct FifoQdisc {
+    queue: std::collections::VecDeque<Packet>,
+}
+
+impl FifoQdisc {
+    /// Creates an empty FIFO.
+    pub fn new() -> Self {
+        FifoQdisc::default()
+    }
+}
+
+impl Qdisc for FifoQdisc {
+    fn enqueue(&mut self, packet: Packet, _now: SimTime) -> usize {
+        self.queue.push_back(packet);
+        1
+    }
+
+    fn dequeue(&mut self, _now: SimTime) -> Vec<Packet> {
+        self.queue.drain(..).collect()
+    }
+
+    fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    fn next_release(&self) -> Option<SimTime> {
+        self.queue.front().map(|p| p.sent_at)
+    }
+
+    fn clear(&mut self) {
+        self.queue.clear();
+    }
+}
+
+/// The NETEM discipline: applies the active [`NetemConfig`] to every
+/// enqueued packet.
+///
+/// Semantics follow `tc-netem(8)`:
+///
+/// * **loss** — the packet is discarded. `Random` loss supports first-order
+///   correlation; `GilbertElliott` is a two-state Markov burst model.
+/// * **duplicate** — the packet is queued twice (the copy marked
+///   [`Packet::duplicate`]).
+/// * **corrupt** — a single random bit of the payload is flipped and the
+///   packet is marked [`Packet::corrupted`].
+/// * **delay** — release time = enqueue time + base ± jitter. Correlated
+///   jitter uses a first-order autoregressive mix, like netem. Note that
+///   jitter may reorder packets relative to send order — exactly as real
+///   NETEM behaves without the `reorder` option.
+/// * **reorder** — with the configured probability a packet bypasses the
+///   delay entirely (sent immediately), the classic `reorder 25% 50%`
+///   behaviour.
+/// * **rate** — packets acquire serialisation delay `len·8/rate` and queue
+///   behind previously serialised packets.
+#[derive(Debug)]
+pub struct NetemQdisc {
+    config: NetemConfig,
+    rng: RngStream,
+    heap: BinaryHeap<QueueEntry>,
+    counter: u64,
+    /// Previous correlated-jitter sample, in [-1, 1].
+    prev_jitter: f64,
+    /// Previous correlated-loss sample, in [0, 1).
+    prev_loss: f64,
+    /// Gilbert–Elliott state: `true` = bad.
+    ge_bad: bool,
+    /// Busy-until time of the rate limiter.
+    rate_busy_until: SimTime,
+    /// Reorder gap counter.
+    reorder_count: u32,
+    /// Statistics: dropped packets.
+    dropped: u64,
+    /// Statistics: duplicated packets.
+    duplicated: u64,
+    /// Statistics: corrupted packets.
+    corrupted: u64,
+}
+
+impl NetemQdisc {
+    /// Creates a passthrough qdisc with the given RNG seed.
+    pub fn new(seed: u64) -> Self {
+        NetemQdisc::with_config(NetemConfig::passthrough(), seed)
+    }
+
+    /// Creates a qdisc with an initial configuration.
+    pub fn with_config(config: NetemConfig, seed: u64) -> Self {
+        NetemQdisc {
+            config,
+            rng: RngStream::from_seed(seed).substream("netem-qdisc"),
+            heap: BinaryHeap::new(),
+            counter: 0,
+            prev_jitter: 0.0,
+            prev_loss: 0.0,
+            ge_bad: false,
+            rate_busy_until: SimTime::ZERO,
+            reorder_count: 0,
+            dropped: 0,
+            duplicated: 0,
+            corrupted: 0,
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &NetemConfig {
+        &self.config
+    }
+
+    /// Replaces the active configuration (equivalent to
+    /// `tc qdisc change`). Queued packets keep their release times, like
+    /// real netem.
+    pub fn set_config(&mut self, config: NetemConfig) {
+        self.config = config;
+    }
+
+    /// Packets dropped by loss faults so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Duplicate copies created so far.
+    pub fn duplicated(&self) -> u64 {
+        self.duplicated
+    }
+
+    /// Packets corrupted so far.
+    pub fn corrupted(&self) -> u64 {
+        self.corrupted
+    }
+
+    fn draw_loss(&mut self) -> bool {
+        match self.config.loss {
+            None => false,
+            Some(LossConfig::Random {
+                probability,
+                correlation,
+            }) => {
+                // First-order autoregressive correlation, like netem.
+                let fresh = self.rng.uniform();
+                let value = correlation.get() * self.prev_loss
+                    + (1.0 - correlation.get()) * fresh;
+                self.prev_loss = value;
+                value < probability.get()
+            }
+            Some(LossConfig::GilbertElliott {
+                p,
+                r,
+                loss_in_bad,
+                loss_in_good,
+            }) => {
+                // Advance the Markov chain, then draw loss in-state.
+                if self.ge_bad {
+                    if self.rng.bernoulli(r.get()) {
+                        self.ge_bad = false;
+                    }
+                } else if self.rng.bernoulli(p.get()) {
+                    self.ge_bad = true;
+                }
+                let p_loss = if self.ge_bad {
+                    loss_in_bad.get()
+                } else {
+                    loss_in_good.get()
+                };
+                self.rng.bernoulli(p_loss)
+            }
+        }
+    }
+
+    fn draw_delay(&mut self) -> SimDuration {
+        match self.config.delay {
+            None => SimDuration::ZERO,
+            Some(d) => {
+                let jitter_ms = if d.jitter.get() > 0.0 {
+                    let fresh = self.rng.uniform_range(-1.0, 1.0);
+                    let sample =
+                        d.correlation.get() * self.prev_jitter + (1.0 - d.correlation.get()) * fresh;
+                    self.prev_jitter = sample;
+                    d.jitter.get() * sample
+                } else {
+                    0.0
+                };
+                let total_ms = (d.base.get() + jitter_ms).max(0.0);
+                SimDuration::from_secs_f64(total_ms * 1e-3)
+            }
+        }
+    }
+
+    fn maybe_corrupt(&mut self, packet: &mut Packet) {
+        if let Some(p) = self.config.corrupt {
+            if !packet.payload.is_empty() && self.rng.bernoulli(p.get()) {
+                let mut bytes = packet.payload.to_vec();
+                let byte = self.rng.uniform_usize(bytes.len());
+                let bit = self.rng.uniform_usize(8);
+                bytes[byte] ^= 1 << bit;
+                packet.payload = bytes.into();
+                packet.corrupted = true;
+                self.corrupted += 1;
+            }
+        }
+    }
+
+    fn push(&mut self, packet: Packet, release: SimTime) {
+        self.counter += 1;
+        self.heap.push(QueueEntry {
+            release,
+            tiebreak: self.counter,
+            packet,
+        });
+    }
+}
+
+impl Qdisc for NetemQdisc {
+    fn enqueue(&mut self, mut packet: Packet, now: SimTime) -> usize {
+        if self.draw_loss() {
+            self.dropped += 1;
+            return 0;
+        }
+        let duplicate = match self.config.duplicate {
+            Some(p) => self.rng.bernoulli(p.get()),
+            None => false,
+        };
+        self.maybe_corrupt(&mut packet);
+
+        // Rate limiting: serialisation occupies the link sequentially.
+        let mut base_time = now;
+        if let Some(rate) = self.config.rate {
+            let start = now.max(self.rate_busy_until);
+            let busy = start + rate.serialization_time(packet.len());
+            self.rate_busy_until = busy;
+            base_time = busy;
+        }
+
+        // Reorder: candidate packets (every `gap`-th) jump the delay queue.
+        let mut jumped = false;
+        if let Some(reorder) = self.config.reorder {
+            self.reorder_count += 1;
+            if self.reorder_count >= reorder.gap {
+                self.reorder_count = 0;
+                if self.rng.bernoulli(reorder.probability.get()) {
+                    jumped = true;
+                }
+            }
+        }
+
+        let delay = if jumped {
+            SimDuration::ZERO
+        } else {
+            self.draw_delay()
+        };
+        let release = base_time + delay;
+
+        let mut entries = 1usize;
+        if duplicate {
+            let mut copy = packet.clone();
+            copy.duplicate = true;
+            self.duplicated += 1;
+            // Netem sends the duplicate immediately after the original.
+            self.push(copy, release);
+            entries += 1;
+        }
+        self.push(packet, release);
+        entries
+    }
+
+    fn dequeue(&mut self, now: SimTime) -> Vec<Packet> {
+        let mut out = Vec::new();
+        while let Some(top) = self.heap.peek() {
+            if top.release > now {
+                break;
+            }
+            out.push(self.heap.pop().expect("peeked").packet);
+        }
+        out
+    }
+
+    fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    fn next_release(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.release)
+    }
+
+    fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PacketKind;
+    use rdsim_units::{Millis, Ratio};
+
+    fn pkt(seq: u64) -> Packet {
+        Packet::new(seq, PacketKind::Command, vec![0u8; 64])
+    }
+
+    fn drain_all(q: &mut NetemQdisc) -> Vec<Packet> {
+        q.dequeue(SimTime::from_secs(3600))
+    }
+
+    #[test]
+    fn passthrough_delivers_immediately() {
+        let mut q = NetemQdisc::new(1);
+        let t = SimTime::from_millis(10);
+        assert_eq!(q.enqueue(pkt(0), t), 1);
+        let out = q.dequeue(t);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].seq, 0);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn fixed_delay_releases_on_time() {
+        let mut q =
+            NetemQdisc::with_config(NetemConfig::default().with_delay(Millis::new(50.0)), 1);
+        q.enqueue(pkt(0), SimTime::ZERO);
+        assert!(q.dequeue(SimTime::from_millis(49)).is_empty());
+        assert_eq!(q.next_release(), Some(SimTime::from_millis(50)));
+        let out = q.dequeue(SimTime::from_millis(50));
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn delay_preserves_fifo_without_jitter() {
+        let mut q =
+            NetemQdisc::with_config(NetemConfig::default().with_delay(Millis::new(25.0)), 1);
+        for seq in 0..20 {
+            q.enqueue(pkt(seq), SimTime::from_millis(seq));
+        }
+        let out = drain_all(&mut q);
+        let seqs: Vec<u64> = out.iter().map(|p| p.seq).collect();
+        assert_eq!(seqs, (0..20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn loss_rate_statistical() {
+        let mut q = NetemQdisc::with_config(
+            NetemConfig::default().with_loss(Ratio::from_percent(5.0)),
+            42,
+        );
+        let n = 20_000u64;
+        let mut delivered = 0u64;
+        for seq in 0..n {
+            delivered += q.enqueue(pkt(seq), SimTime::ZERO) as u64;
+        }
+        let loss_rate = 1.0 - delivered as f64 / n as f64;
+        assert!(
+            (loss_rate - 0.05).abs() < 0.01,
+            "measured loss {loss_rate}"
+        );
+        assert_eq!(q.dropped(), n - delivered);
+    }
+
+    #[test]
+    fn correlated_loss_produces_bursts() {
+        let config = NetemConfig {
+            loss: Some(LossConfig::Random {
+                probability: Ratio::from_percent(20.0),
+                correlation: Ratio::from_percent(90.0),
+            }),
+            ..NetemConfig::default()
+        };
+        let mut q = NetemQdisc::with_config(config, 3);
+        let n = 50_000;
+        let mut outcomes = Vec::with_capacity(n);
+        for seq in 0..n {
+            outcomes.push(q.enqueue(pkt(seq as u64), SimTime::ZERO) == 0);
+        }
+        // Mean burst length of consecutive losses must exceed the
+        // independent-loss expectation (≈ 1 / (1 − p) = 1.25).
+        let mut bursts = Vec::new();
+        let mut run = 0usize;
+        for &lost in &outcomes {
+            if lost {
+                run += 1;
+            } else if run > 0 {
+                bursts.push(run);
+                run = 0;
+            }
+        }
+        if run > 0 {
+            bursts.push(run);
+        }
+        let mean_burst: f64 = bursts.iter().sum::<usize>() as f64 / bursts.len() as f64;
+        assert!(
+            mean_burst > 1.5,
+            "correlated loss should burst; mean burst {mean_burst}"
+        );
+    }
+
+    #[test]
+    fn gilbert_elliott_long_run_rate() {
+        let config = NetemConfig::default().with_gemodel_loss(
+            Ratio::new(0.05),
+            Ratio::new(0.05),
+            Ratio::new(0.8),
+            Ratio::ZERO,
+        );
+        let mut q = NetemQdisc::with_config(config, 9);
+        let n = 100_000u64;
+        let mut dropped = 0u64;
+        for seq in 0..n {
+            if q.enqueue(pkt(seq), SimTime::ZERO) == 0 {
+                dropped += 1;
+            }
+        }
+        let rate = dropped as f64 / n as f64;
+        // Stationary: 0.5 * 0.8 = 0.4.
+        assert!((rate - 0.4).abs() < 0.02, "measured {rate}");
+    }
+
+    #[test]
+    fn duplication_creates_marked_copies() {
+        let mut q = NetemQdisc::with_config(
+            NetemConfig::default().with_duplicate(Ratio::from_percent(100.0)),
+            5,
+        );
+        assert_eq!(q.enqueue(pkt(7), SimTime::ZERO), 2);
+        let out = drain_all(&mut q);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out.iter().filter(|p| p.duplicate).count(), 1);
+        assert!(out.iter().all(|p| p.seq == 7));
+        assert_eq!(q.duplicated(), 1);
+    }
+
+    #[test]
+    fn corruption_flips_exactly_one_bit() {
+        let mut q = NetemQdisc::with_config(
+            NetemConfig::default().with_corrupt(Ratio::ONE),
+            5,
+        );
+        let original = vec![0u8; 64];
+        q.enqueue(Packet::new(0, PacketKind::Video, original.clone()), SimTime::ZERO);
+        let out = drain_all(&mut q);
+        assert!(out[0].corrupted);
+        let diff_bits: u32 = out[0]
+            .payload
+            .iter()
+            .zip(&original)
+            .map(|(a, b)| (a ^ b).count_ones())
+            .sum();
+        assert_eq!(diff_bits, 1);
+        assert_eq!(q.corrupted(), 1);
+    }
+
+    #[test]
+    fn corruption_skips_empty_payload() {
+        let mut q = NetemQdisc::with_config(NetemConfig::default().with_corrupt(Ratio::ONE), 5);
+        q.enqueue(Packet::new(0, PacketKind::Qos, Vec::<u8>::new()), SimTime::ZERO);
+        let out = drain_all(&mut q);
+        assert!(!out[0].corrupted);
+    }
+
+    #[test]
+    fn jitter_stays_within_band() {
+        let config = NetemConfig::default().with_jittered_delay(
+            Millis::new(50.0),
+            Millis::new(10.0),
+            Ratio::ZERO,
+        );
+        let mut q = NetemQdisc::with_config(config, 11);
+        for seq in 0..1000 {
+            q.enqueue(pkt(seq), SimTime::ZERO);
+        }
+        while let Some(release) = q.next_release() {
+            let ms = release.as_secs_f64() * 1e3;
+            assert!(
+                (40.0 - 1e-9..=60.0 + 1e-9).contains(&ms),
+                "release {ms} ms outside 50±10"
+            );
+            q.dequeue(release);
+        }
+    }
+
+    #[test]
+    fn jitter_can_reorder_like_real_netem() {
+        let config = NetemConfig::default().with_jittered_delay(
+            Millis::new(20.0),
+            Millis::new(15.0),
+            Ratio::ZERO,
+        );
+        let mut q = NetemQdisc::with_config(config, 13);
+        for seq in 0..200 {
+            // 1 ms apart — jitter of ±15 ms will scramble them.
+            q.enqueue(pkt(seq), SimTime::from_millis(seq));
+        }
+        let out = drain_all(&mut q);
+        let seqs: Vec<u64> = out.iter().map(|p| p.seq).collect();
+        let mut sorted = seqs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..200).collect::<Vec<_>>(), "nothing lost");
+        assert_ne!(seqs, sorted, "jitter should reorder");
+    }
+
+    #[test]
+    fn reorder_option_sends_candidates_immediately() {
+        let config = NetemConfig::default()
+            .with_delay(Millis::new(100.0))
+            .with_reorder(Ratio::ONE, 1);
+        let mut q = NetemQdisc::with_config(config, 17);
+        q.enqueue(pkt(0), SimTime::ZERO);
+        // With probability 1 and gap 1, the packet bypasses the delay.
+        let out = q.dequeue(SimTime::ZERO);
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn reorder_gap_spares_non_candidates() {
+        let config = NetemConfig::default()
+            .with_delay(Millis::new(100.0))
+            .with_reorder(Ratio::ONE, 5);
+        let mut q = NetemQdisc::with_config(config, 17);
+        for seq in 0..5 {
+            q.enqueue(pkt(seq), SimTime::ZERO);
+        }
+        // Only every 5th packet is a candidate: exactly one jumps.
+        let immediate = q.dequeue(SimTime::ZERO);
+        assert_eq!(immediate.len(), 1);
+        assert_eq!(q.len(), 4);
+    }
+
+    #[test]
+    fn rate_limit_spaces_packets() {
+        // 1 Mbit/s, 125-byte packets → 1 ms serialisation each.
+        let config = NetemConfig::default().with_rate(1_000_000);
+        let mut q = NetemQdisc::with_config(config, 19);
+        for seq in 0..5 {
+            q.enqueue(Packet::new(seq, PacketKind::Video, vec![0u8; 125]), SimTime::ZERO);
+        }
+        let mut releases = Vec::new();
+        while let Some(r) = q.next_release() {
+            releases.push(r.as_secs_f64() * 1e3);
+            q.dequeue(r);
+        }
+        let expected = [1.0, 2.0, 3.0, 4.0, 5.0];
+        for (got, want) in releases.iter().zip(expected) {
+            assert!((got - want).abs() < 1e-6, "{got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn rate_limiter_idles_down() {
+        let config = NetemConfig::default().with_rate(1_000_000);
+        let mut q = NetemQdisc::with_config(config, 19);
+        q.enqueue(Packet::new(0, PacketKind::Video, vec![0u8; 125]), SimTime::ZERO);
+        drain_all(&mut q);
+        // A packet arriving much later is not queued behind the stale
+        // busy-until time.
+        let late = SimTime::from_secs(10);
+        q.enqueue(Packet::new(1, PacketKind::Video, vec![0u8; 125]), late);
+        assert_eq!(q.next_release(), Some(late + SimDuration::from_millis(1)));
+    }
+
+    #[test]
+    fn set_config_keeps_queued_packets() {
+        let mut q =
+            NetemQdisc::with_config(NetemConfig::default().with_delay(Millis::new(50.0)), 1);
+        q.enqueue(pkt(0), SimTime::ZERO);
+        q.set_config(NetemConfig::passthrough());
+        assert_eq!(q.len(), 1);
+        assert!(q.dequeue(SimTime::from_millis(49)).is_empty());
+        assert_eq!(q.dequeue(SimTime::from_millis(50)).len(), 1);
+    }
+
+    #[test]
+    fn clear_drops_everything() {
+        let mut q =
+            NetemQdisc::with_config(NetemConfig::default().with_delay(Millis::new(50.0)), 1);
+        for seq in 0..10 {
+            q.enqueue(pkt(seq), SimTime::ZERO);
+        }
+        q.clear();
+        assert!(q.is_empty());
+        assert!(drain_all(&mut q).is_empty());
+    }
+
+    #[test]
+    fn determinism_same_seed_same_outcome() {
+        let config = NetemConfig::default()
+            .with_jittered_delay(Millis::new(30.0), Millis::new(10.0), Ratio::new(0.3))
+            .with_loss(Ratio::from_percent(10.0));
+        let run = |seed| {
+            let mut q = NetemQdisc::with_config(config, seed);
+            let mut log = Vec::new();
+            for seq in 0..500 {
+                q.enqueue(pkt(seq), SimTime::from_millis(seq));
+            }
+            while let Some(r) = q.next_release() {
+                for p in q.dequeue(r) {
+                    log.push((r.as_micros(), p.seq));
+                }
+            }
+            log
+        };
+        assert_eq!(run(77), run(77));
+        assert_ne!(run(77), run(78));
+    }
+
+    #[test]
+    fn fifo_qdisc_is_transparent() {
+        let mut q = FifoQdisc::new();
+        assert!(q.is_empty());
+        q.enqueue(pkt(1), SimTime::ZERO);
+        q.enqueue(pkt(2), SimTime::ZERO);
+        assert_eq!(q.len(), 2);
+        let out = q.dequeue(SimTime::ZERO);
+        assert_eq!(out.iter().map(|p| p.seq).collect::<Vec<_>>(), vec![1, 2]);
+        q.enqueue(pkt(3), SimTime::ZERO);
+        q.clear();
+        assert!(q.is_empty());
+    }
+}

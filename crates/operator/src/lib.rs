@@ -1,0 +1,40 @@
+//! Simulated human remote drivers for `rdsim`.
+//!
+//! The paper's test subjects are replaced by a parameterised
+//! perception–reaction–control model, [`HumanDriverModel`], implementing
+//! [`rdsim_core::OperatorSubsystem`]:
+//!
+//! * **perception** — the driver sees only the most recently *delivered*
+//!   video frame; network delay and packet loss make that percept stale
+//!   and jumpy, which is precisely the causal path the paper studies;
+//! * **reaction** — percepts become available for control only after the
+//!   subject's perception–reaction latency;
+//! * **lateral control** — a two-point visual steering law (near point
+//!   for lane position, far point for road curvature preview) with
+//!   intermittent updates, hold hysteresis and neuromuscular noise; video
+//!   disturbance raises the noise floor, reproducing the elevated
+//!   steering-reversal rates of the faulty runs;
+//! * **longitudinal control** — IDM-style gap regulation on the
+//!   *perceived* lead-vehicle gap plus an emergency-brake reflex, so stale
+//!   percepts translate into late braking, low TTC and collisions;
+//! * **instructions** — the test leader's verbal directions are modelled
+//!   as out-of-band [`Instruction`]s (they do not traverse the faulty
+//!   network).
+//!
+//! [`SubjectProfile`] captures the questionnaire-visible traits (gaming
+//! experience, racing games, station familiarity, handedness) and maps
+//! them to control parameters; [`Questionnaire`] generates the subjects'
+//! answers from their profile and measured run quality.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod driver;
+mod perception;
+mod profile;
+mod questionnaire;
+
+pub use driver::{DriverParams, HumanDriverModel, Instruction};
+pub use perception::{PerceivedScene, PerceptionState};
+pub use profile::{Experience, Familiarity, Handedness, SubjectProfile};
+pub use questionnaire::{Questionnaire, QuestionnaireSummary};

@@ -1,0 +1,227 @@
+//! Incremental construction of road networks.
+
+use crate::{Lane, LaneId, LaneKind, Polyline, RoadNetwork, SpawnPoint};
+use rdsim_units::{Meters, MetersPerSecond};
+
+/// Builder for [`RoadNetwork`].
+///
+/// # Examples
+///
+/// ```
+/// use rdsim_math::Vec2;
+/// use rdsim_roadnet::{LaneKind, Polyline, RoadNetworkBuilder};
+/// use rdsim_units::{Meters, MetersPerSecond};
+///
+/// let mut b = RoadNetworkBuilder::new("demo");
+/// let main = b.add_lane(
+///     LaneKind::Driving,
+///     Polyline::straight(Vec2::ZERO, Vec2::new(200.0, 0.0), Meters::new(2.0)),
+///     Meters::new(3.5),
+///     MetersPerSecond::from_kmh(50.0),
+/// );
+/// b.add_spawn_point("ego", main, Meters::new(10.0));
+/// let net = b.build();
+/// assert_eq!(net.lane_count(), 1);
+/// ```
+#[derive(Debug)]
+pub struct RoadNetworkBuilder {
+    name: String,
+    lanes: Vec<Lane>,
+    spawn_points: Vec<SpawnPoint>,
+}
+
+impl RoadNetworkBuilder {
+    /// Starts a new network with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        RoadNetworkBuilder {
+            name: name.into(),
+            lanes: Vec::new(),
+            spawn_points: Vec::new(),
+        }
+    }
+
+    /// Adds a lane and returns its id.
+    pub fn add_lane(
+        &mut self,
+        kind: LaneKind,
+        centerline: Polyline,
+        width: Meters,
+        speed_limit: MetersPerSecond,
+    ) -> LaneId {
+        let id = LaneId(self.lanes.len() as u32);
+        self.lanes
+            .push(Lane::new(id, kind, centerline, width, speed_limit));
+        id
+    }
+
+    /// Adds a parallel lane offset laterally from an existing lane's
+    /// centreline (positive = left of travel), inheriting kind/width/limit,
+    /// and links the two as neighbours. Returns the new lane's id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `of` is unknown or `offset` is zero.
+    pub fn add_parallel_lane(&mut self, of: LaneId, offset: Meters) -> LaneId {
+        assert!(offset.get().abs() > 1e-9, "offset must be non-zero");
+        let src = self
+            .lanes
+            .get(of.0 as usize)
+            .unwrap_or_else(|| panic!("{of} unknown"))
+            .clone();
+        let id = self.add_lane(
+            src.kind(),
+            src.centerline().offset(offset),
+            src.width(),
+            src.speed_limit(),
+        );
+        if offset.get() > 0.0 {
+            self.set_neighbors(of, Some(id), None);
+            self.set_neighbors(id, None, Some(of));
+        } else {
+            self.set_neighbors(of, None, Some(id));
+            self.set_neighbors(id, Some(of), None);
+        }
+        id
+    }
+
+    /// Declares that `to` continues from the end of `from`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either id is unknown.
+    pub fn connect(&mut self, from: LaneId, to: LaneId) {
+        assert!((to.0 as usize) < self.lanes.len(), "{to} unknown");
+        self.lanes
+            .get_mut(from.0 as usize)
+            .unwrap_or_else(|| panic!("{from} unknown"))
+            .push_successor(to);
+    }
+
+    /// Sets the left/right neighbours of a lane, keeping existing values
+    /// where `None` is passed only if never set. (Passing `Some` always
+    /// overwrites; passing `None` leaves the field untouched.)
+    pub fn set_neighbors(&mut self, lane: LaneId, left: Option<LaneId>, right: Option<LaneId>) {
+        let l = self
+            .lanes
+            .get_mut(lane.0 as usize)
+            .unwrap_or_else(|| panic!("{lane} unknown"));
+        if left.is_some() {
+            l.set_left_neighbor(left);
+        }
+        if right.is_some() {
+            l.set_right_neighbor(right);
+        }
+    }
+
+    /// Registers a labelled spawn point.
+    pub fn add_spawn_point(&mut self, name: impl Into<String>, lane: LaneId, s: Meters) {
+        self.spawn_points.push(SpawnPoint {
+            name: name.into(),
+            lane,
+            s,
+        });
+    }
+
+    /// Finalises the network.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any spawn point references an unknown lane or lies beyond
+    /// its lane's length.
+    pub fn build(self) -> RoadNetwork {
+        for sp in &self.spawn_points {
+            let lane = self
+                .lanes
+                .get(sp.lane.0 as usize)
+                .unwrap_or_else(|| panic!("spawn point '{}' references unknown {}", sp.name, sp.lane));
+            assert!(
+                sp.s.get() >= 0.0 && sp.s <= lane.length(),
+                "spawn point '{}' at {} outside lane length {}",
+                sp.name,
+                sp.s,
+                lane.length()
+            );
+        }
+        for lane in &self.lanes {
+            for succ in lane.successors() {
+                assert!(
+                    (succ.0 as usize) < self.lanes.len(),
+                    "successor {succ} unknown"
+                );
+            }
+        }
+        RoadNetwork::from_parts(self.name, self.lanes, self.spawn_points)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdsim_math::Vec2;
+
+    fn straight(y: f64) -> Polyline {
+        Polyline::straight(Vec2::new(0.0, y), Vec2::new(100.0, y), Meters::new(2.0))
+    }
+
+    #[test]
+    fn build_with_neighbors() {
+        let mut b = RoadNetworkBuilder::new("n");
+        let right = b.add_lane(
+            LaneKind::Driving,
+            straight(0.0),
+            Meters::new(3.5),
+            MetersPerSecond::from_kmh(50.0),
+        );
+        let left = b.add_parallel_lane(right, Meters::new(3.5));
+        let net = b.build();
+        assert_eq!(net.lane(right).left_neighbor(), Some(left));
+        assert_eq!(net.lane(left).right_neighbor(), Some(right));
+        assert_eq!(net.lane(left).left_neighbor(), None);
+        // Offset lane geometry is parallel.
+        let p = net.lane(left).pose_at(Meters::new(50.0)).position;
+        assert!((p.y - 3.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parallel_lane_right_side() {
+        let mut b = RoadNetworkBuilder::new("n");
+        let l0 = b.add_lane(
+            LaneKind::Highway,
+            straight(0.0),
+            Meters::new(3.75),
+            MetersPerSecond::from_kmh(110.0),
+        );
+        let r = b.add_parallel_lane(l0, Meters::new(-3.75));
+        let net = b.build();
+        assert_eq!(net.lane(l0).right_neighbor(), Some(r));
+        assert_eq!(net.lane(r).left_neighbor(), Some(l0));
+        assert_eq!(net.lane(r).kind(), LaneKind::Highway);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown")]
+    fn connect_unknown_panics() {
+        let mut b = RoadNetworkBuilder::new("n");
+        let a = b.add_lane(
+            LaneKind::Driving,
+            straight(0.0),
+            Meters::new(3.5),
+            MetersPerSecond::new(10.0),
+        );
+        b.connect(a, LaneId(9));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside lane length")]
+    fn bad_spawn_point_panics() {
+        let mut b = RoadNetworkBuilder::new("n");
+        let a = b.add_lane(
+            LaneKind::Driving,
+            straight(0.0),
+            Meters::new(3.5),
+            MetersPerSecond::new(10.0),
+        );
+        b.add_spawn_point("too-far", a, Meters::new(500.0));
+        let _ = b.build();
+    }
+}

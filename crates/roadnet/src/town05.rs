@@ -1,0 +1,255 @@
+//! The built-in test map, modelled on the paper's Operational Domain.
+//!
+//! The paper ran its scenarios in CARLA's *Town 5*: "a highway and
+//! multi-lane road network, day and night time conditions, and presence of
+//! one dynamic and a few static road users". This module provides a
+//! comparable OD: a closed two-lane ring (counter-clockwise) whose south
+//! side is an urban avenue (50 km/h, scene of the vehicle-following and
+//! slalom scenarios) and whose north side is a highway stretch (90 km/h,
+//! scene of the overtake scenario), joined by 90° curves.
+
+use crate::{LaneId, LaneKind, Polyline, RoadNetwork, RoadNetworkBuilder};
+use rdsim_math::Vec2;
+use rdsim_units::{Meters, MetersPerSecond, Radians};
+
+const LANE_WIDTH: f64 = 3.5;
+const CORNER_RADIUS: f64 = 50.0;
+const SPACING: f64 = 2.0;
+
+/// Builds the Town-5-like test map.
+///
+/// Layout (counter-clockwise ring, outer lane is lane 0 of each segment,
+/// inner lane is lane 1):
+///
+/// ```text
+///        (0,400)   highway (90 km/h)   (600,400)
+///          ┌──────────────────────────────┐
+///          │                              │
+///   west   │                              │  east
+///   link   │                              │  link
+///          │                              │
+///          └──────────────────────────────┘
+///        (0,0)    urban avenue (50 km/h)  (600,0)
+/// ```
+///
+/// Spawn points (all on the outer avenue lane unless noted):
+///
+/// * `ego-start` — start of the golden/faulty runs;
+/// * `lead-start` — the dynamic lead vehicle for vehicle-following;
+/// * `slalom-1..3` — stationary vehicles forcing lane changes;
+/// * `overtake-slow` — slow vehicle on the highway (outer lane);
+/// * `cyclist-1`, `cyclist-2` — the two "false" cyclist cases;
+/// * `training-start` — used for the free-driving training step.
+pub fn town05() -> RoadNetwork {
+    let mut b = RoadNetworkBuilder::new("town05");
+
+    let south = Polyline::straight(Vec2::ZERO, Vec2::new(600.0, 0.0), Meters::new(SPACING));
+    let corner_se = arc(600.0, CORNER_RADIUS, -0.25);
+    let east = Polyline::straight(
+        Vec2::new(650.0, 50.0),
+        Vec2::new(650.0, 350.0),
+        Meters::new(SPACING),
+    );
+    let corner_ne = arc_at(Vec2::new(600.0, 350.0), 0.0);
+    let north = Polyline::straight(
+        Vec2::new(600.0, 400.0),
+        Vec2::new(0.0, 400.0),
+        Meters::new(SPACING),
+    );
+    let corner_nw = arc_at(Vec2::new(0.0, 350.0), 0.25);
+    let west = Polyline::straight(
+        Vec2::new(-50.0, 350.0),
+        Vec2::new(-50.0, 50.0),
+        Meters::new(SPACING),
+    );
+    let corner_sw = arc_at(Vec2::new(0.0, 50.0), 0.5);
+
+    let urban = MetersPerSecond::from_kmh(50.0);
+    let highway = MetersPerSecond::from_kmh(90.0);
+
+    let segments: Vec<(Polyline, LaneKind, MetersPerSecond)> = vec![
+        (south, LaneKind::Driving, urban),
+        (corner_se, LaneKind::Driving, urban),
+        (east, LaneKind::Driving, urban),
+        (corner_ne, LaneKind::Driving, urban),
+        (north, LaneKind::Highway, highway),
+        (corner_nw, LaneKind::Driving, urban),
+        (west, LaneKind::Driving, urban),
+        (corner_sw, LaneKind::Driving, urban),
+    ];
+
+    let mut outer: Vec<LaneId> = Vec::new();
+    let mut inner: Vec<LaneId> = Vec::new();
+    for (line, kind, limit) in segments {
+        let o = b.add_lane(kind, line, Meters::new(LANE_WIDTH), limit);
+        let i = b.add_parallel_lane(o, Meters::new(LANE_WIDTH));
+        outer.push(o);
+        inner.push(i);
+    }
+    let n = outer.len();
+    for k in 0..n {
+        let next = (k + 1) % n;
+        b.connect(outer[k], outer[next]);
+        b.connect(inner[k], inner[next]);
+    }
+
+    // South avenue spawn points (segment 0).
+    let avenue = outer[0];
+    b.add_spawn_point("ego-start", avenue, Meters::new(20.0));
+    b.add_spawn_point("lead-start", avenue, Meters::new(60.0));
+    b.add_spawn_point("slalom-1", avenue, Meters::new(250.0));
+    b.add_spawn_point("slalom-2", avenue, Meters::new(300.0));
+    b.add_spawn_point("slalom-3", avenue, Meters::new(350.0));
+    b.add_spawn_point("cyclist-1", avenue, Meters::new(430.0));
+    b.add_spawn_point("cyclist-2", avenue, Meters::new(520.0));
+    // Highway spawn points (segment 4).
+    b.add_spawn_point("overtake-slow", outer[4], Meters::new(150.0));
+    b.add_spawn_point("highway-entry", outer[4], Meters::new(10.0));
+    // Training uses the west link, far from all scenario traffic.
+    b.add_spawn_point("training-start", outer[6], Meters::new(10.0));
+
+    b.build()
+}
+
+/// Corner arc helper for the legacy south-east corner signature.
+fn arc(x: f64, r: f64, start_turns: f64) -> Polyline {
+    arc_at(Vec2::new(x, r), start_turns)
+}
+
+/// A 90° counter-clockwise corner arc around `center`, starting at
+/// `start_turns` full turns (e.g. `-0.25` = angle −π/2).
+fn arc_at(center: Vec2, start_turns: f64) -> Polyline {
+    Polyline::arc(
+        center,
+        Meters::new(CORNER_RADIUS),
+        Radians::new(start_turns * std::f64::consts::TAU),
+        Radians::new(std::f64::consts::FRAC_PI_2),
+        Meters::new(SPACING),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LanePosition;
+
+    #[test]
+    fn map_has_sixteen_lanes() {
+        let net = town05();
+        assert_eq!(net.lane_count(), 16);
+        assert_eq!(net.name(), "town05");
+    }
+
+    #[test]
+    fn ring_is_closed_for_both_lane_chains() {
+        let net = town05();
+        // Outer chain: even ids; inner chain: odd ids. Walk the full ring
+        // and confirm we return to the start.
+        for start in [LaneId(0), LaneId(1)] {
+            let mut lane = start;
+            for _ in 0..8 {
+                let succ = net.lane(lane).successors();
+                assert_eq!(succ.len(), 1, "{lane} should have exactly one successor");
+                lane = succ[0];
+            }
+            assert_eq!(lane, start, "chain from {start} must close");
+        }
+    }
+
+    #[test]
+    fn geometry_is_continuous_at_joints() {
+        let net = town05();
+        for lane in net.lanes() {
+            for &succ in lane.successors() {
+                let end = lane.pose_at(lane.length()).position;
+                let start = net.lane(succ).pose_at(Meters::ZERO).position;
+                let gap = end.distance(start);
+                assert!(
+                    gap < 0.6,
+                    "gap {gap:.3} m between {} and {succ}",
+                    lane.id()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn neighbors_are_symmetric() {
+        let net = town05();
+        for lane in net.lanes() {
+            if let Some(left) = lane.left_neighbor() {
+                assert_eq!(net.lane(left).right_neighbor(), Some(lane.id()));
+            }
+            if let Some(right) = lane.right_neighbor() {
+                assert_eq!(net.lane(right).left_neighbor(), Some(lane.id()));
+            }
+        }
+    }
+
+    #[test]
+    fn expected_spawn_points_exist() {
+        let net = town05();
+        for name in [
+            "ego-start",
+            "lead-start",
+            "slalom-1",
+            "slalom-2",
+            "slalom-3",
+            "cyclist-1",
+            "cyclist-2",
+            "overtake-slow",
+            "highway-entry",
+            "training-start",
+        ] {
+            assert!(net.spawn_point(name).is_some(), "missing spawn '{name}'");
+        }
+    }
+
+    #[test]
+    fn highway_segment_is_fast() {
+        let net = town05();
+        let hw = net.spawn_point("overtake-slow").unwrap();
+        let lane = net.lane(hw.lane);
+        assert_eq!(lane.kind(), LaneKind::Highway);
+        assert!((lane.speed_limit().to_kmh() - 90.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lead_is_ahead_of_ego() {
+        let net = town05();
+        let ego = net.spawn_point("ego-start").unwrap();
+        let lead = net.spawn_point("lead-start").unwrap();
+        let gap = net
+            .gap_along(
+                LanePosition::new(ego.lane, ego.s),
+                LanePosition::new(lead.lane, lead.s),
+                Meters::new(200.0),
+            )
+            .unwrap();
+        assert!((gap.get() - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ring_total_length_plausible() {
+        let net = town05();
+        let outer_total: f64 = (0..8)
+            .map(|k| net.lane(LaneId(2 * k)).length().get())
+            .sum();
+        // 2*600 + 2*300 straights + 4 quarter-circles of r=50.
+        let expected = 2.0 * 600.0 + 2.0 * 300.0 + 4.0 * 50.0 * std::f64::consts::FRAC_PI_2;
+        assert!(
+            (outer_total - expected).abs() < 5.0,
+            "outer ring length {outer_total:.1} vs expected {expected:.1}"
+        );
+    }
+
+    #[test]
+    fn projection_prefers_local_lane() {
+        let net = town05();
+        // A point on the south avenue's inner lane centre.
+        let p = Vec2::new(300.0, LANE_WIDTH);
+        let proj = net.project(p).unwrap();
+        assert_eq!(proj.position.lane, LaneId(1));
+        assert!(proj.lateral.get().abs() < 0.1);
+    }
+}

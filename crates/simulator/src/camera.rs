@@ -1,0 +1,225 @@
+//! The camera sensor: produces video frames at 25–30 fps.
+
+use crate::{encode_frame, WorldSnapshot};
+use bytes::Bytes;
+use rdsim_math::RngStream;
+use rdsim_units::{Hertz, SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Camera configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CameraConfig {
+    /// Lower bound of the frame rate band.
+    pub min_fps: Hertz,
+    /// Upper bound of the frame rate band.
+    pub max_fps: Hertz,
+    /// Synthetic encoded-frame size in bytes (compressed-video stand-in).
+    pub frame_bytes: usize,
+}
+
+impl Default for CameraConfig {
+    /// The paper's rig: "the video frame rate of the simulator was in the
+    /// range of 25 to 30 frames per second", streamed at roughly the
+    /// bitrate of a compressed WQHD feed.
+    fn default() -> Self {
+        CameraConfig {
+            min_fps: Hertz::new(25.0),
+            max_fps: Hertz::new(30.0),
+            frame_bytes: 20_000,
+        }
+    }
+}
+
+impl CameraConfig {
+    /// A fixed frame rate (no jitter), useful in tests.
+    pub fn fixed(fps: Hertz, frame_bytes: usize) -> Self {
+        CameraConfig {
+            min_fps: fps,
+            max_fps: fps,
+            frame_bytes,
+        }
+    }
+}
+
+/// A captured video frame: the encoded payload plus capture metadata.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VideoFrame {
+    /// Monotone frame id.
+    pub frame_id: u64,
+    /// Capture time.
+    pub captured_at: SimTime,
+    /// Encoded (and padded) snapshot bytes; see [`crate::decode_frame`].
+    pub payload: Bytes,
+}
+
+impl VideoFrame {
+    /// Payload size in bytes.
+    pub fn len(&self) -> usize {
+        self.payload.len()
+    }
+
+    /// `true` if the payload is empty (never for camera output).
+    pub fn is_empty(&self) -> bool {
+        self.payload.is_empty()
+    }
+}
+
+/// Generates frames whenever the simulation clock passes the next capture
+/// instant. Frame spacing is drawn uniformly from the configured fps band,
+/// which reproduces the mild frame-time variability of the real rig.
+#[derive(Debug)]
+pub struct CameraSensor {
+    config: CameraConfig,
+    rng: RngStream,
+    next_capture: SimTime,
+    next_frame_id: u64,
+}
+
+impl CameraSensor {
+    /// Creates a camera; the first frame is captured at time zero.
+    pub fn new(config: CameraConfig, rng: RngStream) -> Self {
+        CameraSensor {
+            config,
+            rng,
+            next_capture: SimTime::ZERO,
+            next_frame_id: 0,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &CameraConfig {
+        &self.config
+    }
+
+    /// Number of frames captured so far.
+    pub fn frames_captured(&self) -> u64 {
+        self.next_frame_id
+    }
+
+    /// Time of the next capture.
+    pub fn next_capture(&self) -> SimTime {
+        self.next_capture
+    }
+
+    /// Captures zero or more frames up to time `now`. The caller provides
+    /// the scene via `snapshot_fn`, which is invoked once per captured
+    /// frame with the capture timestamp and frame id already filled in by
+    /// the caller's world state.
+    ///
+    /// In practice the world advances in 20 ms steps while frames are
+    /// ~33–40 ms apart, so this returns zero or one frame per step.
+    pub fn poll(
+        &mut self,
+        now: SimTime,
+        mut snapshot_fn: impl FnMut() -> WorldSnapshot,
+    ) -> Vec<VideoFrame> {
+        let mut frames = Vec::new();
+        while self.next_capture <= now {
+            let captured_at = self.next_capture;
+            let mut snapshot = snapshot_fn();
+            snapshot.time = captured_at;
+            snapshot.frame_id = self.next_frame_id;
+            let payload = encode_frame(&snapshot, self.config.frame_bytes);
+            frames.push(VideoFrame {
+                frame_id: self.next_frame_id,
+                captured_at,
+                payload,
+            });
+            self.next_frame_id += 1;
+            let fps = self
+                .rng
+                .uniform_range(self.config.min_fps.get(), self.config.max_fps.get());
+            let period = SimDuration::from_secs_f64(1.0 / fps.max(1e-3));
+            self.next_capture = self.next_capture + period.max(SimDuration::from_micros(1));
+        }
+        frames
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decode_frame;
+
+    fn empty_snapshot() -> WorldSnapshot {
+        WorldSnapshot {
+            time: SimTime::ZERO,
+            frame_id: 0,
+            ego: None,
+            others: Vec::new(),
+        }
+    }
+
+    fn camera(cfg: CameraConfig) -> CameraSensor {
+        CameraSensor::new(cfg, RngStream::from_seed(5).substream("camera"))
+    }
+
+    #[test]
+    fn captures_at_fixed_rate() {
+        let mut cam = camera(CameraConfig::fixed(Hertz::new(25.0), 1000));
+        // Step 1 s in 20 ms increments; expect 25 frames (t=0 inclusive).
+        let mut frames = Vec::new();
+        for k in 0..=50 {
+            let now = SimTime::from_millis(k * 20);
+            frames.extend(cam.poll(now, empty_snapshot));
+        }
+        assert_eq!(frames.len(), 26); // t = 0.00, 0.04, ..., 1.00
+        assert_eq!(frames[0].frame_id, 0);
+        assert_eq!(frames[25].frame_id, 25);
+        assert_eq!(frames[25].captured_at, SimTime::from_secs(1));
+        assert_eq!(cam.frames_captured(), 26);
+    }
+
+    #[test]
+    fn frame_rate_band_respected() {
+        let mut cam = camera(CameraConfig::default());
+        let mut times = Vec::new();
+        for k in 0..2500 {
+            let now = SimTime::from_millis(k * 20);
+            for f in cam.poll(now, empty_snapshot) {
+                times.push(f.captured_at);
+            }
+        }
+        assert!(times.len() > 1000, "≈27.5 fps over 50 s");
+        for w in times.windows(2) {
+            let gap = (w[1] - w[0]).as_millis_f64();
+            assert!(
+                (1000.0 / 30.0 - 1e-6..=1000.0 / 25.0 + 1e-6).contains(&gap),
+                "inter-frame gap {gap} ms outside [33.3, 40]"
+            );
+        }
+        let span = (times[times.len() - 1] - times[0]).as_secs_f64();
+        let fps = (times.len() - 1) as f64 / span;
+        assert!((25.0..=30.0).contains(&fps), "measured fps {fps}");
+    }
+
+    #[test]
+    fn payload_is_decodable_and_padded() {
+        let mut cam = camera(CameraConfig::fixed(Hertz::new(30.0), 20_000));
+        let frames = cam.poll(SimTime::ZERO, empty_snapshot);
+        assert_eq!(frames.len(), 1);
+        assert_eq!(frames[0].len(), 20_000);
+        assert!(!frames[0].is_empty());
+        let snap = decode_frame(&frames[0].payload).unwrap();
+        assert_eq!(snap.frame_id, 0);
+        assert_eq!(snap.time, SimTime::ZERO);
+    }
+
+    #[test]
+    fn no_capture_before_due() {
+        let mut cam = camera(CameraConfig::fixed(Hertz::new(25.0), 100));
+        assert_eq!(cam.poll(SimTime::ZERO, empty_snapshot).len(), 1);
+        // Next frame due at 40 ms.
+        assert!(cam.poll(SimTime::from_millis(39), empty_snapshot).is_empty());
+        assert_eq!(cam.next_capture(), SimTime::from_millis(40));
+        assert_eq!(cam.poll(SimTime::from_millis(40), empty_snapshot).len(), 1);
+    }
+
+    #[test]
+    fn coarse_poll_catches_up() {
+        let mut cam = camera(CameraConfig::fixed(Hertz::new(25.0), 100));
+        // Jumping 200 ms in one poll yields all missed frames.
+        let frames = cam.poll(SimTime::from_millis(200), empty_snapshot);
+        assert_eq!(frames.len(), 6); // t = 0, 40, ..., 200
+    }
+}

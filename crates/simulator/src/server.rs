@@ -1,0 +1,227 @@
+//! The CARLA-style server facade: the "vehicle subsystem" plant.
+
+use crate::{CameraConfig, CameraSensor, VideoFrame, World};
+use rdsim_math::RngStream;
+use rdsim_units::{SimDuration, SimTime};
+use rdsim_vehicle::ControlInput;
+
+/// Wraps a [`World`] behind the interface the RDS stack talks to: driving
+/// commands go in, video frames come out.
+///
+/// Mirroring the paper's setup (which deliberately has *no* safety
+/// measures against network disturbances), the server simply keeps
+/// applying the most recently received command — stale commands are
+/// exactly how delay and loss degrade control. An optional neutral-fallback
+/// timeout is provided as the hook where a safety measure would go.
+#[derive(Debug)]
+pub struct SimulatorServer {
+    world: World,
+    camera: CameraSensor,
+    last_command: ControlInput,
+    last_command_at: Option<SimTime>,
+    commands_applied: u64,
+    /// If set, revert to a neutral coasting command when no command has
+    /// arrived for this long (a candidate safety measure; off by default).
+    neutral_fallback_after: Option<SimDuration>,
+}
+
+impl SimulatorServer {
+    /// Creates a server around a world.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the world has no ego vehicle — the server exists to drive
+    /// one.
+    pub fn new(world: World, camera_config: CameraConfig, seed: u64) -> Self {
+        assert!(
+            world.ego_id().is_some(),
+            "SimulatorServer requires a spawned ego vehicle"
+        );
+        SimulatorServer {
+            world,
+            camera: CameraSensor::new(
+                camera_config,
+                RngStream::from_seed(seed).substream("server-camera"),
+            ),
+            last_command: ControlInput::COAST,
+            last_command_at: None,
+            commands_applied: 0,
+            neutral_fallback_after: None,
+        }
+    }
+
+    /// Enables the neutral-fallback safety hook.
+    pub fn set_neutral_fallback(&mut self, after: Option<SimDuration>) {
+        self.neutral_fallback_after = after;
+    }
+
+    /// The wrapped world.
+    pub fn world(&self) -> &World {
+        &self.world
+    }
+
+    /// Mutable access to the wrapped world (scenario setup, meta-commands).
+    pub fn world_mut(&mut self) -> &mut World {
+        &mut self.world
+    }
+
+    /// Applies a driving command received from the operator subsystem.
+    pub fn apply_command(&mut self, command: ControlInput) {
+        self.last_command = command.sanitized();
+        self.last_command_at = Some(self.world.time());
+        self.commands_applied += 1;
+    }
+
+    /// The command currently being applied.
+    pub fn active_command(&self) -> ControlInput {
+        self.last_command
+    }
+
+    /// Number of commands applied so far.
+    pub fn commands_applied(&self) -> u64 {
+        self.commands_applied
+    }
+
+    /// Time since the last command arrived, if any has.
+    pub fn command_age(&self) -> Option<SimDuration> {
+        self.last_command_at
+            .map(|t| self.world.time().saturating_since(t))
+    }
+
+    /// Advances the simulation by `dt`, applying the active command to the
+    /// ego, and returns any video frames captured during the step.
+    pub fn tick(&mut self, dt: SimDuration) -> Vec<VideoFrame> {
+        let ego = self.world.ego_id().expect("checked at construction");
+        let mut command = self.last_command;
+        if let (Some(timeout), Some(at)) = (self.neutral_fallback_after, self.last_command_at) {
+            if self.world.time().saturating_since(at) > timeout {
+                command = ControlInput::COAST;
+            }
+        }
+        self.world.set_external_control(ego, command);
+        self.world.step(dt);
+        let now = self.world.time();
+        // Borrow dance: snapshot needs &world while camera is &mut self.
+        let world = &self.world;
+        let frames = self.camera.poll(now, || world.snapshot());
+        if let Some(last) = frames.last() {
+            self.world.set_frame_hint(last.frame_id);
+        }
+        frames
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{decode_frame, ActorKind, Behavior};
+    use rdsim_roadnet::town05;
+    use rdsim_units::{Hertz, MetersPerSecond};
+    use rdsim_vehicle::VehicleSpec;
+
+    const DT: SimDuration = SimDuration::from_millis(20);
+
+    fn server() -> SimulatorServer {
+        let mut world = World::new(town05(), 7);
+        world.spawn_ego_at("ego-start", VehicleSpec::passenger_car());
+        world.spawn_npc_at(
+            "lead-start",
+            ActorKind::Vehicle,
+            VehicleSpec::passenger_car(),
+            Behavior::Stationary,
+            MetersPerSecond::ZERO,
+        );
+        SimulatorServer::new(world, CameraConfig::fixed(Hertz::new(25.0), 2_000), 7)
+    }
+
+    #[test]
+    #[should_panic(expected = "requires a spawned ego")]
+    fn server_without_ego_panics() {
+        let world = World::new(town05(), 7);
+        let _ = SimulatorServer::new(world, CameraConfig::default(), 7);
+    }
+
+    #[test]
+    fn commands_drive_the_ego() {
+        let mut srv = server();
+        srv.apply_command(ControlInput::full_throttle());
+        for _ in 0..100 {
+            srv.tick(DT);
+        }
+        let ego = srv.world().ego_id().unwrap();
+        assert!(srv.world().actor(ego).state().speed.get() > 3.0);
+        assert_eq!(srv.commands_applied(), 1);
+        assert_eq!(srv.active_command(), ControlInput::full_throttle());
+    }
+
+    #[test]
+    fn stale_command_keeps_applying() {
+        // No safety measures: the last command persists — the failure mode
+        // the paper studies.
+        let mut srv = server();
+        srv.apply_command(ControlInput::full_throttle());
+        for _ in 0..250 {
+            srv.tick(DT);
+        }
+        assert!(srv.command_age().unwrap() >= SimDuration::from_secs(4));
+        let ego = srv.world().ego_id().unwrap();
+        assert!(srv.world().actor(ego).state().speed.get() > 10.0);
+    }
+
+    #[test]
+    fn neutral_fallback_hook() {
+        let mut srv = server();
+        srv.set_neutral_fallback(Some(SimDuration::from_millis(500)));
+        srv.apply_command(ControlInput::full_throttle());
+        for _ in 0..500 {
+            srv.tick(DT);
+        }
+        // After the fallback triggers, the car coasts down.
+        let ego = srv.world().ego_id().unwrap();
+        let v_fallback = srv.world().actor(ego).state().speed.get();
+        let mut srv2 = server();
+        srv2.apply_command(ControlInput::full_throttle());
+        for _ in 0..500 {
+            srv2.tick(DT);
+        }
+        let ego2 = srv2.world().ego_id().unwrap();
+        let v_no_fallback = srv2.world().actor(ego2).state().speed.get();
+        assert!(
+            v_fallback < v_no_fallback - 1.0,
+            "fallback {v_fallback} vs none {v_no_fallback}"
+        );
+    }
+
+    #[test]
+    fn frames_stream_at_camera_rate() {
+        let mut srv = server();
+        let mut frames = Vec::new();
+        for _ in 0..100 {
+            frames.extend(srv.tick(DT));
+        }
+        // 2 s at 25 fps = 50 frames.
+        assert!((48..=52).contains(&frames.len()), "{} frames", frames.len());
+        // Frames decode and contain the scene.
+        let snap = decode_frame(&frames[10].payload).unwrap();
+        assert!(snap.ego.is_some());
+        assert_eq!(snap.others.len(), 1);
+        // Frame ids are monotone.
+        for w in frames.windows(2) {
+            assert!(w[1].frame_id > w[0].frame_id);
+        }
+    }
+
+    #[test]
+    fn frame_hint_propagates_to_events() {
+        let mut srv = server();
+        srv.apply_command(ControlInput::full_throttle());
+        let mut steps = 0;
+        while srv.world().collision_count() == 0 && steps < 2000 {
+            srv.tick(DT);
+            steps += 1;
+        }
+        let events = srv.world_mut().drain_collisions();
+        assert_eq!(events.len(), 1);
+        assert!(events[0].frame_id > 0, "event carries the camera frame id");
+    }
+}

@@ -1,0 +1,45 @@
+//! Typed physical quantities and simulation time for the `rdsim` workspace.
+//!
+//! Every quantity that crosses a crate boundary in `rdsim` is a newtype over
+//! `f64` (or `u64` for discrete time ticks) so that metres can never be added
+//! to seconds and steering angles can never be confused with headings.
+//!
+//! # Examples
+//!
+//! ```
+//! use rdsim_units::{Meters, MetersPerSecond, Seconds};
+//!
+//! let gap = Meters::new(42.0);
+//! let closing = MetersPerSecond::new(6.0);
+//! let ttc: Seconds = gap / closing;
+//! assert!((ttc.get() - 7.0).abs() < 1e-12);
+//! ```
+//!
+//! The simulation clock lives in [`SimTime`] / [`SimDuration`], which count
+//! integer **microseconds** so that fixed-step loops never accumulate
+//! floating-point drift.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod quantities;
+mod time;
+
+pub use quantities::{
+    Degrees, Hertz, Meters, MetersPerSecond, MetersPerSecond2, Millis, Radians, Ratio, Seconds,
+};
+pub use time::{SimDuration, SimTime};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn public_types_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Meters>();
+        assert_send_sync::<Seconds>();
+        assert_send_sync::<SimTime>();
+        assert_send_sync::<SimDuration>();
+    }
+}
