@@ -1,7 +1,7 @@
 //! E5–E7: Fig. 4 steering profiles, collision analysis, questionnaire.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use rdsim_bench::fixture_pair;
+use rdsim_bench::fixture_outputs;
 use rdsim_math::RngStream;
 use rdsim_metrics::{traversal_time, CollisionAnalysis, SteeringProfile};
 use rdsim_operator::{Questionnaire, QuestionnaireSummary, SubjectProfile};
@@ -9,18 +9,35 @@ use rdsim_units::SimDuration;
 use std::hint::black_box;
 
 fn benches(c: &mut Criterion) {
-    let (golden, faulty) = fixture_pair(7);
+    let (golden_out, faulty_out) = fixture_outputs(7);
 
-    // Headline: the Fig. 4 comparison for the fixture subject.
+    // Headline: the Fig. 4 comparison for the fixture subject, plus the
+    // faulty run's pipeline ages straight from its telemetry.
+    let golden = golden_out.record;
+    let faulty = faulty_out.record;
     let gp = SteeringProfile::extract("golden run", &golden.log, 100.0, 240.0);
     let fp = SteeringProfile::extract("faulty run", &faulty.log, 100.0, 240.0);
     println!(
-        "\n[fig4] golden rms {:.3} traversal {:?} | faulty rms {:.3} traversal {:?}\n",
+        "\n[fig4] golden rms {:.3} traversal {:?} | faulty rms {:.3} traversal {:?}",
         gp.rms(),
         gp.traversal,
         fp.rms(),
         fp.traversal
     );
+    let t = &faulty_out.telemetry;
+    if let (Some(fa), Some(ca)) = (
+        t.histogram("session.frame_age_us"),
+        t.histogram("session.command_age_us"),
+    ) {
+        println!(
+            "[fig4] faulty run: frame age p50/p99 {}/{} µs, command age p50/p99 {}/{} µs, {:.0} steps/s\n",
+            fa.p50(),
+            fa.p99(),
+            ca.p50(),
+            ca.p99(),
+            t.steps_per_sec("session.steps")
+        );
+    }
 
     let mut g = c.benchmark_group("figures");
     g.sample_size(30);

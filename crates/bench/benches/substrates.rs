@@ -7,10 +7,8 @@ use rdsim_math::{ButterworthLowPass, RngStream, Sample};
 use rdsim_metrics::{steering_reversal_rate, ttc_series, SrrConfig, TtcConfig};
 use rdsim_netem::{NetemConfig, NetemQdisc, Packet, PacketKind, Qdisc};
 use rdsim_roadnet::town05;
-use rdsim_simulator::{
-    decode_frame, encode_frame, ActorKind, Behavior, LaneFollowConfig, World,
-};
-use rdsim_units::{Hertz, Millis, MetersPerSecond, Ratio, Seconds, SimDuration, SimTime};
+use rdsim_simulator::{decode_frame, encode_frame, ActorKind, Behavior, LaneFollowConfig, World};
+use rdsim_units::{Hertz, MetersPerSecond, Millis, Ratio, Seconds, SimDuration, SimTime};
 use rdsim_vehicle::{ControlInput, KinematicBicycle, VehicleSpec, VehicleState};
 use std::hint::black_box;
 

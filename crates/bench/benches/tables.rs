@@ -6,15 +6,16 @@
 //! as a smoke regeneration of the experiments.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use rdsim_bench::{bench_config, fixture_pair};
+use rdsim_bench::{bench_config, fixture_outputs, fixture_pair};
 use rdsim_core::{PaperFault, RunKind};
 use rdsim_experiments::{paper_roster, run_protocol, StudyResults};
 use rdsim_metrics::{SrrConfig, TtcConfig};
+use rdsim_obs::RunTelemetry;
 use rdsim_operator::SubjectProfile;
 use std::hint::black_box;
 
 fn mini_study(seed: u64) -> StudyResults {
-    let (golden, faulty) = fixture_pair(seed);
+    let (golden, faulty) = fixture_outputs(seed);
     let mut roster = paper_roster();
     // Map the fixture subject onto T5's roster slot so the generators see
     // an analysable subject.
@@ -23,23 +24,32 @@ fn mini_study(seed: u64) -> StudyResults {
             entry.profile.id = "bench".to_owned();
         }
     }
+    let mut telemetry = RunTelemetry::default();
+    telemetry.merge(&golden.telemetry);
+    telemetry.merge(&faulty.telemetry);
     StudyResults {
         roster,
-        records: vec![golden, faulty],
+        records: vec![golden.record, faulty.record],
         questionnaires: Vec::new(),
+        telemetry,
     }
 }
 
 fn benches(c: &mut Criterion) {
     let study = mini_study(42);
 
-    // Headline rows, printed once.
+    // Headline rows, printed once, followed by the fixture runs' pipeline
+    // telemetry (in place of the former ad-hoc debug prints).
     let t2 = rdsim_experiments::table2(&study);
     let t3 = rdsim_experiments::table3(&study, &TtcConfig::default());
     let t4 = rdsim_experiments::table4(&study, &SrrConfig::default());
-    println!("\n[table2] {} row(s); first: {:?}", t2.len(), t2.first());
-    println!("[table3] {} row(s)", t3.len());
-    println!("[table4] {} row(s); first: {:?}\n", t4.len(), t4.first());
+    println!(
+        "\n[tables] table2 {} row(s), table3 {} row(s), table4 {} row(s)",
+        t2.len(),
+        t3.len(),
+        t4.len()
+    );
+    println!("[tables] fixture {}", study.telemetry.report());
 
     let mut g = c.benchmark_group("tables");
     g.sample_size(20);

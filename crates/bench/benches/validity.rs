@@ -9,7 +9,7 @@ use rdsim_core::RunKind;
 use rdsim_experiments::{run_protocol, ScenarioConfig};
 use rdsim_netem::NetemConfig;
 use rdsim_operator::SubjectProfile;
-use rdsim_units::{Millis, MetersPerSecond, Ratio, SimDuration};
+use rdsim_units::{MetersPerSecond, Millis, Ratio, SimDuration};
 use rdsim_vehicle::VehicleSpec;
 use std::hint::black_box;
 
@@ -54,12 +54,23 @@ fn headline() {
                 Some(NetemConfig::default().with_loss(Ratio::from_percent(10.0))),
             ),
         ] {
-            let cfg = point_config(vehicle.clone(), fault);
+            let cfg = ScenarioConfig {
+                telemetry: true,
+                ..point_config(vehicle.clone(), fault)
+            };
             let out = run_protocol(&profile, RunKind::Golden, 5, &cfg);
+            // Feed quality straight from the run's telemetry.
+            let frame_age_p50 = out
+                .telemetry
+                .histogram("session.frame_age_us")
+                .map_or(0, |h| h.p50());
             println!(
-                "  {plant:<14} {label:<12} progress {:>6.1} m  collided {}",
+                "  {plant:<14} {label:<12} progress {:>6.1} m  collided {}  \
+                 frame age p50 {:>7} µs  {:>6.0} steps/s",
                 out.progress,
-                out.record.log.collided()
+                out.record.log.collided(),
+                frame_age_p50,
+                out.telemetry.steps_per_sec("session.steps"),
             );
         }
     }

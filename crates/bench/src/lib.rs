@@ -16,7 +16,7 @@
 #![warn(missing_docs)]
 
 use rdsim_core::{RunKind, RunRecord};
-use rdsim_experiments::{run_protocol, ScenarioConfig};
+use rdsim_experiments::{run_protocol, RunOutput, ScenarioConfig};
 use rdsim_operator::SubjectProfile;
 use rdsim_units::SimDuration;
 
@@ -32,13 +32,24 @@ pub fn bench_config() -> ScenarioConfig {
     }
 }
 
+/// Runs one golden/faulty output pair for fixtures, with telemetry
+/// enabled so the benches can report from [`RunOutput::telemetry`]
+/// instead of ad-hoc printouts.
+pub fn fixture_outputs(seed: u64) -> (RunOutput, RunOutput) {
+    let profile = SubjectProfile::typical("bench");
+    let cfg = ScenarioConfig {
+        telemetry: true,
+        ..bench_config()
+    };
+    let golden = run_protocol(&profile, RunKind::Golden, seed, &cfg);
+    let faulty = run_protocol(&profile, RunKind::Faulty, seed, &cfg);
+    (golden, faulty)
+}
+
 /// Runs one golden/faulty record pair for fixtures.
 pub fn fixture_pair(seed: u64) -> (RunRecord, RunRecord) {
-    let profile = SubjectProfile::typical("bench");
-    let cfg = bench_config();
-    let golden = run_protocol(&profile, RunKind::Golden, seed, &cfg).record;
-    let faulty = run_protocol(&profile, RunKind::Faulty, seed, &cfg).record;
-    (golden, faulty)
+    let (golden, faulty) = fixture_outputs(seed);
+    (golden.record, faulty.record)
 }
 
 #[cfg(test)]

@@ -180,10 +180,7 @@ mod tests {
         let mut rng = RngStream::from_seed(5).substream("sched");
         let sched = random_schedule(&mut rng, &points(20));
         let rec = RunRecord::new("T5", RunKind::Faulty, RunLog::new(), sched);
-        let total: usize = PaperFault::ALL
-            .iter()
-            .map(|&f| rec.fault_count(f))
-            .sum();
+        let total: usize = PaperFault::ALL.iter().map(|&f| rec.fault_count(f)).sum();
         assert_eq!(total, rec.total_faults());
         assert_eq!(rec.total_faults(), 20);
         for f in PaperFault::ALL {

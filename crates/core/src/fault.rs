@@ -131,16 +131,17 @@ impl PaperFault {
     /// Identifies the paper fault matching a NETEM rule, if any — used to
     /// attribute injector-log entries back to table columns.
     pub fn from_config(config: &NetemConfig) -> Option<PaperFault> {
-        PaperFault::ALL
-            .into_iter()
-            .find(|f| f.config() == *config)
+        PaperFault::ALL.into_iter().find(|f| f.config() == *config)
     }
 
     /// The discarded candidate faults (corruption and duplication), kept
     /// testable so the discard decision itself can be reproduced.
     pub fn discarded_candidates() -> Vec<FaultSpec> {
         vec![
-            FaultSpec::new("corrupt-0.5%", FaultKind::Corruption(Ratio::from_percent(0.5))),
+            FaultSpec::new(
+                "corrupt-0.5%",
+                FaultKind::Corruption(Ratio::from_percent(0.5)),
+            ),
             FaultSpec::new("dup-1%", FaultKind::Duplication(Ratio::from_percent(1.0))),
         ]
     }
@@ -191,15 +192,15 @@ mod tests {
         for f in PaperFault::ALL {
             assert_eq!(PaperFault::from_config(&f.config()), Some(f));
         }
-        assert_eq!(
-            PaperFault::from_config(&NetemConfig::passthrough()),
-            None
-        );
+        assert_eq!(PaperFault::from_config(&NetemConfig::passthrough()), None);
     }
 
     #[test]
     fn kind_display() {
-        assert_eq!(format!("{}", FaultKind::Delay(Millis::new(25.0))), "delay 25ms");
+        assert_eq!(
+            format!("{}", FaultKind::Delay(Millis::new(25.0))),
+            "delay 25ms"
+        );
         assert_eq!(
             format!("{}", FaultKind::PacketLoss(Ratio::from_percent(5.0))),
             "loss 5%"

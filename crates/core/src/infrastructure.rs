@@ -82,7 +82,12 @@ impl InfrastructureSubsystem {
             time: snapshot.time,
             frame_id: snapshot.frame_id,
             ego: snapshot.ego,
-            others: snapshot.others.iter().filter(|a| visible(a)).copied().collect(),
+            others: snapshot
+                .others
+                .iter()
+                .filter(|a| visible(a))
+                .copied()
+                .collect(),
         }
     }
 }

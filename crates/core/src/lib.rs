@@ -44,10 +44,10 @@
 
 pub mod campaign;
 pub mod fault;
-pub mod safety;
 mod infrastructure;
 mod protocol;
 mod runlog;
+pub mod safety;
 mod session;
 mod station;
 

@@ -321,31 +321,48 @@ mod tests {
 
     #[test]
     fn limiter_engages_on_loss() {
-        let mut l = DegradedModeLimiter::new(
-            Ratio::from_percent(5.0),
-            MetersPerSecond::new(6.0),
-        );
+        let mut l = DegradedModeLimiter::new(Ratio::from_percent(5.0), MetersPerSecond::new(6.0));
         let cmd = ControlInput::new(0.8, 0.0, 0.2);
         // Healthy link: untouched.
         assert_eq!(
-            l.filter(SimTime::ZERO, &qos(Some(20), 1.0), cmd, MetersPerSecond::new(12.0)),
+            l.filter(
+                SimTime::ZERO,
+                &qos(Some(20), 1.0),
+                cmd,
+                MetersPerSecond::new(12.0)
+            ),
             None
         );
         // Lossy link, above cap: throttle cut, brake applied, steering kept.
         let out = l
-            .filter(SimTime::ZERO, &qos(Some(20), 8.0), cmd, MetersPerSecond::new(12.0))
+            .filter(
+                SimTime::ZERO,
+                &qos(Some(20), 8.0),
+                cmd,
+                MetersPerSecond::new(12.0),
+            )
             .expect("intervenes");
         assert_eq!(out.throttle, Ratio::ZERO);
         assert!(out.brake.get() >= 0.3);
         assert_eq!(out.steer, 0.2);
         // Lossy link, well below cap: untouched.
         assert_eq!(
-            l.filter(SimTime::ZERO, &qos(Some(20), 8.0), cmd, MetersPerSecond::new(3.0)),
+            l.filter(
+                SimTime::ZERO,
+                &qos(Some(20), 8.0),
+                cmd,
+                MetersPerSecond::new(3.0)
+            ),
             None
         );
         // Near the cap: throttle softened.
         let near = l
-            .filter(SimTime::ZERO, &qos(Some(20), 8.0), cmd, MetersPerSecond::new(5.8))
+            .filter(
+                SimTime::ZERO,
+                &qos(Some(20), 8.0),
+                cmd,
+                MetersPerSecond::new(5.8),
+            )
             .expect("softens");
         assert!((near.throttle.get() - 0.2).abs() < 1e-12);
     }
@@ -355,24 +372,44 @@ mod tests {
         let mut s = SafeStop::new(SimDuration::from_millis(500));
         let cmd = ControlInput::full_throttle();
         assert_eq!(
-            s.filter(SimTime::ZERO, &qos(Some(100), 0.0), cmd, MetersPerSecond::new(10.0)),
+            s.filter(
+                SimTime::ZERO,
+                &qos(Some(100), 0.0),
+                cmd,
+                MetersPerSecond::new(10.0)
+            ),
             None
         );
         assert!(!s.engaged());
         let out = s
-            .filter(SimTime::ZERO, &qos(Some(600), 0.0), cmd, MetersPerSecond::new(10.0))
+            .filter(
+                SimTime::ZERO,
+                &qos(Some(600), 0.0),
+                cmd,
+                MetersPerSecond::new(10.0),
+            )
             .expect("engages");
         assert!(s.engaged());
         assert_eq!(out.throttle, Ratio::ZERO);
         assert!(out.brake.get() > 0.0);
         // At standstill: handbrake.
         let held = s
-            .filter(SimTime::ZERO, &qos(Some(700), 0.0), cmd, MetersPerSecond::new(0.1))
+            .filter(
+                SimTime::ZERO,
+                &qos(Some(700), 0.0),
+                cmd,
+                MetersPerSecond::new(0.1),
+            )
             .expect("holds");
         assert!(held.handbrake);
         // Fresh command releases the latch.
         assert_eq!(
-            s.filter(SimTime::ZERO, &qos(Some(10), 0.0), cmd, MetersPerSecond::new(0.1)),
+            s.filter(
+                SimTime::ZERO,
+                &qos(Some(10), 0.0),
+                cmd,
+                MetersPerSecond::new(0.1)
+            ),
             None
         );
         assert!(!s.engaged());
@@ -441,7 +478,12 @@ mod tests {
         let mut stack = SafetyStack::new();
         let cmd = ControlInput::new(0.4, 0.1, -0.2);
         assert_eq!(
-            stack.apply(SimTime::ZERO, &qos(Some(999), 50.0), cmd, MetersPerSecond::new(20.0)),
+            stack.apply(
+                SimTime::ZERO,
+                &qos(Some(999), 50.0),
+                cmd,
+                MetersPerSecond::new(20.0)
+            ),
             cmd
         );
         assert!(stack.interventions().is_empty());

@@ -4,10 +4,9 @@ use crate::{
     decode_command, encode_command, EgoSample, InfrastructureSubsystem, LeadObservation,
     OperatorSubsystem, OtherSample, ReceivedFrame, RunLog,
 };
-use rdsim_netem::{
-    DuplexLink, FaultInjector, InjectionWindow, NetemConfig, Packet, PacketKind,
-};
-use rdsim_simulator::{decode_frame, ActorKind, CameraConfig, SimulatorServer, World};
+use rdsim_netem::{DuplexLink, FaultInjector, InjectionWindow, NetemConfig, Packet, PacketKind};
+use rdsim_obs::{Counter, Histogram, Recorder};
+use rdsim_simulator::{decode_frame_recorded, ActorKind, CameraConfig, SimulatorServer, World};
 use rdsim_units::{Meters, SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 
@@ -22,6 +21,9 @@ pub struct RdsSessionConfig {
     pub lead_log_horizon: Meters,
     /// Optional infrastructure subsystem augmenting the operator's view.
     pub infrastructure: Option<InfrastructureSubsystem>,
+    /// Telemetry recorder. Defaults to the null recorder, which keeps the
+    /// session's own counters working but records nothing else.
+    pub recorder: Recorder,
 }
 
 impl Default for RdsSessionConfig {
@@ -33,11 +35,17 @@ impl Default for RdsSessionConfig {
             camera: CameraConfig::default(),
             lead_log_horizon: Meters::new(150.0),
             infrastructure: None,
+            recorder: Recorder::null(),
         }
     }
 }
 
 /// Transport-level counters for a session.
+///
+/// Since the telemetry layer landed this is a *read-out view*: the live
+/// tallies are [`rdsim_obs::Counter`]s held by the session (and shared with
+/// its recorder's registry, when one is attached); [`RdsSession::stats`]
+/// materialises them into this struct. The serialized shape is unchanged.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub struct SessionStats {
     /// Video frames sent by the vehicle subsystem.
@@ -54,6 +62,87 @@ pub struct SessionStats {
     pub commands_corrupted: u64,
 }
 
+/// The session's instrument handles, resolved once at construction.
+///
+/// The six transport counters double as the backing store of
+/// [`SessionStats`], so they are always functional: with a null recorder
+/// they are detached (cheap atomics nobody else sees), with a live one they
+/// appear in the run's `RunTelemetry` under the same names.
+#[derive(Debug)]
+struct SessionObs {
+    frames_sent: Counter,
+    frames_delivered: Counter,
+    frames_corrupted: Counter,
+    commands_sent: Counter,
+    commands_delivered: Counter,
+    commands_corrupted: Counter,
+    steps: Counter,
+    /// Packet accounting split by whether a fault rule was active when the
+    /// packet was offered / delivered / dropped / rejected.
+    win_in_sent: Counter,
+    win_in_delivered: Counter,
+    win_in_dropped: Counter,
+    win_in_corrupted: Counter,
+    win_out_sent: Counter,
+    win_out_delivered: Counter,
+    win_out_dropped: Counter,
+    win_out_corrupted: Counter,
+    /// Glass-to-glass frame age at display (capture → decode), µs.
+    /// Handles held only while a live recorder is attached, so the
+    /// disabled path records nothing.
+    frame_age_us: Option<std::sync::Arc<Histogram>>,
+    /// Command age at application (station send → vehicle apply), µs.
+    command_age_us: Option<std::sync::Arc<Histogram>>,
+}
+
+impl SessionObs {
+    fn new(recorder: &Recorder) -> Self {
+        SessionObs {
+            frames_sent: recorder.counter("session.frames_sent"),
+            frames_delivered: recorder.counter("session.frames_delivered"),
+            frames_corrupted: recorder.counter("session.frames_corrupted"),
+            commands_sent: recorder.counter("session.commands_sent"),
+            commands_delivered: recorder.counter("session.commands_delivered"),
+            commands_corrupted: recorder.counter("session.commands_corrupted"),
+            steps: recorder.counter("session.steps"),
+            win_in_sent: recorder.counter("session.fault_window.inside.sent"),
+            win_in_delivered: recorder.counter("session.fault_window.inside.delivered"),
+            win_in_dropped: recorder.counter("session.fault_window.inside.dropped"),
+            win_in_corrupted: recorder.counter("session.fault_window.inside.corrupted"),
+            win_out_sent: recorder.counter("session.fault_window.outside.sent"),
+            win_out_delivered: recorder.counter("session.fault_window.outside.delivered"),
+            win_out_dropped: recorder.counter("session.fault_window.outside.dropped"),
+            win_out_corrupted: recorder.counter("session.fault_window.outside.corrupted"),
+            frame_age_us: recorder
+                .enabled()
+                .then(|| recorder.histogram("session.frame_age_us")),
+            command_age_us: recorder
+                .enabled()
+                .then(|| recorder.histogram("session.command_age_us")),
+        }
+    }
+
+    /// The `(sent, delivered, dropped, corrupted)` counters for the given
+    /// fault-window side.
+    fn window(&self, inside: bool) -> (&Counter, &Counter, &Counter, &Counter) {
+        if inside {
+            (
+                &self.win_in_sent,
+                &self.win_in_delivered,
+                &self.win_in_dropped,
+                &self.win_in_corrupted,
+            )
+        } else {
+            (
+                &self.win_out_sent,
+                &self.win_out_delivered,
+                &self.win_out_dropped,
+                &self.win_out_corrupted,
+            )
+        }
+    }
+}
+
 /// A human-in-the-loop RDS test session (Fig. 3 of the paper): the
 /// simulator server streams frames through the emulated network to the
 /// operator; the operator's commands stream back through the same faults.
@@ -66,7 +155,10 @@ pub struct RdsSession {
     lead_log_horizon: Meters,
     infrastructure: Option<InfrastructureSubsystem>,
     log: RunLog,
-    stats: SessionStats,
+    recorder: Recorder,
+    obs: SessionObs,
+    /// Injection-log entries already mirrored as recorder events.
+    fault_events_seen: usize,
     frame_seq: u64,
     cmd_seq: u64,
     safety: Option<crate::safety::SafetyStack>,
@@ -83,15 +175,23 @@ impl RdsSession {
     ///
     /// Panics if the world has no ego vehicle.
     pub fn new(world: World, config: RdsSessionConfig, seed: u64) -> Self {
+        let recorder = config.recorder;
+        let mut server = SimulatorServer::new(world, config.camera, seed);
+        server.set_recorder(recorder.clone());
+        let mut link = DuplexLink::new(seed ^ 0x6E65_7431);
+        link.attach_recorder(&recorder);
+        let obs = SessionObs::new(&recorder);
         RdsSession {
-            server: SimulatorServer::new(world, config.camera, seed),
-            link: DuplexLink::new(seed ^ 0x6E65_7431),
+            server,
+            link,
             injector: FaultInjector::new(),
             dt: config.dt,
             lead_log_horizon: config.lead_log_horizon,
             infrastructure: config.infrastructure,
             log: RunLog::new(),
-            stats: SessionStats::default(),
+            recorder,
+            obs,
+            fault_events_seen: 0,
             frame_seq: 0,
             cmd_seq: 0,
             safety: None,
@@ -125,7 +225,7 @@ impl RdsSession {
                 .last_cmd_received_at
                 .map(|t| self.time().saturating_since(t)),
             command_loss: rdsim_units::Ratio::new(loss),
-            commands_received: self.stats.commands_delivered,
+            commands_received: self.obs.commands_delivered.get(),
         }
     }
 
@@ -166,9 +266,21 @@ impl RdsSession {
         &mut self.server
     }
 
-    /// Transport statistics so far.
+    /// Transport statistics so far (a read-out of the live counters).
     pub fn stats(&self) -> SessionStats {
-        self.stats
+        SessionStats {
+            frames_sent: self.obs.frames_sent.get(),
+            frames_delivered: self.obs.frames_delivered.get(),
+            frames_corrupted: self.obs.frames_corrupted.get(),
+            commands_sent: self.obs.commands_sent.get(),
+            commands_delivered: self.obs.commands_delivered.get(),
+            commands_corrupted: self.obs.commands_corrupted.get(),
+        }
+    }
+
+    /// The session's telemetry recorder (null unless one was configured).
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
     }
 
     /// Current simulation time.
@@ -186,6 +298,7 @@ impl RdsSession {
     /// # Errors
     ///
     /// Returns the conflicting window on overlap.
+    #[allow(clippy::result_large_err)] // mirrors FaultInjector::schedule
     pub fn schedule_fault(&mut self, window: InjectionWindow) -> Result<(), InjectionWindow> {
         self.injector.schedule(window)
     }
@@ -194,6 +307,7 @@ impl RdsSession {
     pub fn inject_now(&mut self, config: NetemConfig) {
         let now = self.time();
         self.injector.inject_now(&mut self.link, config, now);
+        self.sync_fault_events();
     }
 
     /// Injects a rule on one direction only — the unidirectional variants
@@ -202,44 +316,92 @@ impl RdsSession {
         let now = self.time();
         self.injector
             .inject_now_on(&mut self.link, direction, config, now);
+        self.sync_fault_events();
     }
 
     /// Clears the active rule immediately.
     pub fn clear_fault_now(&mut self) {
         let now = self.time();
         self.injector.clear_now(&mut self.link, now);
+        self.sync_fault_events();
+    }
+
+    /// Mirrors injection-log entries not yet seen as structured recorder
+    /// events (`session.fault`), stamped with the transition's sim-time.
+    fn sync_fault_events(&mut self) {
+        let log = self.injector.log();
+        if self.recorder.enabled() {
+            for ev in &log[self.fault_events_seen..] {
+                self.recorder.event(
+                    "session.fault",
+                    ev.time.as_micros(),
+                    format!("{} {} {:?}", ev.action, ev.direction, ev.config),
+                );
+            }
+        }
+        self.fault_events_seen = log.len();
     }
 
     /// Advances one step: faults, plant, uplink, operator, downlink, log.
+    ///
+    /// With a live recorder attached, the step's stages are timed into
+    /// `session.stage.*_ns` histograms. The link-transfer and operator
+    /// stages each record two samples per step (uplink/frame leg and
+    /// downlink/command leg), so their histogram counts are 2× the step
+    /// count; sums and quantiles remain meaningful per leg.
     pub fn step(&mut self, operator: &mut dyn OperatorSubsystem) {
+        self.obs.steps.inc();
+
         // 1. Fault windows open/close on the pre-step clock.
         let t_pre = self.time();
         self.injector.advance(&mut self.link, t_pre);
+        self.sync_fault_events();
+        // The window state is constant for the rest of the step (rules
+        // only change in stage 1 or between steps), so one flag attributes
+        // the whole step's packet accounting.
+        let in_window = self.injector.fault_active();
+        let (w_sent, w_delivered, w_dropped, w_corrupted) = {
+            let (s, d, dr, c) = self.obs.window(in_window);
+            (s.clone(), d.clone(), dr.clone(), c.clone())
+        };
+        let dropped_before = self.link.uplink.stats().dropped + self.link.downlink.stats().dropped;
 
         // 2. Plant advances and may capture frames.
+        let span = self.recorder.span("session.stage.vehicle_tick_ns");
         let frames = self.server.tick(self.dt);
+        span.finish();
         let now = self.time();
 
         // 3. Frames enter the uplink (vehicle → operator).
+        let span = self.recorder.span("session.stage.link_transfer_ns");
         for frame in frames {
-            self.stats.frames_sent += 1;
+            self.obs.frames_sent.inc();
+            w_sent.inc();
             let seq = self.frame_seq;
             self.frame_seq += 1;
             self.link
                 .uplink
                 .send(Packet::new(seq, PacketKind::Video, frame.payload), now);
         }
+        let arrived_frames = self.link.uplink.receive(now);
+        span.finish();
 
         // 4. Delivered frames reach the station display.
-        for pkt in self.link.uplink.receive(now) {
-            match decode_frame(&pkt.payload) {
+        let span = self.recorder.span("session.stage.operator_ns");
+        for pkt in arrived_frames {
+            let decoded = decode_frame_recorded(&pkt.payload, &self.recorder);
+            match decoded {
                 Ok(snapshot) => {
-                    self.stats.frames_delivered += 1;
+                    self.obs.frames_delivered.inc();
+                    w_delivered.inc();
                     let snapshot = match &self.infrastructure {
                         Some(infra) => infra.augment(&snapshot),
                         None => snapshot,
                     };
                     let captured_at = snapshot.time;
+                    if let Some(h) = &self.obs.frame_age_us {
+                        h.record(now.saturating_since(captured_at).as_micros());
+                    }
                     operator.on_frame(ReceivedFrame {
                         snapshot,
                         captured_at,
@@ -247,36 +409,54 @@ impl RdsSession {
                     });
                 }
                 Err(_) => {
-                    self.stats.frames_corrupted += 1;
+                    self.obs.frames_corrupted.inc();
+                    w_corrupted.inc();
                     operator.on_bad_frame(now);
                 }
             }
         }
+        span.finish();
 
         // 5. The station samples the operator and sends a command.
+        let span = self.recorder.span("session.stage.operator_ns");
         let control = operator.command(now);
+        span.finish();
         let seq = self.cmd_seq;
         self.cmd_seq += 1;
-        self.stats.commands_sent += 1;
+        self.obs.commands_sent.inc();
+        w_sent.inc();
+        let span = self.recorder.span("session.stage.link_transfer_ns");
         self.link.downlink.send(
             Packet::new(seq, PacketKind::Command, encode_command(seq, &control)),
             now,
         );
+        let arrived_cmds = self.link.downlink.receive(now);
+        span.finish();
 
         // 6. Delivered commands are applied by the vehicle subsystem.
-        for pkt in self.link.downlink.receive(now) {
+        for pkt in arrived_cmds {
             match decode_command(&pkt.payload) {
                 Ok((cmd_seq, ctrl)) => {
-                    self.stats.commands_delivered += 1;
+                    self.obs.commands_delivered.inc();
+                    w_delivered.inc();
+                    if let Some(h) = &self.obs.command_age_us {
+                        h.record(now.saturating_since(pkt.sent_at).as_micros());
+                    }
                     self.note_cmd_delivery(cmd_seq);
                     self.last_cmd_received_at = Some(now);
                     self.server.apply_command(ctrl);
                 }
                 Err(_) => {
-                    self.stats.commands_corrupted += 1;
+                    self.obs.commands_corrupted.inc();
+                    w_corrupted.inc();
                 }
             }
         }
+
+        // Drops happen inside `send`, so the step's delta is attributable
+        // to the window state chosen above.
+        let dropped_after = self.link.uplink.stats().dropped + self.link.downlink.stats().dropped;
+        w_dropped.add(dropped_after - dropped_before);
 
         // 6b. The safety stack may override the active command based on
         // the vehicle-side QoS estimate — every step, not only when a
@@ -291,7 +471,9 @@ impl RdsSession {
                     .unwrap_or_default()
             };
             let active = self.server.active_command();
-            let stack = self.safety.as_mut().expect("checked");
+            let Some(stack) = self.safety.as_mut() else {
+                unreachable!("checked above")
+            };
             let effective = stack.apply(now, &qos, active, speed);
             if effective != active {
                 self.server.apply_command(effective);
@@ -299,7 +481,9 @@ impl RdsSession {
         }
 
         // 7. Log one sample.
+        let span = self.recorder.span("session.stage.logging_ns");
         self.sample(now);
+        span.finish();
     }
 
     /// Runs for a duration (rounded down to whole steps).
@@ -311,8 +495,10 @@ impl RdsSession {
 
     /// Consumes the session, returning the completed run log.
     pub fn into_log(mut self) -> RunLog {
+        self.sync_fault_events();
         self.log.set_faults(self.injector.log().to_vec());
-        self.log.set_duration(self.time().saturating_since(SimTime::ZERO));
+        self.log
+            .set_duration(self.time().saturating_since(SimTime::ZERO));
         self.log
     }
 
@@ -346,9 +532,7 @@ impl RdsSession {
             .actors()
             .iter()
             .filter(|a| {
-                a.id() != ego_id
-                    && a.kind() == ActorKind::Vehicle
-                    && !a.is_stationary_behavior()
+                a.id() != ego_id && a.kind() == ActorKind::Vehicle && !a.is_stationary_behavior()
             })
             .map(|a| OtherSample {
                 actor: a.id(),
@@ -407,7 +591,10 @@ mod tests {
         assert_eq!(stats.commands_sent, 500);
         assert_eq!(stats.commands_delivered, 500);
         assert_eq!(stats.frames_corrupted, 0);
-        assert!(stats.frames_delivered >= 245, "≈250 frames in 10 s at 25 fps");
+        assert!(
+            stats.frames_delivered >= 245,
+            "≈250 frames in 10 s at 25 fps"
+        );
         assert_eq!(stats.frames_delivered, stats.frames_sent);
         assert!(op.frames_seen() >= 245);
 
@@ -563,6 +750,133 @@ mod tests {
         assert!(op2.saw_van, "roadside unit reveals the van");
     }
 
+    fn recorded_session_with_lead(seed: u64, recorder: Recorder) -> RdsSession {
+        let mut world = World::new(town05(), seed);
+        world.spawn_ego_at("ego-start", VehicleSpec::passenger_car());
+        world.spawn_npc_at(
+            "lead-start",
+            ActorKind::Vehicle,
+            VehicleSpec::passenger_car(),
+            Behavior::LaneFollow(LaneFollowConfig::urban(MetersPerSecond::new(8.0))),
+            MetersPerSecond::new(8.0),
+        );
+        let config = RdsSessionConfig {
+            camera: CameraConfig::fixed(Hertz::new(25.0), 2_000),
+            recorder,
+            ..RdsSessionConfig::default()
+        };
+        RdsSession::new(world, config, seed)
+    }
+
+    #[test]
+    fn telemetry_mirrors_stats_and_measures_ages() {
+        let registry = rdsim_obs::Registry::new();
+        let mut s = recorded_session_with_lead(8, registry.recorder());
+        s.inject_now(PaperFault::Delay50ms.config());
+        let mut op = ScriptedOperator::constant(ControlInput::new(0.4, 0.0, 0.0));
+        s.run(&mut op, SimDuration::from_secs(4));
+        let stats = s.stats();
+        let t = registry.snapshot();
+
+        // SessionStats is a read-out of the same counters the registry sees.
+        assert_eq!(t.counter("session.frames_sent"), stats.frames_sent);
+        assert_eq!(
+            t.counter("session.frames_delivered"),
+            stats.frames_delivered
+        );
+        assert_eq!(t.counter("session.commands_sent"), stats.commands_sent);
+        assert_eq!(
+            t.counter("session.commands_delivered"),
+            stats.commands_delivered
+        );
+        assert_eq!(t.counter("session.steps"), 200, "4 s at 50 Hz");
+
+        // Glass-to-glass ages reflect the 50 ms rule (plus capture→send
+        // queueing for frames, which only raises the age).
+        let fa = t.histogram("session.frame_age_us").expect("frame ages");
+        assert_eq!(fa.count, stats.frames_delivered);
+        assert!(fa.min >= 50_000, "frame age floor is the link delay");
+        let ca = t.histogram("session.command_age_us").expect("command ages");
+        assert_eq!(ca.count, stats.commands_delivered);
+        assert!(ca.min >= 50_000 && ca.p50() >= 50_000);
+
+        // The rule was active the whole run, so every packet is inside.
+        assert_eq!(
+            t.counter("session.fault_window.inside.sent"),
+            stats.frames_sent + stats.commands_sent
+        );
+        assert_eq!(t.counter("session.fault_window.outside.sent"), 0);
+
+        // The injection shows up as a structured event at sim-time zero.
+        let faults: Vec<_> = t
+            .events
+            .iter()
+            .filter(|e| e.name == "session.fault")
+            .collect();
+        assert_eq!(faults.len(), 1);
+        assert_eq!(faults[0].sim_us, 0);
+        assert!(faults[0].note.starts_with("added both"));
+
+        // Stage timings cover every step (2 samples/step for the legged
+        // stages, as documented on `step`).
+        let steps = t.counter("session.steps");
+        for (name, per_step) in [
+            ("session.stage.vehicle_tick_ns", 1),
+            ("session.stage.link_transfer_ns", 2),
+            ("session.stage.operator_ns", 2),
+            ("session.stage.logging_ns", 1),
+        ] {
+            let h = t.histogram(name).expect(name);
+            assert_eq!(h.count, steps * per_step, "{name}");
+        }
+
+        // The codec hooks fired for every encode/decode.
+        assert_eq!(
+            t.histogram("codec.encode_ns").expect("encode").count,
+            stats.frames_sent
+        );
+        assert_eq!(
+            t.histogram("codec.decode_ns").expect("decode").count,
+            stats.frames_delivered + stats.frames_corrupted
+        );
+    }
+
+    #[test]
+    fn recorder_event_stream_is_deterministic() {
+        let run = |seed| {
+            let registry = rdsim_obs::Registry::new();
+            let mut s = recorded_session_with_lead(seed, registry.recorder());
+            s.schedule_fault(InjectionWindow::new(
+                SimTime::from_secs(1),
+                SimDuration::from_secs(2),
+                PaperFault::Loss5Pct.config(),
+            ))
+            .unwrap();
+            let mut op = ScriptedOperator::constant(ControlInput::new(0.5, 0.0, 0.01));
+            s.run(&mut op, SimDuration::from_secs(5));
+            drop(s);
+            let t = registry.snapshot();
+            let keys: Vec<_> = t.events.iter().map(|e| e.deterministic_key()).collect();
+            (keys, t.counters.clone())
+        };
+        let (events_a, counters_a) = run(11);
+        let (events_b, counters_b) = run(11);
+        assert_eq!(events_a, events_b, "sim-time-stamped event streams");
+        assert_eq!(counters_a, counters_b, "all counters, incl. fault-window");
+        assert!(!events_a.is_empty(), "window open + close were mirrored");
+    }
+
+    #[test]
+    fn null_recorder_session_still_counts() {
+        let mut s = session_with_lead(12);
+        assert!(!s.recorder().enabled());
+        let mut op = ScriptedOperator::constant(ControlInput::new(0.3, 0.0, 0.0));
+        s.run(&mut op, SimDuration::from_secs(1));
+        // Stats flow through detached counters without a registry.
+        assert_eq!(s.stats().commands_sent, 50);
+        assert!(s.stats().frames_delivered > 0);
+    }
+
     #[test]
     fn determinism_end_to_end() {
         let run = |seed| {
@@ -577,11 +891,7 @@ mod tests {
             s.run(&mut op, SimDuration::from_secs(6));
             let log = s.into_log();
             let last = log.ego_samples().last().copied().unwrap();
-            (
-                last.position.x,
-                last.position.y,
-                log.ego_samples().len(),
-            )
+            (last.position.x, last.position.y, log.ego_samples().len())
         };
         assert_eq!(run(11), run(11));
     }

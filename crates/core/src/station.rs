@@ -102,7 +102,10 @@ impl ScriptedOperator {
 impl OperatorSubsystem for ScriptedOperator {
     fn on_frame(&mut self, frame: ReceivedFrame) {
         self.frames_seen += 1;
-        if self.last_frame_id.map_or(true, |id| frame.snapshot.frame_id > id) {
+        if self
+            .last_frame_id
+            .is_none_or(|id| frame.snapshot.frame_id > id)
+        {
             self.last_frame_id = Some(frame.snapshot.frame_id);
         }
     }
@@ -162,9 +165,18 @@ mod tests {
             (SimTime::ZERO, ControlInput::full_throttle()),
             (SimTime::from_secs(5), ControlInput::full_brake()),
         ]);
-        assert_eq!(op.command(SimTime::from_secs(1)), ControlInput::full_throttle());
-        assert_eq!(op.command(SimTime::from_secs(5)), ControlInput::full_brake());
-        assert_eq!(op.command(SimTime::from_secs(9)), ControlInput::full_brake());
+        assert_eq!(
+            op.command(SimTime::from_secs(1)),
+            ControlInput::full_throttle()
+        );
+        assert_eq!(
+            op.command(SimTime::from_secs(5)),
+            ControlInput::full_brake()
+        );
+        assert_eq!(
+            op.command(SimTime::from_secs(9)),
+            ControlInput::full_brake()
+        );
     }
 
     #[test]

@@ -2,12 +2,14 @@
 //!
 //! ```text
 //! repro [all|table1|table2|table3|table4|fig4|collisions|questionnaire|
-//!        validity|model-vehicle] [--seed N] [--quick]
+//!        validity|model-vehicle] [--seed N] [--quick] [--telemetry]
 //! ```
 //!
 //! `--quick` shortens the runs (for smoke testing); the full study drives
 //! two laps of the course per run, as the experiments in `EXPERIMENTS.md`
-//! were recorded.
+//! were recorded. `--telemetry` records pipeline telemetry during the
+//! study runs and appends a campaign report (frame/command age quantiles,
+//! per-fault-window packet accounting, stage timings, steps/sec).
 
 use rdsim_experiments::{
     collision_summary, figure4, model_vehicle_sweep, questionnaire_summary, run_study, table2,
@@ -22,6 +24,7 @@ fn main() -> ExitCode {
     let mut command = "all".to_owned();
     let mut seed = 424242u64;
     let mut quick = false;
+    let mut telemetry = false;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -33,6 +36,7 @@ fn main() -> ExitCode {
                 }
             },
             "--quick" => quick = true,
+            "--telemetry" => telemetry = true,
             other if !other.starts_with('-') => command = other.to_owned(),
             other => {
                 eprintln!("unknown flag '{other}'");
@@ -40,11 +44,12 @@ fn main() -> ExitCode {
             }
         }
     }
-    let config = if quick {
+    let mut config = if quick {
         ScenarioConfig::quick()
     } else {
         ScenarioConfig::default()
     };
+    config.telemetry = telemetry;
 
     let needs_study = matches!(
         command.as_str(),
@@ -87,7 +92,59 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     }
+    if telemetry {
+        match &study {
+            Some(study) => print_telemetry(study),
+            None => eprintln!("--telemetry only applies to study commands; ignored"),
+        }
+    }
     ExitCode::SUCCESS
+}
+
+fn print_telemetry(study: &StudyResults) {
+    println!("\n== Campaign telemetry ==\n");
+    let t = &study.telemetry;
+    if t.is_empty() {
+        println!("(no telemetry was recorded)");
+        return;
+    }
+    if let Some(h) = t.histogram("session.frame_age_us") {
+        println!(
+            "frame age (glass-to-glass): p50 {} µs, p99 {} µs ({} frames)",
+            h.p50(),
+            h.p99(),
+            h.count
+        );
+    }
+    if let Some(h) = t.histogram("session.command_age_us") {
+        println!(
+            "command age (send → apply): p50 {} µs, p99 {} µs ({} commands)",
+            h.p50(),
+            h.p99(),
+            h.count
+        );
+    }
+    println!(
+        "packets inside fault windows : sent {}, delivered {}, dropped {}, corrupted {}",
+        t.counter("session.fault_window.inside.sent"),
+        t.counter("session.fault_window.inside.delivered"),
+        t.counter("session.fault_window.inside.dropped"),
+        t.counter("session.fault_window.inside.corrupted"),
+    );
+    println!(
+        "packets outside fault windows: sent {}, delivered {}, dropped {}, corrupted {}",
+        t.counter("session.fault_window.outside.sent"),
+        t.counter("session.fault_window.outside.delivered"),
+        t.counter("session.fault_window.outside.dropped"),
+        t.counter("session.fault_window.outside.corrupted"),
+    );
+    println!(
+        "throughput: {:.0} session steps/sec of compute ({} steps, {:.1} s total compute)",
+        t.steps_per_sec("session.steps"),
+        t.counter("session.steps"),
+        t.wall_elapsed_ns as f64 * 1e-9
+    );
+    println!("\n{}", t.report());
 }
 
 fn print_table1() {

@@ -59,7 +59,7 @@ pub fn figure4(results: &StudyResults, subject: Option<&str>) -> Option<Figure4>
             (Some(f), Some(g)) => f.get() - g.get(),
             _ => f64::NEG_INFINITY,
         };
-        if best.as_ref().map_or(true, |(s, _)| slowdown > *s) {
+        if best.as_ref().is_none_or(|(s, _)| slowdown > *s) {
             best = Some((slowdown, fig));
         }
     }
@@ -89,6 +89,7 @@ mod tests {
             roster,
             records: vec![golden.record, faulty.record],
             questionnaires: Vec::new(),
+            telemetry: rdsim_obs::RunTelemetry::default(),
         }
     }
 

@@ -39,6 +39,4 @@ pub use study::{
     Table2Row, Table3Row, Table4Row,
 };
 pub use tables::TextTable;
-pub use validity::{
-    model_vehicle_sweep, validity_sweep, Drivability, SweepPoint, SweepReport,
-};
+pub use validity::{model_vehicle_sweep, validity_sweep, Drivability, SweepPoint, SweepReport};

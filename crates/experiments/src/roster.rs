@@ -98,15 +98,19 @@ mod tests {
         let roster = paper_roster();
         assert_eq!(roster.len(), 12);
         assert_eq!(roster.iter().filter(|r| !r.excluded).count(), 11);
-        assert!(roster.iter().find(|r| r.profile.id == "T7").unwrap().excluded);
+        assert!(
+            roster
+                .iter()
+                .find(|r| r.profile.id == "T7")
+                .unwrap()
+                .excluded
+        );
     }
 
     #[test]
     fn questionnaire_marginals_match_section_vi_f() {
-        let analysable: Vec<RosterEntry> = paper_roster()
-            .into_iter()
-            .filter(|r| !r.excluded)
-            .collect();
+        let analysable: Vec<RosterEntry> =
+            paper_roster().into_iter().filter(|r| !r.excluded).collect();
         let recent = analysable
             .iter()
             .filter(|r| r.profile.gaming == Experience::Recent)

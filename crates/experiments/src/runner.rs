@@ -1,16 +1,13 @@
 //! Runs one protocol run (training / golden / faulty) for one subject.
 
 use crate::{CourseMap, ScenarioPlan};
-use rdsim_core::{
-    PaperFault, RdsSession, RdsSessionConfig, RunKind, RunRecord, ScheduledFault,
-};
+use rdsim_core::{PaperFault, RdsSession, RdsSessionConfig, RunKind, RunRecord, ScheduledFault};
 use rdsim_math::RngStream;
 use rdsim_netem::InjectionWindow;
+use rdsim_obs::{Recorder, Registry, RunTelemetry};
 use rdsim_operator::{HumanDriverModel, Instruction, SubjectProfile};
 use rdsim_roadnet::town05;
-use rdsim_simulator::{
-    ActorId, ActorKind, Behavior, CameraConfig, LaneFollowConfig, World,
-};
+use rdsim_simulator::{ActorId, ActorKind, Behavior, CameraConfig, LaneFollowConfig, World};
 use rdsim_units::{MetersPerSecond, SimDuration, SimTime};
 use rdsim_vehicle::VehicleSpec;
 use serde::{Deserialize, Serialize};
@@ -45,6 +42,9 @@ pub struct ScenarioConfig {
     /// have a poor internal model of an unfamiliar plant; see
     /// [`HumanDriverModel::set_extrapolation`]).
     pub driver_extrapolation: Option<f64>,
+    /// Collect per-run telemetry ([`RunOutput::telemetry`]). Off by
+    /// default: the run then uses the null recorder throughout.
+    pub telemetry: bool,
 }
 
 impl Default for ScenarioConfig {
@@ -62,6 +62,7 @@ impl Default for ScenarioConfig {
             vehicle: VehicleSpec::passenger_car(),
             ambient_fault: None,
             driver_extrapolation: None,
+            telemetry: false,
         }
     }
 }
@@ -93,6 +94,10 @@ pub struct RunOutput {
     pub frames_seen: u64,
     /// Forward progress achieved (metres along the course).
     pub progress: f64,
+    /// Per-run telemetry; empty unless [`ScenarioConfig::telemetry`] was
+    /// set. Serializes to JSON via [`RunTelemetry::to_json`].
+    #[serde(default)]
+    pub telemetry: RunTelemetry,
 }
 
 /// Runs one protocol run for a subject.
@@ -167,9 +172,14 @@ pub fn run_protocol(
     };
 
     // --- Session and driver.
+    let registry = config.telemetry.then(Registry::new);
     let session_config = RdsSessionConfig {
         dt: config.dt,
         camera: config.camera,
+        recorder: registry
+            .as_ref()
+            .map(Registry::recorder)
+            .unwrap_or_else(Recorder::null),
         ..RdsSessionConfig::default()
     };
     let mut session = RdsSession::new(world, session_config, seed);
@@ -257,8 +267,7 @@ pub fn run_protocol(
             let lead_pos = ego_pos(&session, lead);
             let world = session.world();
             let lead_s = course.chain_s(world.network(), lead_pos);
-            let lead_in_zone =
-                course.within(lead_s, plan.slalom.0 - 25.0, plan.slalom.1 + 10.0);
+            let lead_in_zone = course.within(lead_s, plan.slalom.0 - 25.0, plan.slalom.1 + 10.0);
             let (lead_chain, lead_speed) = if lead_in_zone {
                 (course.inner(), MetersPerSecond::new(13.0))
             } else {
@@ -335,6 +344,7 @@ pub fn run_protocol(
         worst_display_gap,
         frames_seen,
         progress,
+        telemetry: registry.map(|r| r.snapshot()).unwrap_or_default(),
     }
 }
 
@@ -389,13 +399,49 @@ mod tests {
         let out = run_protocol(&profile(), RunKind::Training, 55, &ScenarioConfig::quick());
         assert!(out.record.log.other_samples().is_empty());
         assert!(!out.record.log.collided());
+        assert!(
+            out.telemetry.is_empty(),
+            "null recorder ⇒ empty RunTelemetry"
+        );
+    }
+
+    #[test]
+    fn telemetry_flag_populates_run_output() {
+        let cfg = ScenarioConfig {
+            telemetry: true,
+            ..ScenarioConfig::quick()
+        };
+        let out = run_protocol(&profile(), RunKind::Faulty, 101, &cfg);
+        let t = &out.telemetry;
+        assert!(!t.is_empty());
+        let steps = t.counter("session.steps");
+        assert!(steps > 0);
+        assert!(t.steps_per_sec("session.steps") > 0.0);
+        let fa = t.histogram("session.frame_age_us").expect("frame ages");
+        assert_eq!(fa.count, t.counter("session.frames_delivered"));
+        assert!(fa.p50() > 0);
+        // The quick faulty course injects at least one fault, so both
+        // sides of the fault-window accounting are populated.
+        assert!(t.counter("session.fault_window.inside.sent") > 0);
+        assert!(t.counter("session.fault_window.outside.sent") > 0);
+        assert_eq!(
+            t.counter("session.fault_window.inside.sent")
+                + t.counter("session.fault_window.outside.sent"),
+            t.counter("session.frames_sent") + t.counter("session.commands_sent")
+        );
+        assert!(t.events.iter().any(|e| e.name == "session.fault"));
+        // Serializes without panicking and round-trips the step counter.
+        assert!(t.to_json().contains("\"session.steps\""));
     }
 
     #[test]
     fn runs_are_deterministic() {
         let a = run_protocol(&profile(), RunKind::Faulty, 7, &ScenarioConfig::quick());
         let b = run_protocol(&profile(), RunKind::Faulty, 7, &ScenarioConfig::quick());
-        assert_eq!(a.record.log.ego_samples().len(), b.record.log.ego_samples().len());
+        assert_eq!(
+            a.record.log.ego_samples().len(),
+            b.record.log.ego_samples().len()
+        );
         assert_eq!(
             a.record.log.ego_samples().last().map(|s| s.position),
             b.record.log.ego_samples().last().map(|s| s.position)

@@ -97,12 +97,7 @@ impl CourseMap {
     }
 
     /// The nearest lane of the given chain to a world point.
-    pub fn nearest_of<'a>(
-        &self,
-        net: &RoadNetwork,
-        chain: &'a [LaneId],
-        position: Vec2,
-    ) -> LaneId {
+    pub fn nearest_of(&self, net: &RoadNetwork, chain: &[LaneId], position: Vec2) -> LaneId {
         net.project_among(chain, position)
             .expect("chain is non-empty")
             .position
@@ -132,6 +127,10 @@ pub struct FaultPoint {
     pub to: f64,
 }
 
+// Referenced via `#[serde(default = "default_point_name")]`; the vendored
+// no-op serde derive never expands that attribute, so the function looks
+// dead until the real serde is restored.
+#[allow(dead_code)]
 fn default_point_name() -> &'static str {
     "point"
 }

@@ -97,7 +97,15 @@ mod tests {
     #[test]
     fn display_renders_all_rows() {
         let text = StationSpec::paper_station().to_string();
-        for key in ["CPU", "Monitor", "Input", "GPU", "Operating", "driver", "fps"] {
+        for key in [
+            "CPU",
+            "Monitor",
+            "Input",
+            "GPU",
+            "Operating",
+            "driver",
+            "fps",
+        ] {
             assert!(text.contains(key), "missing {key}");
         }
     }

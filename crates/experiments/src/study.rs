@@ -8,6 +8,7 @@ use rdsim_metrics::{
     srr_for_fault, steering_reversal_rate, ttc_series, ttc_stats_for_fault, CollisionAnalysis,
     SrrConfig, TtcConfig, TtcStats,
 };
+use rdsim_obs::RunTelemetry;
 use rdsim_operator::{Questionnaire, QuestionnaireSummary};
 use serde::{Deserialize, Serialize};
 
@@ -20,6 +21,11 @@ pub struct StudyResults {
     pub records: Vec<RunRecord>,
     /// Questionnaire answers of the analysable subjects.
     pub questionnaires: Vec<Questionnaire>,
+    /// Campaign-wide telemetry: every run's [`RunTelemetry`] folded
+    /// together (counters add, histograms merge). Empty unless the study
+    /// ran with [`ScenarioConfig::telemetry`] enabled.
+    #[serde(default)]
+    pub telemetry: RunTelemetry,
 }
 
 impl StudyResults {
@@ -51,7 +57,7 @@ impl StudyResults {
         let ids = self.analysable_ids();
         self.records
             .iter()
-            .filter(|r| ids.iter().any(|id| *id == r.subject))
+            .filter(|r| ids.contains(&r.subject))
             .cloned()
             .collect()
     }
@@ -67,8 +73,9 @@ pub fn run_study(seed: u64, config: &ScenarioConfig) -> StudyResults {
             .map(|entry| {
                 let config = config.clone();
                 scope.spawn(move |_| {
-                    let subject_seed =
-                        RngStream::from_seed(seed).substream(&entry.profile.id).seed();
+                    let subject_seed = RngStream::from_seed(seed)
+                        .substream(&entry.profile.id)
+                        .seed();
                     // Training happens (and matters for realism) but is
                     // not analysed; a short free drive suffices.
                     let mut training_cfg = config.clone();
@@ -104,8 +111,11 @@ pub fn run_study(seed: u64, config: &ScenarioConfig) -> StudyResults {
 
     let mut records = Vec::with_capacity(roster.len() * 2);
     let mut questionnaires = Vec::new();
+    let mut telemetry = RunTelemetry::default();
     let q_rng = RngStream::from_seed(seed).substream("questionnaire");
     for (entry, (mut golden, mut faulty)) in roster.iter().zip(outputs) {
+        telemetry.merge(&golden.telemetry);
+        telemetry.merge(&faulty.telemetry);
         // Recording artifacts (§VI.A).
         if entry.steering_lost_golden {
             golden.record.log.redact_steering();
@@ -133,6 +143,7 @@ pub fn run_study(seed: u64, config: &ScenarioConfig) -> StudyResults {
         roster,
         records,
         questionnaires,
+        telemetry,
     }
 }
 
@@ -154,8 +165,7 @@ pub fn table2(results: &StudyResults) -> Vec<Table2Row> {
         .into_iter()
         .filter_map(|id| {
             let rec = results.faulty(&id)?;
-            let counts: [usize; 5] =
-                std::array::from_fn(|i| rec.fault_count(PaperFault::ALL[i]));
+            let counts: [usize; 5] = std::array::from_fn(|i| rec.fault_count(PaperFault::ALL[i]));
             Some(Table2Row {
                 total: counts.iter().sum(),
                 test: id,
@@ -189,9 +199,8 @@ pub fn table3(results: &StudyResults, config: &TtcConfig) -> Vec<Table3Row> {
             }
             let nfi_series = ttc_series(&golden.log, config);
             let nfi = TtcStats::from_samples(&nfi_series, config);
-            let per_fault: [Option<TtcStats>; 5] = std::array::from_fn(|i| {
-                ttc_stats_for_fault(faulty, PaperFault::ALL[i], config)
-            });
+            let per_fault: [Option<TtcStats>; 5] =
+                std::array::from_fn(|i| ttc_stats_for_fault(faulty, PaperFault::ALL[i], config));
             Some(Table3Row {
                 test: id,
                 nfi,
@@ -275,10 +284,7 @@ mod tests {
         assert_eq!(results.records.len(), 24);
         assert_eq!(results.questionnaires.len(), 11);
         assert_eq!(results.analysable_ids().len(), 11);
-        assert!(!results
-            .analysable_ids()
-            .iter()
-            .any(|id| id == "T7"));
+        assert!(!results.analysable_ids().iter().any(|id| id == "T7"));
 
         // Table II: 11 rows, totals consistent, at least one injection.
         let t2 = table2(&results);
@@ -291,7 +297,10 @@ mod tests {
         // Table III: T1–T4 excluded by missing lead data.
         let t3 = table3(&results, &TtcConfig::default());
         for missing in ["T1", "T2", "T3", "T4"] {
-            assert!(t3.iter().all(|r| r.test != missing), "{missing} must be absent");
+            assert!(
+                t3.iter().all(|r| r.test != missing),
+                "{missing} must be absent"
+            );
         }
         assert!(t3.len() >= 5, "T5..T12 rows expected, got {}", t3.len());
 

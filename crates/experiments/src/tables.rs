@@ -68,12 +68,12 @@ impl fmt::Display for TextTable {
             }
         }
         let write_row = |f: &mut fmt::Formatter<'_>, row: &[String]| -> fmt::Result {
-            for i in 0..cols {
+            for (i, width) in widths.iter().enumerate() {
                 let cell = row.get(i).map(String::as_str).unwrap_or("");
                 if i > 0 {
                     write!(f, "  ")?;
                 }
-                write!(f, "{cell:>width$}", width = widths[i])?;
+                write!(f, "{cell:>width$}")?;
             }
             writeln!(f)
         };
@@ -112,5 +112,4 @@ mod tests {
         let s = t.to_string();
         assert!(s.contains('H'));
     }
-
 }

@@ -6,15 +6,15 @@
 //! 1 % packet loss had no significant effect while 10 % made driving very
 //! difficult. For the model vehicle: delays > 20 ms degraded driving and
 //! > 100 ms made it impossible; 7 % loss had a conscious impact and 10 %
-//! made it impossible. These sweeps regenerate those dose–response
-//! curves.
+//! > made it impossible. These sweeps regenerate those dose–response
+//! > curves.
 
 use crate::{run_protocol, ScenarioConfig};
 use rdsim_core::RunKind;
 use rdsim_netem::NetemConfig;
 use rdsim_operator::SubjectProfile;
 use rdsim_roadnet::town05;
-use rdsim_units::{Millis, MetersPerSecond, Ratio, SimDuration};
+use rdsim_units::{MetersPerSecond, Millis, Ratio, SimDuration};
 use rdsim_vehicle::VehicleSpec;
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -103,8 +103,7 @@ fn classify(
     } else {
         (2.0, 5.0, 12.0)
     };
-    if completion < 0.6 || worst_lat > 8.0 || (collided && completion < 0.9) || ratio > impossible
-    {
+    if completion < 0.6 || worst_lat > 8.0 || (collided && completion < 0.9) || ratio > impossible {
         Drivability::Impossible
     } else if ratio > difficult || worst_lat > 3.5 || collided {
         Drivability::Difficult
@@ -298,19 +297,52 @@ mod tests {
     #[test]
     fn classification_ordering() {
         const BASE: f64 = 0.12;
-        assert_eq!(classify(0.13, 0.5, false, 1.0, BASE, false), Drivability::Fine);
-        assert_eq!(classify(0.30, 1.0, false, 1.0, BASE, false), Drivability::Degraded);
-        assert_eq!(classify(0.70, 3.0, false, 1.0, BASE, false), Drivability::Difficult);
-        assert_eq!(classify(0.13, 0.5, true, 1.0, BASE, false), Drivability::Difficult);
-        assert_eq!(classify(1.6, 8.0, false, 1.0, BASE, false), Drivability::Impossible);
-        assert_eq!(classify(0.13, 0.5, false, 0.4, BASE, false), Drivability::Impossible);
+        assert_eq!(
+            classify(0.13, 0.5, false, 1.0, BASE, false),
+            Drivability::Fine
+        );
+        assert_eq!(
+            classify(0.30, 1.0, false, 1.0, BASE, false),
+            Drivability::Degraded
+        );
+        assert_eq!(
+            classify(0.70, 3.0, false, 1.0, BASE, false),
+            Drivability::Difficult
+        );
+        assert_eq!(
+            classify(0.13, 0.5, true, 1.0, BASE, false),
+            Drivability::Difficult
+        );
+        assert_eq!(
+            classify(1.6, 8.0, false, 1.0, BASE, false),
+            Drivability::Impossible
+        );
+        assert_eq!(
+            classify(0.13, 0.5, false, 0.4, BASE, false),
+            Drivability::Impossible
+        );
         // Worst-lateral escalations independent of the ratio.
-        assert_eq!(classify(0.13, 2.5, false, 1.0, BASE, false), Drivability::Degraded);
-        assert_eq!(classify(0.13, 4.0, false, 1.0, BASE, false), Drivability::Difficult);
+        assert_eq!(
+            classify(0.13, 2.5, false, 1.0, BASE, false),
+            Drivability::Degraded
+        );
+        assert_eq!(
+            classify(0.13, 4.0, false, 1.0, BASE, false),
+            Drivability::Difficult
+        );
         // Tight-margin plants read the same ratio more severely.
-        assert_eq!(classify(0.16, 0.5, false, 1.0, BASE, true), Drivability::Degraded);
-        assert_eq!(classify(0.25, 0.5, false, 1.0, BASE, true), Drivability::Difficult);
-        assert_eq!(classify(0.45, 0.5, false, 1.0, BASE, true), Drivability::Impossible);
+        assert_eq!(
+            classify(0.16, 0.5, false, 1.0, BASE, true),
+            Drivability::Degraded
+        );
+        assert_eq!(
+            classify(0.25, 0.5, false, 1.0, BASE, true),
+            Drivability::Difficult
+        );
+        assert_eq!(
+            classify(0.45, 0.5, false, 1.0, BASE, true),
+            Drivability::Impossible
+        );
         assert!(Drivability::Fine < Drivability::Impossible);
     }
 
@@ -344,7 +376,10 @@ mod tests {
             "delay 50ms"
         );
         assert_eq!(
-            report.delay_threshold(Drivability::Difficult).unwrap().label,
+            report
+                .delay_threshold(Drivability::Difficult)
+                .unwrap()
+                .label,
             "delay 100ms"
         );
         assert!(report.loss_threshold(Drivability::Degraded).is_none());

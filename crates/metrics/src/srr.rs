@@ -154,7 +154,7 @@ mod tests {
 
     #[test]
     fn constant_signal_has_zero_rate() {
-        let signal = uniform_signal(std::iter::repeat(0.1).take(500), 0.02);
+        let signal = uniform_signal(std::iter::repeat_n(0.1, 500), 0.02);
         let r = steering_reversal_rate(&signal, &SrrConfig::default()).unwrap();
         assert_eq!(r.reversals, 0);
         assert_eq!(r.rate_per_min, 0.0);

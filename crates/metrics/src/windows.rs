@@ -42,9 +42,9 @@ pub fn ttc_stats_for_fault(
     let in_windows: Vec<crate::TtcSample> = series
         .into_iter()
         .filter(|s| {
-            windows.iter().any(|w| {
-                s.t >= w.start.as_secs_f64() && s.t < w.end().as_secs_f64()
-            })
+            windows
+                .iter()
+                .any(|w| s.t >= w.start.as_secs_f64() && s.t < w.end().as_secs_f64())
         })
         .collect();
     TtcStats::from_samples(&in_windows, config)
@@ -92,9 +92,7 @@ mod tests {
     use rdsim_core::{EgoSample, LeadObservation, RunKind, RunLog, ScheduledFault};
     use rdsim_math::Vec2;
     use rdsim_simulator::ActorId;
-    use rdsim_units::{
-        Meters, MetersPerSecond, MetersPerSecond2, SimDuration, SimTime,
-    };
+    use rdsim_units::{Meters, MetersPerSecond, MetersPerSecond2, SimDuration, SimTime};
 
     fn window(start: u64, dur: u64) -> InjectionWindow {
         InjectionWindow::new(

@@ -172,7 +172,13 @@ impl NetemConfig {
     }
 
     /// Builder-style: sets a Gilbert–Elliott loss model.
-    pub fn with_gemodel_loss(mut self, p: Ratio, r: Ratio, loss_in_bad: Ratio, loss_in_good: Ratio) -> Self {
+    pub fn with_gemodel_loss(
+        mut self,
+        p: Ratio,
+        r: Ratio,
+        loss_in_bad: Ratio,
+        loss_in_good: Ratio,
+    ) -> Self {
         self.loss = Some(LossConfig::GilbertElliott {
             p,
             r,
@@ -342,7 +348,11 @@ impl fmt::Display for NetemConfig {
             parts.push(format!("corrupt {}%", c.to_percent()));
         }
         if let Some(r) = self.reorder {
-            parts.push(format!("reorder {}% gap {}", r.probability.to_percent(), r.gap));
+            parts.push(format!(
+                "reorder {}% gap {}",
+                r.probability.to_percent(),
+                r.gap
+            ));
         }
         if let Some(r) = self.rate {
             parts.push(format!("rate {}bit", r.bits_per_second));
@@ -445,7 +455,11 @@ mod tests {
     #[test]
     fn display_roundtrips_through_parser() {
         let c = NetemConfig::default()
-            .with_jittered_delay(Millis::new(25.0), Millis::new(5.0), Ratio::from_percent(25.0))
+            .with_jittered_delay(
+                Millis::new(25.0),
+                Millis::new(5.0),
+                Ratio::from_percent(25.0),
+            )
             .with_loss(Ratio::from_percent(2.0));
         let s = format!("{c}");
         let back: NetemConfig = s.parse().unwrap();

@@ -116,6 +116,9 @@ pub struct FaultInjector {
     windows: Vec<InjectionWindow>,
     log: Vec<InjectionEvent>,
     active: Option<usize>,
+    /// An ad-hoc (unscheduled) rule is currently applied via
+    /// [`FaultInjector::inject_now`] / [`FaultInjector::inject_now_on`].
+    adhoc_active: bool,
 }
 
 impl FaultInjector {
@@ -130,6 +133,7 @@ impl FaultInjector {
     ///
     /// Returns the conflicting window if the new one overlaps an existing
     /// schedule entry.
+    #[allow(clippy::result_large_err)] // the Err is a by-value copy of the conflicting window
     pub fn schedule(&mut self, window: InjectionWindow) -> Result<(), InjectionWindow> {
         if let Some(conflict) = self.windows.iter().find(|w| w.overlaps(&window)) {
             return Err(*conflict);
@@ -147,6 +151,13 @@ impl FaultInjector {
     /// The currently active window, if any.
     pub fn active_window(&self) -> Option<&InjectionWindow> {
         self.active.map(|i| &self.windows[i])
+    }
+
+    /// `true` while any fault rule is applied — a scheduled window or an
+    /// ad-hoc injection. This is what per-fault-window packet accounting
+    /// keys on.
+    pub fn fault_active(&self) -> bool {
+        self.active.is_some() || self.adhoc_active
     }
 
     /// Advances the injector to time `now`, applying and removing rules on
@@ -202,6 +213,7 @@ impl FaultInjector {
             Direction::Uplink => link.uplink.set_config(config),
             Direction::Downlink => link.downlink.set_config(config),
         }
+        self.adhoc_active = true;
         self.log.push(InjectionEvent {
             time: now,
             config,
@@ -221,6 +233,7 @@ impl FaultInjector {
             direction: Direction::Both,
         });
         self.active = None;
+        self.adhoc_active = false;
     }
 
     /// The complete injection log.
@@ -351,6 +364,31 @@ mod tests {
         assert_eq!(log.len(), 2);
         assert_eq!(log[1].action, InjectionAction::Deleted);
         assert_eq!(log[1].config, delay_rule(50.0));
+    }
+
+    #[test]
+    fn fault_active_tracks_scheduled_and_adhoc() {
+        let mut link = DuplexLink::new(1);
+        let mut inj = FaultInjector::new();
+        assert!(!inj.fault_active());
+
+        // Ad-hoc lifecycle.
+        inj.inject_now(&mut link, delay_rule(5.0), SimTime::ZERO);
+        assert!(inj.fault_active());
+        inj.clear_now(&mut link, SimTime::from_secs(1));
+        assert!(!inj.fault_active());
+
+        // Scheduled lifecycle.
+        inj.schedule(InjectionWindow::new(
+            SimTime::from_secs(2),
+            SimDuration::from_secs(1),
+            delay_rule(25.0),
+        ))
+        .unwrap();
+        inj.advance(&mut link, SimTime::from_secs(2));
+        assert!(inj.fault_active());
+        inj.advance(&mut link, SimTime::from_secs(3));
+        assert!(!inj.fault_active());
     }
 
     #[test]

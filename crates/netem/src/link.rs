@@ -1,8 +1,10 @@
 //! Emulated links: unidirectional and duplex.
 
 use crate::{NetemConfig, NetemQdisc, Packet, Qdisc};
+use rdsim_obs::{Histogram, Recorder};
 use rdsim_units::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Delivery statistics of one link direction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
@@ -52,6 +54,9 @@ impl LinkStats {
 pub struct Link {
     qdisc: NetemQdisc,
     stats: LinkStats,
+    /// Per-delivery latency histogram (µs), present only while a live
+    /// recorder is attached.
+    latency_hist: Option<Arc<Histogram>>,
 }
 
 impl Link {
@@ -60,6 +65,7 @@ impl Link {
         Link {
             qdisc: NetemQdisc::new(seed),
             stats: LinkStats::default(),
+            latency_hist: None,
         }
     }
 
@@ -68,7 +74,19 @@ impl Link {
         Link {
             qdisc: NetemQdisc::with_config(config, seed),
             stats: LinkStats::default(),
+            latency_hist: None,
         }
+    }
+
+    /// Registers this link's instruments under `prefix` (e.g.
+    /// `netem.uplink`): a `<prefix>.latency_us` delivery-latency histogram
+    /// plus the qdisc decision counters. Attaching a null recorder
+    /// detaches.
+    pub fn attach_recorder(&mut self, recorder: &Recorder, prefix: &str) {
+        self.qdisc.attach_recorder(recorder, prefix);
+        self.latency_hist = recorder
+            .enabled()
+            .then(|| recorder.histogram(&format!("{prefix}.latency_us")));
     }
 
     /// The active fault configuration.
@@ -106,6 +124,9 @@ impl Link {
             self.stats.total_latency += lat;
             if lat > self.stats.max_latency {
                 self.stats.max_latency = lat;
+            }
+            if let Some(hist) = &self.latency_hist {
+                hist.record(lat.as_micros());
             }
         }
         out
@@ -165,6 +186,13 @@ impl DuplexLink {
         self.downlink.set_config(config);
     }
 
+    /// Registers both directions with a recorder, under `netem.uplink`
+    /// and `netem.downlink`.
+    pub fn attach_recorder(&mut self, recorder: &Recorder) {
+        self.uplink.attach_recorder(recorder, "netem.uplink");
+        self.downlink.attach_recorder(recorder, "netem.downlink");
+    }
+
     /// Resets both directions.
     pub fn reset(&mut self) {
         self.uplink.reset();
@@ -196,8 +224,7 @@ mod tests {
 
     #[test]
     fn stats_track_latency() {
-        let mut link =
-            Link::with_config(NetemConfig::default().with_delay(Millis::new(50.0)), 1);
+        let mut link = Link::with_config(NetemConfig::default().with_delay(Millis::new(50.0)), 1);
         link.send(video(1), SimTime::ZERO);
         link.send(video(2), SimTime::ZERO);
         assert_eq!(link.in_flight(), 2);
@@ -227,8 +254,7 @@ mod tests {
 
     #[test]
     fn reset_clears_everything() {
-        let mut link =
-            Link::with_config(NetemConfig::default().with_delay(Millis::new(50.0)), 1);
+        let mut link = Link::with_config(NetemConfig::default().with_delay(Millis::new(50.0)), 1);
         link.send(video(1), SimTime::ZERO);
         link.reset();
         assert_eq!(link.in_flight(), 0);
@@ -241,9 +267,10 @@ mod tests {
         let mut duplex = DuplexLink::new(9);
         duplex.set_both(NetemConfig::default().with_delay(Millis::new(25.0)));
         duplex.uplink.send(video(1), SimTime::ZERO);
-        duplex
-            .downlink
-            .send(Packet::new(1, PacketKind::Command, vec![1u8]), SimTime::ZERO);
+        duplex.downlink.send(
+            Packet::new(1, PacketKind::Command, vec![1u8]),
+            SimTime::ZERO,
+        );
         // Both directions experience the delay.
         assert!(duplex.uplink.receive(SimTime::from_millis(20)).is_empty());
         assert!(duplex.downlink.receive(SimTime::from_millis(20)).is_empty());
@@ -260,9 +287,10 @@ mod tests {
         let n = 2000;
         for seq in 0..n {
             duplex.uplink.send(video(seq), SimTime::ZERO);
-            duplex
-                .downlink
-                .send(Packet::new(seq, PacketKind::Command, vec![0u8; 8]), SimTime::ZERO);
+            duplex.downlink.send(
+                Packet::new(seq, PacketKind::Command, vec![0u8; 8]),
+                SimTime::ZERO,
+            );
         }
         let up = duplex.uplink.receive(SimTime::from_secs(1));
         let down = duplex.downlink.receive(SimTime::from_secs(1));
@@ -273,9 +301,27 @@ mod tests {
     }
 
     #[test]
+    fn recorder_captures_delivery_latency() {
+        let registry = rdsim_obs::Registry::new();
+        let mut duplex = DuplexLink::new(4);
+        duplex.attach_recorder(&registry.recorder());
+        duplex.set_both(NetemConfig::default().with_delay(Millis::new(50.0)));
+        duplex.uplink.send(video(1), SimTime::ZERO);
+        duplex.uplink.receive(SimTime::from_millis(50));
+        let t = registry.snapshot();
+        let h = t.histogram("netem.uplink.latency_us").expect("registered");
+        assert_eq!(h.count, 1);
+        assert_eq!(h.min, 50_000, "50 ms in µs");
+        assert_eq!(t.counter("netem.uplink.enqueued"), 1);
+        assert!(
+            t.histogram("netem.downlink.latency_us").unwrap().is_empty(),
+            "nothing sent downlink"
+        );
+    }
+
+    #[test]
     fn next_delivery_reports_pending() {
-        let mut link =
-            Link::with_config(NetemConfig::default().with_delay(Millis::new(10.0)), 2);
+        let mut link = Link::with_config(NetemConfig::default().with_delay(Millis::new(10.0)), 2);
         assert_eq!(link.next_delivery(), None);
         link.send(video(1), SimTime::from_millis(100));
         assert_eq!(link.next_delivery(), Some(SimTime::from_millis(110)));

@@ -92,6 +92,10 @@ impl fmt::Display for Packet {
     }
 }
 
+// Referenced via `#[serde(with = "bytes_serde")]`; the vendored no-op
+// serde derive never expands that attribute, so the functions look dead
+// until the real serde is restored.
+#[allow(dead_code)]
 mod bytes_serde {
     use bytes::Bytes;
     use serde::{Deserialize, Deserializer, Serializer};

@@ -109,12 +109,18 @@ impl FromStr for NetemConfig {
                     }
                 }
                 "duplicate" => {
-                    config.duplicate =
-                        Some(parse_percent(take(&tokens, &mut i, "duplicate needs a probability")?)?);
+                    config.duplicate = Some(parse_percent(take(
+                        &tokens,
+                        &mut i,
+                        "duplicate needs a probability",
+                    )?)?);
                 }
                 "corrupt" => {
-                    config.corrupt =
-                        Some(parse_percent(take(&tokens, &mut i, "corrupt needs a probability")?)?);
+                    config.corrupt = Some(parse_percent(take(
+                        &tokens,
+                        &mut i,
+                        "corrupt needs a probability",
+                    )?)?);
                 }
                 "reorder" => {
                     let probability =
@@ -152,9 +158,7 @@ impl FromStr for NetemConfig {
                 }
             }
         }
-        config
-            .validate()
-            .map_err(|e| ParseRuleError::new(e))?;
+        config.validate().map_err(ParseRuleError::new)?;
         Ok(config)
     }
 }

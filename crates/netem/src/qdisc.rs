@@ -2,6 +2,7 @@
 
 use crate::{LossConfig, NetemConfig, Packet};
 use rdsim_math::RngStream;
+use rdsim_obs::{Counter, Recorder};
 use rdsim_units::{SimDuration, SimTime};
 use std::collections::BinaryHeap;
 
@@ -33,6 +34,31 @@ pub trait Qdisc: std::fmt::Debug + Send {
 
     /// Drops all queued packets (used when tearing a link down).
     fn clear(&mut self);
+}
+
+/// Telemetry handles for one qdisc, present only while a live recorder is
+/// attached — the disabled path carries no handles and touches no atomics.
+#[derive(Debug)]
+struct QdiscObs {
+    enqueued: Counter,
+    dequeued: Counter,
+    dropped: Counter,
+    duplicated: Counter,
+    corrupted: Counter,
+    reordered: Counter,
+}
+
+impl QdiscObs {
+    fn attach(recorder: &Recorder, prefix: &str) -> Self {
+        QdiscObs {
+            enqueued: recorder.counter(&format!("{prefix}.enqueued")),
+            dequeued: recorder.counter(&format!("{prefix}.dequeued")),
+            dropped: recorder.counter(&format!("{prefix}.dropped")),
+            duplicated: recorder.counter(&format!("{prefix}.duplicated")),
+            corrupted: recorder.counter(&format!("{prefix}.corrupted")),
+            reordered: recorder.counter(&format!("{prefix}.reordered")),
+        }
+    }
 }
 
 /// An entry in the delay queue, ordered by `(release, tiebreak)`.
@@ -139,6 +165,8 @@ pub struct NetemQdisc {
     duplicated: u64,
     /// Statistics: corrupted packets.
     corrupted: u64,
+    /// Telemetry handles (None unless a live recorder was attached).
+    obs: Option<QdiscObs>,
 }
 
 impl NetemQdisc {
@@ -162,7 +190,19 @@ impl NetemQdisc {
             dropped: 0,
             duplicated: 0,
             corrupted: 0,
+            obs: None,
         }
+    }
+
+    /// Registers per-decision counters (`<prefix>.dropped`,
+    /// `.duplicated`, `.corrupted`, `.reordered`, `.enqueued`,
+    /// `.dequeued`) with a recorder. Attaching a null recorder detaches
+    /// instead, so the hot path stays instrument-free when telemetry is
+    /// off.
+    pub fn attach_recorder(&mut self, recorder: &Recorder, prefix: &str) {
+        self.obs = recorder
+            .enabled()
+            .then(|| QdiscObs::attach(recorder, prefix));
     }
 
     /// The active configuration.
@@ -201,8 +241,7 @@ impl NetemQdisc {
             }) => {
                 // First-order autoregressive correlation, like netem.
                 let fresh = self.rng.uniform();
-                let value = correlation.get() * self.prev_loss
-                    + (1.0 - correlation.get()) * fresh;
+                let value = correlation.get() * self.prev_loss + (1.0 - correlation.get()) * fresh;
                 self.prev_loss = value;
                 value < probability.get()
             }
@@ -236,8 +275,8 @@ impl NetemQdisc {
             Some(d) => {
                 let jitter_ms = if d.jitter.get() > 0.0 {
                     let fresh = self.rng.uniform_range(-1.0, 1.0);
-                    let sample =
-                        d.correlation.get() * self.prev_jitter + (1.0 - d.correlation.get()) * fresh;
+                    let sample = d.correlation.get() * self.prev_jitter
+                        + (1.0 - d.correlation.get()) * fresh;
                     self.prev_jitter = sample;
                     d.jitter.get() * sample
                 } else {
@@ -259,6 +298,9 @@ impl NetemQdisc {
                 packet.payload = bytes.into();
                 packet.corrupted = true;
                 self.corrupted += 1;
+                if let Some(obs) = &self.obs {
+                    obs.corrupted.inc();
+                }
             }
         }
     }
@@ -275,8 +317,14 @@ impl NetemQdisc {
 
 impl Qdisc for NetemQdisc {
     fn enqueue(&mut self, mut packet: Packet, now: SimTime) -> usize {
+        if let Some(obs) = &self.obs {
+            obs.enqueued.inc();
+        }
         if self.draw_loss() {
             self.dropped += 1;
+            if let Some(obs) = &self.obs {
+                obs.dropped.inc();
+            }
             return 0;
         }
         let duplicate = match self.config.duplicate {
@@ -302,6 +350,9 @@ impl Qdisc for NetemQdisc {
                 self.reorder_count = 0;
                 if self.rng.bernoulli(reorder.probability.get()) {
                     jumped = true;
+                    if let Some(obs) = &self.obs {
+                        obs.reordered.inc();
+                    }
                 }
             }
         }
@@ -318,6 +369,9 @@ impl Qdisc for NetemQdisc {
             let mut copy = packet.clone();
             copy.duplicate = true;
             self.duplicated += 1;
+            if let Some(obs) = &self.obs {
+                obs.duplicated.inc();
+            }
             // Netem sends the duplicate immediately after the original.
             self.push(copy, release);
             entries += 1;
@@ -333,6 +387,9 @@ impl Qdisc for NetemQdisc {
                 break;
             }
             out.push(self.heap.pop().expect("peeked").packet);
+        }
+        if let Some(obs) = &self.obs {
+            obs.dequeued.add(out.len() as u64);
         }
         out
     }
@@ -410,10 +467,7 @@ mod tests {
             delivered += q.enqueue(pkt(seq), SimTime::ZERO) as u64;
         }
         let loss_rate = 1.0 - delivered as f64 / n as f64;
-        assert!(
-            (loss_rate - 0.05).abs() < 0.01,
-            "measured loss {loss_rate}"
-        );
+        assert!((loss_rate - 0.05).abs() < 0.01, "measured loss {loss_rate}");
         assert_eq!(q.dropped(), n - delivered);
     }
 
@@ -491,12 +545,12 @@ mod tests {
 
     #[test]
     fn corruption_flips_exactly_one_bit() {
-        let mut q = NetemQdisc::with_config(
-            NetemConfig::default().with_corrupt(Ratio::ONE),
-            5,
-        );
+        let mut q = NetemQdisc::with_config(NetemConfig::default().with_corrupt(Ratio::ONE), 5);
         let original = vec![0u8; 64];
-        q.enqueue(Packet::new(0, PacketKind::Video, original.clone()), SimTime::ZERO);
+        q.enqueue(
+            Packet::new(0, PacketKind::Video, original.clone()),
+            SimTime::ZERO,
+        );
         let out = drain_all(&mut q);
         assert!(out[0].corrupted);
         let diff_bits: u32 = out[0]
@@ -512,7 +566,10 @@ mod tests {
     #[test]
     fn corruption_skips_empty_payload() {
         let mut q = NetemQdisc::with_config(NetemConfig::default().with_corrupt(Ratio::ONE), 5);
-        q.enqueue(Packet::new(0, PacketKind::Qos, Vec::<u8>::new()), SimTime::ZERO);
+        q.enqueue(
+            Packet::new(0, PacketKind::Qos, Vec::<u8>::new()),
+            SimTime::ZERO,
+        );
         let out = drain_all(&mut q);
         assert!(!out[0].corrupted);
     }
@@ -591,7 +648,10 @@ mod tests {
         let config = NetemConfig::default().with_rate(1_000_000);
         let mut q = NetemQdisc::with_config(config, 19);
         for seq in 0..5 {
-            q.enqueue(Packet::new(seq, PacketKind::Video, vec![0u8; 125]), SimTime::ZERO);
+            q.enqueue(
+                Packet::new(seq, PacketKind::Video, vec![0u8; 125]),
+                SimTime::ZERO,
+            );
         }
         let mut releases = Vec::new();
         while let Some(r) = q.next_release() {
@@ -608,7 +668,10 @@ mod tests {
     fn rate_limiter_idles_down() {
         let config = NetemConfig::default().with_rate(1_000_000);
         let mut q = NetemQdisc::with_config(config, 19);
-        q.enqueue(Packet::new(0, PacketKind::Video, vec![0u8; 125]), SimTime::ZERO);
+        q.enqueue(
+            Packet::new(0, PacketKind::Video, vec![0u8; 125]),
+            SimTime::ZERO,
+        );
         drain_all(&mut q);
         // A packet arriving much later is not queued behind the stale
         // busy-until time.
@@ -660,6 +723,41 @@ mod tests {
         };
         assert_eq!(run(77), run(77));
         assert_ne!(run(77), run(78));
+    }
+
+    #[test]
+    fn recorder_counts_decisions() {
+        let registry = rdsim_obs::Registry::new();
+        let recorder = registry.recorder();
+        let config = NetemConfig::default()
+            .with_loss(Ratio::from_percent(30.0))
+            .with_duplicate(Ratio::from_percent(30.0))
+            .with_corrupt(Ratio::from_percent(30.0));
+        let mut q = NetemQdisc::with_config(config, 21);
+        q.attach_recorder(&recorder, "netem.test");
+        let n = 2_000u64;
+        for seq in 0..n {
+            q.enqueue(pkt(seq), SimTime::ZERO);
+        }
+        let delivered = drain_all(&mut q).len() as u64;
+        let t = registry.snapshot();
+        assert_eq!(t.counter("netem.test.enqueued"), n);
+        assert_eq!(t.counter("netem.test.dequeued"), delivered);
+        assert_eq!(t.counter("netem.test.dropped"), q.dropped());
+        assert_eq!(t.counter("netem.test.duplicated"), q.duplicated());
+        assert_eq!(t.counter("netem.test.corrupted"), q.corrupted());
+        assert!(q.dropped() > 0 && q.duplicated() > 0 && q.corrupted() > 0);
+    }
+
+    #[test]
+    fn null_recorder_detaches() {
+        let registry = rdsim_obs::Registry::new();
+        let mut q = NetemQdisc::with_config(NetemConfig::default().with_loss(Ratio::ONE), 3);
+        q.attach_recorder(&registry.recorder(), "netem.test");
+        q.attach_recorder(&rdsim_obs::Recorder::null(), "netem.test");
+        q.enqueue(pkt(0), SimTime::ZERO);
+        assert_eq!(registry.snapshot().counter("netem.test.dropped"), 0);
+        assert_eq!(q.dropped(), 1, "internal stats still track");
     }
 
     #[test]

@@ -1,0 +1,28 @@
+//! Structured run events.
+
+/// A single structured event emitted during a run.
+///
+/// `sim_us` is the simulation clock (microseconds since run start) — it is
+/// the *deterministic* timestamp: two runs with identical seeds produce
+/// identical `(name, sim_us, note)` streams. `wall_ns` is the host
+/// monotonic clock relative to registry creation, useful for diagnosing
+/// real-time behaviour but excluded from any determinism contract.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    /// Dot-separated event name, e.g. `"netem.fault.injected"`.
+    pub name: String,
+    /// Simulation time in microseconds since run start (deterministic).
+    pub sim_us: u64,
+    /// Wall-clock nanoseconds since the owning registry was created.
+    pub wall_ns: u64,
+    /// Free-form detail, e.g. the injected `NetemConfig` rendered as text.
+    pub note: String,
+}
+
+impl Event {
+    /// The deterministic portion of the event — everything except the
+    /// wall clock. Equal seeds must yield equal keys, in order.
+    pub fn deterministic_key(&self) -> (String, u64, String) {
+        (self.name.clone(), self.sim_us, self.note.clone())
+    }
+}

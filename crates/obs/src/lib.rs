@@ -1,0 +1,43 @@
+//! # rdsim-obs — zero-dependency telemetry for the rdsim stack
+//!
+//! This crate provides the observability primitives used across the
+//! simulator, network emulator, session engine, and campaign runner:
+//!
+//! * [`Counter`] / [`Gauge`] — cheap atomic scalars.
+//! * [`Histogram`] — fixed-bucket base-2 logarithmic histogram with
+//!   `p50 / p90 / p99 / max` read-out, mergeable across runs.
+//! * [`Event`] — structured events stamped with **sim-time** (deterministic,
+//!   reproducible across identical seeds) *and* **wall-time** (diagnostic).
+//! * [`Registry`] — owns all instruments for one run; snapshots into a
+//!   serializable [`RunTelemetry`].
+//! * [`Recorder`] — the handle threaded *explicitly* through the simulation
+//!   code. There is deliberately **no global/thread-local state**: a
+//!   component can only record into a registry it was handed, which keeps
+//!   runs deterministic and makes parallel campaign execution trivially
+//!   safe. [`Recorder::null`] is the disabled variant whose operations
+//!   compile down to a branch on an `Option`.
+//!
+//! The crate depends on nothing but `std` — not even other workspace
+//! crates — so every layer can use it without dependency cycles.
+//!
+//! ## Conventions
+//!
+//! * Instrument names are dot-separated paths, e.g.
+//!   `"session.frame_age_us"` or `"netem.uplink.dropped"`.
+//! * Histogram samples are `u64`s in the unit named by the instrument
+//!   (`_us` for microseconds, `_ns` for nanoseconds, `_bytes` for sizes).
+//! * Sim-time stamps are microseconds since run start (`SimTime::as_micros`
+//!   in `rdsim-units`, passed as a plain `u64` to keep this crate
+//!   dependency-free).
+
+mod event;
+mod hist;
+mod metrics;
+mod recorder;
+mod telemetry;
+
+pub use event::Event;
+pub use hist::{bucket_bounds, bucket_index, Histogram, HistogramSnapshot, BUCKETS};
+pub use metrics::{Counter, Gauge};
+pub use recorder::{Recorder, Registry, Span};
+pub use telemetry::RunTelemetry;

@@ -1,0 +1,96 @@
+//! Scalar instruments: monotonic counters and last-value gauges.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A monotonically increasing counter.
+///
+/// Handles are cheap to clone and always functional — a counter obtained
+/// from a [`crate::Recorder::null`] recorder still counts (callers may use
+/// it as their source of truth, e.g. `SessionStats`); it just is not
+/// registered anywhere, so it never shows up in a [`crate::RunTelemetry`].
+#[derive(Debug, Clone, Default)]
+pub struct Counter {
+    cell: Arc<AtomicU64>,
+}
+
+impl Counter {
+    /// Creates a detached counter starting at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.cell.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-value-wins gauge holding an `f64`.
+#[derive(Debug, Clone)]
+pub struct Gauge {
+    bits: Arc<AtomicU64>,
+}
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Self {
+            bits: Arc::new(AtomicU64::new(0f64.to_bits())),
+        }
+    }
+}
+
+impl Gauge {
+    /// Creates a detached gauge at `0.0`.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Stores a new value.
+    #[inline]
+    pub fn set(&self, value: f64) {
+        self.bits.store(value.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Loads the current value.
+    #[inline]
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_clones_share_state() {
+        let c = Counter::new();
+        let c2 = c.clone();
+        c.inc();
+        c2.add(4);
+        assert_eq!(c.get(), 5);
+        assert_eq!(c2.get(), 5);
+    }
+
+    #[test]
+    fn gauge_round_trips_f64() {
+        let g = Gauge::new();
+        assert_eq!(g.get(), 0.0);
+        g.set(-3.75);
+        assert_eq!(g.get(), -3.75);
+    }
+}

@@ -1,0 +1,287 @@
+//! Serializable per-run telemetry summary.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::event::Event;
+use crate::hist::HistogramSnapshot;
+
+/// Everything one run recorded, in an owned, mergeable, serializable form.
+///
+/// Produced by [`crate::Registry::snapshot`]; campaign runners attach one
+/// next to each run record and fold them together with
+/// [`RunTelemetry::merge`] for whole-campaign reporting. `BTreeMap`s keep
+/// iteration (and therefore serialization and reports) deterministic.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RunTelemetry {
+    /// Final counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Final gauge values by name.
+    pub gauges: BTreeMap<String, f64>,
+    /// Histogram snapshots by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+    /// Structured events in emission order.
+    pub events: Vec<Event>,
+    /// Events discarded after the registry's capacity was reached.
+    pub events_dropped: u64,
+    /// Wall-clock nanoseconds between registry creation and snapshot.
+    pub wall_elapsed_ns: u64,
+}
+
+impl RunTelemetry {
+    /// True when nothing at all was recorded (the null-recorder outcome).
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+            && self.gauges.is_empty()
+            && self.histograms.is_empty()
+            && self.events.is_empty()
+            && self.events_dropped == 0
+    }
+
+    /// Final value of a counter, or 0 if it never existed.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Histogram snapshot by name, if it exists.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.get(name)
+    }
+
+    /// Steps per wall-clock second, derived from the named step counter.
+    pub fn steps_per_sec(&self, step_counter: &str) -> f64 {
+        if self.wall_elapsed_ns == 0 {
+            return 0.0;
+        }
+        self.counter(step_counter) as f64 / (self.wall_elapsed_ns as f64 * 1e-9)
+    }
+
+    /// Folds `other` into `self`: counters add, gauges take the other
+    /// side's value, histograms merge bucket-wise, events concatenate, and
+    /// wall time accumulates (total compute time across runs).
+    pub fn merge(&mut self, other: &RunTelemetry) {
+        for (name, value) in &other.counters {
+            *self.counters.entry(name.clone()).or_insert(0) += value;
+        }
+        for (name, value) in &other.gauges {
+            self.gauges.insert(name.clone(), *value);
+        }
+        for (name, snapshot) in &other.histograms {
+            self.histograms
+                .entry(name.clone())
+                .or_default()
+                .merge(snapshot);
+        }
+        self.events.extend(other.events.iter().cloned());
+        self.events_dropped += other.events_dropped;
+        self.wall_elapsed_ns += other.wall_elapsed_ns;
+    }
+
+    /// Serializes to a self-contained JSON document. Hand-rolled because
+    /// this crate is dependency-free; output is deterministic (sorted keys,
+    /// fixed field order).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        out.push('{');
+        out.push_str("\"counters\":{");
+        push_entries(&mut out, self.counters.iter(), |out, v| {
+            let _ = write!(out, "{v}");
+        });
+        out.push_str("},\"gauges\":{");
+        push_entries(&mut out, self.gauges.iter(), |out, v| {
+            push_f64(out, *v);
+        });
+        out.push_str("},\"histograms\":{");
+        push_entries(&mut out, self.histograms.iter(), |out, h| {
+            let _ = write!(
+                out,
+                "{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"p50\":{},\"p90\":{},\"p99\":{},\"buckets\":[",
+                h.count,
+                h.sum,
+                h.min,
+                h.max,
+                h.p50(),
+                h.p90(),
+                h.p99()
+            );
+            // Sparse encoding: only non-empty buckets, as [index, count].
+            let mut first = true;
+            for (i, &n) in h.buckets.iter().enumerate() {
+                if n > 0 {
+                    if !first {
+                        out.push(',');
+                    }
+                    first = false;
+                    let _ = write!(out, "[{i},{n}]");
+                }
+            }
+            out.push_str("]}");
+        });
+        out.push_str("},\"events\":[");
+        for (i, event) in self.events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"name\":");
+            push_json_string(&mut out, &event.name);
+            let _ = write!(
+                out,
+                ",\"sim_us\":{},\"wall_ns\":{},\"note\":",
+                event.sim_us, event.wall_ns
+            );
+            push_json_string(&mut out, &event.note);
+            out.push('}');
+        }
+        let _ = write!(
+            out,
+            "],\"events_dropped\":{},\"wall_elapsed_ns\":{}}}",
+            self.events_dropped, self.wall_elapsed_ns
+        );
+        out
+    }
+
+    /// Renders a human-readable report: one line per counter and gauge,
+    /// a quantile table per histogram, and the event count.
+    pub fn report(&self) -> String {
+        let mut out = String::new();
+        if self.is_empty() {
+            out.push_str("telemetry: (empty — recorder disabled)\n");
+            return out;
+        }
+        let _ = writeln!(
+            out,
+            "telemetry: wall {:.3} s, {} events ({} dropped)",
+            self.wall_elapsed_ns as f64 * 1e-9,
+            self.events.len(),
+            self.events_dropped
+        );
+        if !self.histograms.is_empty() {
+            let _ = writeln!(
+                out,
+                "  {:<34} {:>9} {:>10} {:>10} {:>10} {:>10} {:>10}",
+                "histogram", "count", "mean", "p50", "p90", "p99", "max"
+            );
+            for (name, h) in &self.histograms {
+                let _ = writeln!(
+                    out,
+                    "  {:<34} {:>9} {:>10.1} {:>10} {:>10} {:>10} {:>10}",
+                    name,
+                    h.count,
+                    h.mean(),
+                    h.p50(),
+                    h.p90(),
+                    h.p99(),
+                    h.max
+                );
+            }
+        }
+        for (name, value) in &self.counters {
+            let _ = writeln!(out, "  {name:<34} = {value}");
+        }
+        for (name, value) in &self.gauges {
+            let _ = writeln!(out, "  {name:<34} = {value:.4}");
+        }
+        out
+    }
+}
+
+fn push_entries<'a, V: 'a>(
+    out: &mut String,
+    entries: impl Iterator<Item = (&'a String, V)>,
+    mut push_value: impl FnMut(&mut String, V),
+) {
+    for (i, (key, value)) in entries.enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_json_string(out, key);
+        out.push(':');
+        push_value(out, value);
+    }
+}
+
+fn push_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        let _ = write!(out, "{v}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+fn push_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::Registry;
+
+    fn sample() -> RunTelemetry {
+        let registry = Registry::new();
+        let rec = registry.recorder();
+        rec.counter("steps").add(10);
+        rec.gauge("speed").set(1.5);
+        rec.observe("lat_us", 100);
+        rec.observe("lat_us", 200);
+        rec.event("fault", 5_000, "loss=10%");
+        registry.snapshot()
+    }
+
+    #[test]
+    fn json_is_deterministic_and_well_formed() {
+        let t = sample();
+        let json = t.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"steps\":10"));
+        assert!(json.contains("\"note\":\"loss=10%\""));
+        // Everything except wall-clock fields is reproducible.
+        let again = sample();
+        let strip = |s: &str| {
+            s.split(',')
+                .filter(|f| !f.contains("wall"))
+                .collect::<Vec<_>>()
+                .join(",")
+        };
+        assert_eq!(strip(&json), strip(&again.to_json()));
+    }
+
+    #[test]
+    fn json_escapes_strings() {
+        let mut out = String::new();
+        push_json_string(&mut out, "a\"b\\c\nd\u{1}");
+        assert_eq!(out, "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+
+    #[test]
+    fn merge_accumulates_counters_and_histograms() {
+        let mut a = sample();
+        let b = sample();
+        a.merge(&b);
+        assert_eq!(a.counter("steps"), 20);
+        assert_eq!(a.histogram("lat_us").unwrap().count, 4);
+        assert_eq!(a.events.len(), 2);
+    }
+
+    #[test]
+    fn default_is_empty_and_reports_as_such() {
+        let t = RunTelemetry::default();
+        assert!(t.is_empty());
+        assert!(t.report().contains("empty"));
+        assert_eq!(t.steps_per_sec("steps"), 0.0);
+    }
+}

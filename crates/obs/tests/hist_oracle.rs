@@ -1,0 +1,89 @@
+//! Property tests for the log2 histogram against a sorted-vec oracle.
+//!
+//! The oracle computes the exact order statistic `sorted[ceil(q*n) - 1]`.
+//! The histogram's guarantee is that its interpolated estimate (a) lies in
+//! the observed `[min, max]` range and (b) falls in the *same base-2
+//! bucket* as the exact order statistic — i.e. the relative error is
+//! bounded by the bucket width of a factor of two.
+
+use proptest::prelude::*;
+use rdsim_obs::{bucket_bounds, bucket_index, Histogram};
+
+fn oracle_rank(q: f64, n: usize) -> usize {
+    ((q * n as f64).ceil() as usize).clamp(1, n)
+}
+
+fn check_against_oracle(mut values: Vec<u64>, q: f64) {
+    let hist = Histogram::new();
+    for &v in &values {
+        hist.record(v);
+    }
+    let snap = hist.snapshot();
+    values.sort_unstable();
+
+    // Exact aggregates must match the oracle.
+    prop_assert_eq!(snap.count as usize, values.len());
+    prop_assert_eq!(snap.min, values[0]);
+    prop_assert_eq!(snap.max, *values.last().unwrap());
+    let oracle_sum = values.iter().fold(0u64, |a, &v| a.wrapping_add(v));
+    prop_assert_eq!(snap.sum, oracle_sum);
+
+    // Bucket totals must partition the sorted values.
+    for (i, &n) in snap.buckets.iter().enumerate() {
+        let expect = values.iter().filter(|&&v| bucket_index(v) == i).count() as u64;
+        prop_assert_eq!(n, expect, "bucket {} count", i);
+    }
+
+    // Quantile estimate: same bucket as the exact order statistic, and
+    // inside the observed range.
+    let exact = values[oracle_rank(q, values.len()) - 1];
+    let est = snap.quantile(q);
+    prop_assert!(est >= snap.min && est <= snap.max);
+    let bucket = bucket_index(exact);
+    let (lo, hi) = bucket_bounds(bucket);
+    prop_assert!(
+        est >= lo.max(snap.min) && est <= hi.min(snap.max),
+        "q={} est={} exact={} bucket={} [{}..{}] min={} max={}",
+        q,
+        est,
+        exact,
+        bucket,
+        lo,
+        hi,
+        snap.min,
+        snap.max
+    );
+}
+
+proptest! {
+    #[test]
+    fn quantiles_match_oracle_small_values(
+        values in proptest::collection::vec(0u64..10_000, 1..300),
+        q in 0.0f64..1.0,
+    ) {
+        check_against_oracle(values, q);
+    }
+
+    #[test]
+    fn quantiles_match_oracle_full_range(
+        values in proptest::collection::vec(proptest::num::u64::ANY, 1..120),
+        q in 0.0f64..1.0,
+    ) {
+        check_against_oracle(values, q);
+    }
+
+    #[test]
+    fn named_percentiles_are_ordered(
+        values in proptest::collection::vec(0u64..1_000_000, 2..200),
+    ) {
+        let hist = Histogram::new();
+        for &v in &values {
+            hist.record(v);
+        }
+        let snap = hist.snapshot();
+        prop_assert!(snap.p50() <= snap.p90());
+        prop_assert!(snap.p90() <= snap.p99());
+        prop_assert!(snap.p99() <= snap.max);
+        prop_assert!(snap.min <= snap.p50());
+    }
+}

@@ -173,7 +173,10 @@ impl HumanDriverModel {
     /// Tells the driver what they are driving (affects how wheel motion
     /// maps to expected yaw in the efference copy and the steering law).
     pub fn set_vehicle_hint(&mut self, wheelbase: Meters, max_steer: rdsim_units::Radians) {
-        assert!(wheelbase.get() > 0.0 && max_steer.get() > 0.0, "hint must be positive");
+        assert!(
+            wheelbase.get() > 0.0 && max_steer.get() > 0.0,
+            "hint must be positive"
+        );
         self.vehicle_hint = (wheelbase.get(), max_steer.get());
     }
 
@@ -267,8 +270,8 @@ impl HumanDriverModel {
         let dh = yaw_est * lookahead_time;
         let heading = Radians::new(ego.pose.heading.get() + dh).normalized();
         let mid_heading = Radians::new(ego.pose.heading.get() + dh / 2.0);
-        let pos = ego.pose.position
-            + rdsim_math::Vec2::from_heading(mid_heading) * (v * lookahead_time);
+        let pos =
+            ego.pose.position + rdsim_math::Vec2::from_heading(mid_heading) * (v * lookahead_time);
 
         // --- Lateral: Salvucci–Gray two-point steering on the instructed
         // lane. The driver adjusts the wheel at a *rate* driven by the
@@ -308,8 +311,7 @@ impl HumanDriverModel {
             // or the wheel would random-walk). Gains adapt to the plant:
             // the wheel motion needed for a given curvature scales with
             // wheelbase / full-lock angle.
-            let gain_scale =
-                (wheelbase / max_steer) / (WHEELBASE_GUESS / MAX_STEER_GUESS);
+            let gain_scale = (wheelbase / max_steer) / (WHEELBASE_GUESS / MAX_STEER_GUESS);
             let delta = gain_scale
                 * (self.params.far_gain * d_far
                     + self.params.near_gain * d_near
@@ -331,8 +333,7 @@ impl HumanDriverModel {
         // --- Longitudinal: track instructed speed, regulate gap, reflex.
         // Disturbed drivers slow down deliberately (the paper observes the
         // *minimum* TTC rising under faults — cautious driving).
-        let caution = 1.0
-            - (0.35 * self.disturbance.min(1.0) + (2.0 * excess).min(0.4)).min(0.6);
+        let caution = 1.0 - (0.35 * self.disturbance.min(1.0) + (2.0 * excess).min(0.4)).min(0.6);
         let target_speed = match self.instruction {
             Some(i) if i.stop => 0.0,
             Some(i) => i.speed.get() * caution,
@@ -369,8 +370,7 @@ impl HumanDriverModel {
                 }
                 None => true,
             };
-            let gap =
-                (rel.x - (EGO_LENGTH_GUESS + other.length.get()) / 2.0).max(0.1);
+            let gap = (rel.x - (EGO_LENGTH_GUESS + other.length.get()) / 2.0).max(0.1);
             let closing = v - other.speed.get();
             if in_planned_path {
                 // Gap regulation toward min-gap + v·headway.
@@ -393,7 +393,7 @@ impl HumanDriverModel {
             self.throttle = 0.0;
             self.brake = (-accel / 6.0).clamp(0.0, 1.0);
         }
-        if self.instruction.map_or(false, |i| i.stop) && v < 0.5 {
+        if self.instruction.is_some_and(|i| i.stop) && v < 0.5 {
             self.throttle = 0.0;
             self.brake = 1.0;
         }

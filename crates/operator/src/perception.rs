@@ -110,7 +110,7 @@ impl PerceptionState {
             let newer = self
                 .current
                 .as_ref()
-                .map_or(true, |c| scene.captured_at > c.captured_at);
+                .is_none_or(|c| scene.captured_at > c.captured_at);
             if newer {
                 self.current = Some(scene);
             }

@@ -85,16 +85,15 @@ impl SubjectProfile {
             Familiarity::Once => -0.04,
             Familiarity::None => 0.0,
         };
-        let event_reaction = (base_reaction + station_bonus + rng.normal(0.0, 0.05))
-            .clamp(0.35, 1.2);
+        let event_reaction =
+            (base_reaction + station_bonus + rng.normal(0.0, 0.05)).clamp(0.35, 1.2);
         // Continuous visuomotor tracking latency is much shorter and less
         // variable (~0.2 s).
-        let tracking = (0.16 + 0.10 * (1.0 - self.attentiveness) + rng.normal(0.0, 0.02))
-            .clamp(0.12, 0.35);
+        let tracking =
+            (0.16 + 0.10 * (1.0 - self.attentiveness) + rng.normal(0.0, 0.02)).clamp(0.12, 0.35);
 
         // Control-update cadence: attentive drivers correct more often.
-        let update = (0.30 - 0.10 * self.attentiveness + rng.normal(0.0, 0.02))
-            .clamp(0.12, 0.40);
+        let update = (0.30 - 0.10 * self.attentiveness + rng.normal(0.0, 0.02)).clamp(0.12, 0.40);
 
         // Steering noise: lower with racing-game experience and station
         // familiarity; raised for left-traffic habit on right-hand roads.

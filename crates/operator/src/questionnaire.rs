@@ -194,7 +194,11 @@ mod tests {
         let profile = SubjectProfile::typical("T2");
         let mut rng = RngStream::from_seed(2).substream("q");
         let q = Questionnaire::answer(&profile, &p, &mut rng);
-        assert!(q.qoe <= 3, "stuttering feed should score low, got {}", q.qoe);
+        assert!(
+            q.qoe <= 3,
+            "stuttering feed should score low, got {}",
+            q.qoe
+        );
         assert!(q.felt_difference);
     }
 

@@ -130,10 +130,9 @@ impl RoadNetworkBuilder {
     /// its lane's length.
     pub fn build(self) -> RoadNetwork {
         for sp in &self.spawn_points {
-            let lane = self
-                .lanes
-                .get(sp.lane.0 as usize)
-                .unwrap_or_else(|| panic!("spawn point '{}' references unknown {}", sp.name, sp.lane));
+            let lane = self.lanes.get(sp.lane.0 as usize).unwrap_or_else(|| {
+                panic!("spawn point '{}' references unknown {}", sp.name, sp.lane)
+            });
             assert!(
                 sp.s.get() >= 0.0 && sp.s <= lane.length(),
                 "spawn point '{}' at {} outside lane length {}",

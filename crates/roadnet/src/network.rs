@@ -210,7 +210,11 @@ mod tests {
         );
         let c = b.add_lane(
             LaneKind::Driving,
-            Polyline::straight(Vec2::new(100.0, 0.0), Vec2::new(200.0, 0.0), Meters::new(2.0)),
+            Polyline::straight(
+                Vec2::new(100.0, 0.0),
+                Vec2::new(200.0, 0.0),
+                Meters::new(2.0),
+            ),
             Meters::new(3.5),
             MetersPerSecond::from_kmh(50.0),
         );
@@ -265,9 +269,7 @@ mod tests {
         let gap = net.gap_along(from, to, Meters::new(100.0)).unwrap();
         assert!((gap.get() - 30.0).abs() < 1e-9);
         // Behind: not found.
-        assert!(net
-            .gap_along(to, from, Meters::new(50.0))
-            .is_none());
+        assert!(net.gap_along(to, from, Meters::new(50.0)).is_none());
         // Horizon too short.
         assert!(net.gap_along(from, to, Meters::new(10.0)).is_none());
     }

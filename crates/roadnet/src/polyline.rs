@@ -28,7 +28,7 @@ impl Polyline {
     pub fn new(points: Vec<Vec2>) -> Self {
         let mut dedup: Vec<Vec2> = Vec::with_capacity(points.len());
         for p in points {
-            if dedup.last().map_or(true, |q| q.distance(p) > 1e-9) {
+            if dedup.last().is_none_or(|q| q.distance(p) > 1e-9) {
                 dedup.push(p);
             }
         }

@@ -149,7 +149,11 @@ mod tests {
         );
         let c = b.add_lane(
             LaneKind::Driving,
-            Polyline::straight(Vec2::new(100.0, 0.0), Vec2::new(200.0, 0.0), Meters::new(2.0)),
+            Polyline::straight(
+                Vec2::new(100.0, 0.0),
+                Vec2::new(200.0, 0.0),
+                Meters::new(2.0),
+            ),
             Meters::new(3.5),
             MetersPerSecond::new(14.0),
         );

@@ -164,11 +164,7 @@ mod tests {
                 let end = lane.pose_at(lane.length()).position;
                 let start = net.lane(succ).pose_at(Meters::ZERO).position;
                 let gap = end.distance(start);
-                assert!(
-                    gap < 0.6,
-                    "gap {gap:.3} m between {} and {succ}",
-                    lane.id()
-                );
+                assert!(gap < 0.6, "gap {gap:.3} m between {} and {succ}", lane.id());
             }
         }
     }
@@ -232,9 +228,7 @@ mod tests {
     #[test]
     fn ring_total_length_plausible() {
         let net = town05();
-        let outer_total: f64 = (0..8)
-            .map(|k| net.lane(LaneId(2 * k)).length().get())
-            .sum();
+        let outer_total: f64 = (0..8).map(|k| net.lane(LaneId(2 * k)).length().get()).sum();
         // 2*600 + 2*300 straights + 4 quarter-circles of r=50.
         let expected = 2.0 * 600.0 + 2.0 * 300.0 + 4.0 * 50.0 * std::f64::consts::FRAC_PI_2;
         assert!(

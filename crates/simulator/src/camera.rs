@@ -1,8 +1,9 @@
 //! The camera sensor: produces video frames at 25–30 fps.
 
-use crate::{encode_frame, WorldSnapshot};
+use crate::{codec::encode_frame_recorded, WorldSnapshot};
 use bytes::Bytes;
 use rdsim_math::RngStream;
+use rdsim_obs::Recorder;
 use rdsim_units::{Hertz, SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 
@@ -73,6 +74,7 @@ pub struct CameraSensor {
     rng: RngStream,
     next_capture: SimTime,
     next_frame_id: u64,
+    recorder: Recorder,
 }
 
 impl CameraSensor {
@@ -83,7 +85,14 @@ impl CameraSensor {
             rng,
             next_capture: SimTime::ZERO,
             next_frame_id: 0,
+            recorder: Recorder::null(),
         }
+    }
+
+    /// Attaches a recorder; subsequent encodes are timed into
+    /// `codec.encode_ns` and sized into `codec.frame_bytes`.
+    pub fn set_recorder(&mut self, recorder: Recorder) {
+        self.recorder = recorder;
     }
 
     /// The configuration.
@@ -119,7 +128,7 @@ impl CameraSensor {
             let mut snapshot = snapshot_fn();
             snapshot.time = captured_at;
             snapshot.frame_id = self.next_frame_id;
-            let payload = encode_frame(&snapshot, self.config.frame_bytes);
+            let payload = encode_frame_recorded(&snapshot, self.config.frame_bytes, &self.recorder);
             frames.push(VideoFrame {
                 frame_id: self.next_frame_id,
                 captured_at,
@@ -130,7 +139,7 @@ impl CameraSensor {
                 .rng
                 .uniform_range(self.config.min_fps.get(), self.config.max_fps.get());
             let period = SimDuration::from_secs_f64(1.0 / fps.max(1e-3));
-            self.next_capture = self.next_capture + period.max(SimDuration::from_micros(1));
+            self.next_capture += period.max(SimDuration::from_micros(1));
         }
         frames
     }
@@ -210,7 +219,9 @@ mod tests {
         let mut cam = camera(CameraConfig::fixed(Hertz::new(25.0), 100));
         assert_eq!(cam.poll(SimTime::ZERO, empty_snapshot).len(), 1);
         // Next frame due at 40 ms.
-        assert!(cam.poll(SimTime::from_millis(39), empty_snapshot).is_empty());
+        assert!(cam
+            .poll(SimTime::from_millis(39), empty_snapshot)
+            .is_empty());
         assert_eq!(cam.next_capture(), SimTime::from_millis(40));
         assert_eq!(cam.poll(SimTime::from_millis(40), empty_snapshot).len(), 1);
     }

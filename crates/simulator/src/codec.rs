@@ -26,6 +26,7 @@
 use crate::{ActorId, ActorKind, ActorSnapshot, WorldSnapshot};
 use bytes::Bytes;
 use rdsim_math::{Pose2, Vec2};
+use rdsim_obs::Recorder;
 use rdsim_units::{Meters, MetersPerSecond, Radians, SimTime};
 use std::fmt;
 
@@ -127,6 +128,35 @@ pub fn encode_frame(snapshot: &WorldSnapshot, min_size: usize) -> Bytes {
     out.extend_from_slice(&body);
     out.resize(total, 0);
     Bytes::from(out)
+}
+
+/// Like [`encode_frame`], additionally timing the encode into the
+/// `codec.encode_ns` histogram and recording the resulting payload size
+/// into `codec.frame_bytes`. With a null recorder this is exactly
+/// [`encode_frame`] — no clock is read.
+pub fn encode_frame_recorded(
+    snapshot: &WorldSnapshot,
+    min_size: usize,
+    recorder: &Recorder,
+) -> Bytes {
+    let span = recorder.span("codec.encode_ns");
+    let bytes = encode_frame(snapshot, min_size);
+    span.finish();
+    recorder.observe("codec.frame_bytes", bytes.len() as u64);
+    bytes
+}
+
+/// Like [`decode_frame`], additionally timing the decode into the
+/// `codec.decode_ns` histogram. With a null recorder this is exactly
+/// [`decode_frame`].
+pub fn decode_frame_recorded(
+    payload: &[u8],
+    recorder: &Recorder,
+) -> Result<WorldSnapshot, CodecError> {
+    let span = recorder.span("codec.decode_ns");
+    let result = decode_frame(payload);
+    span.finish();
+    result
 }
 
 struct Reader<'a> {
@@ -256,7 +286,10 @@ mod tests {
             time: SimTime::from_millis(12_345),
             frame_id: 678,
             ego: Some(mk(0, ActorKind::Ego, 10.0)),
-            others: vec![mk(1, ActorKind::Vehicle, 50.0), mk(2, ActorKind::Cyclist, 80.0)],
+            others: vec![
+                mk(1, ActorKind::Vehicle, 50.0),
+                mk(2, ActorKind::Cyclist, 80.0),
+            ],
         }
     }
 
@@ -315,13 +348,13 @@ mod tests {
     #[test]
     fn rejects_garbage() {
         assert_eq!(decode_frame(&[]).unwrap_err(), CodecError::Truncated);
-        assert_eq!(
-            decode_frame(&[0u8; 64]).unwrap_err(),
-            CodecError::BadHeader
-        );
+        assert_eq!(decode_frame(&[0u8; 64]).unwrap_err(), CodecError::BadHeader);
         let mut bad_version = encode_frame(&sample_snapshot(), 0).to_vec();
         bad_version[4] = 99;
-        assert_eq!(decode_frame(&bad_version).unwrap_err(), CodecError::BadHeader);
+        assert_eq!(
+            decode_frame(&bad_version).unwrap_err(),
+            CodecError::BadHeader
+        );
     }
 
     #[test]

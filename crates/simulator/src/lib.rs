@@ -46,7 +46,9 @@ mod world;
 
 pub use actor::{Actor, ActorId, ActorKind, Behavior};
 pub use camera::{CameraConfig, CameraSensor, VideoFrame};
-pub use codec::{decode_frame, encode_frame, CodecError};
+pub use codec::{
+    decode_frame, decode_frame_recorded, encode_frame, encode_frame_recorded, CodecError,
+};
 pub use sensors::{obb_overlap, CollisionEvent, LaneInvasionEvent};
 pub use snapshot::{ActorSnapshot, WorldSnapshot};
 pub use traffic::{idm_acceleration, IdmParams, LaneFollowConfig, LaneKeeper};

@@ -195,7 +195,14 @@ mod tests {
         // Corner-to-corner near miss at 45°.
         let a = pose(0.0, 0.0, 0.0);
         let b = pose(4.0, 2.2, std::f64::consts::FRAC_PI_4);
-        assert!(!obb_overlap(a, CAR_L, CAR_W, b, Meters::new(2.0), Meters::new(1.0)));
+        assert!(!obb_overlap(
+            a,
+            CAR_L,
+            CAR_W,
+            b,
+            Meters::new(2.0),
+            Meters::new(1.0)
+        ));
     }
 
     #[test]

@@ -2,6 +2,7 @@
 
 use crate::{CameraConfig, CameraSensor, VideoFrame, World};
 use rdsim_math::RngStream;
+use rdsim_obs::Recorder;
 use rdsim_units::{SimDuration, SimTime};
 use rdsim_vehicle::ControlInput;
 
@@ -48,6 +49,13 @@ impl SimulatorServer {
             commands_applied: 0,
             neutral_fallback_after: None,
         }
+    }
+
+    /// Attaches a telemetry recorder; forwarded to the camera so frame
+    /// encodes are timed (`codec.encode_ns`) and sized
+    /// (`codec.frame_bytes`).
+    pub fn set_recorder(&mut self, recorder: Recorder) {
+        self.camera.set_recorder(recorder);
     }
 
     /// Enables the neutral-fallback safety hook.

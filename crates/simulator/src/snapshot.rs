@@ -94,7 +94,10 @@ mod tests {
             time: SimTime::from_secs(1),
             frame_id: 42,
             ego: Some(snap(0, ActorKind::Ego, 0.0)),
-            others: vec![snap(1, ActorKind::Vehicle, 30.0), snap(2, ActorKind::Cyclist, 60.0)],
+            others: vec![
+                snap(1, ActorKind::Vehicle, 30.0),
+                snap(2, ActorKind::Cyclist, 60.0),
+            ],
         };
         assert_eq!(ws.actor(ActorId(0)).unwrap().kind, ActorKind::Ego);
         assert_eq!(ws.actor(ActorId(2)).unwrap().kind, ActorKind::Cyclist);

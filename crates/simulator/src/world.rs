@@ -316,7 +316,7 @@ impl World {
                 );
                 let closing =
                     MetersPerSecond::new(me.state().speed.get() - other.state().speed.get());
-                if best.map_or(true, |(g, _)| bumper_gap < g) {
+                if best.is_none_or(|(g, _)| bumper_gap < g) {
                     best = Some((bumper_gap, closing));
                 }
             }
@@ -455,10 +455,9 @@ impl World {
                 if gap.get() < 0.05 {
                     continue;
                 }
-                if best.map_or(true, |(_, g, _)| gap < g) {
-                    let closing = MetersPerSecond::new(
-                        ego.state().speed.get() - other.state().speed.get(),
-                    );
+                if best.is_none_or(|(_, g, _)| gap < g) {
+                    let closing =
+                        MetersPerSecond::new(ego.state().speed.get() - other.state().speed.get());
                     best = Some((other.id(), gap, closing));
                 }
             }
@@ -571,7 +570,11 @@ mod tests {
             "lateral drift {}",
             proj.lateral
         );
-        assert!((state.speed.get() - 10.0).abs() < 1.0, "speed {}", state.speed);
+        assert!(
+            (state.speed.get() - 10.0).abs() < 1.0,
+            "speed {}",
+            state.speed
+        );
     }
 
     #[test]

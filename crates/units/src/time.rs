@@ -58,7 +58,10 @@ impl SimTime {
     /// Panics if `s` is negative or not finite.
     #[inline]
     pub fn from_secs_f64(s: f64) -> Self {
-        assert!(s.is_finite() && s >= 0.0, "SimTime must be non-negative and finite");
+        assert!(
+            s.is_finite() && s >= 0.0,
+            "SimTime must be non-negative and finite"
+        );
         SimTime((s * 1e6).round() as u64)
     }
 
@@ -347,7 +350,10 @@ mod tests {
     fn duration_arithmetic() {
         let d = SimDuration::from_millis(30) + SimDuration::from_millis(20);
         assert_eq!(d, SimDuration::from_millis(50));
-        assert_eq!(d - SimDuration::from_millis(10), SimDuration::from_millis(40));
+        assert_eq!(
+            d - SimDuration::from_millis(10),
+            SimDuration::from_millis(40)
+        );
         assert_eq!(d * 2, SimDuration::from_millis(100));
         assert_eq!(d / 5, SimDuration::from_millis(10));
         assert_eq!(

@@ -106,7 +106,11 @@ impl BrakeModel {
     /// position. The handbrake applies 60 % of peak deceleration.
     pub fn deceleration(&self, brake: Ratio, handbrake: bool) -> MetersPerSecond2 {
         let pedal = self.max_brake.get() * brake.get();
-        let hand = if handbrake { 0.6 * self.max_brake.get() } else { 0.0 };
+        let hand = if handbrake {
+            0.6 * self.max_brake.get()
+        } else {
+            0.0
+        };
         MetersPerSecond2::new(pedal.max(hand))
     }
 }

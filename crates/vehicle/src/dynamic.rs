@@ -66,14 +66,22 @@ impl DynamicBicycle {
     /// # Panics
     ///
     /// Panics if `dt` is not positive.
-    pub fn step(&mut self, state: &VehicleState, input: &ControlInput, dt: Seconds) -> VehicleState {
+    pub fn step(
+        &mut self,
+        state: &VehicleState,
+        input: &ControlInput,
+        dt: Seconds,
+    ) -> VehicleState {
         assert!(dt.get() > 0.0, "dt must be positive");
         let input = input.sanitized();
         let delta = self.steering.step(input.steer, dt).get();
 
         // Longitudinal: same force model as the kinematic variant.
         let vx = state.speed.get();
-        let drive = self.powertrain.acceleration(input.throttle, state.speed).get();
+        let drive = self
+            .powertrain
+            .acceleration(input.throttle, state.speed)
+            .get();
         let brake = self.brakes.deceleration(input.brake, input.handbrake).get();
         let mut ax = drive;
         if vx.abs() > 1e-6 {
@@ -123,7 +131,7 @@ impl DynamicBicycle {
         let kin_beta = (lr / self.spec.wheelbase().get() * delta.tan()).atan();
         let kin_r = new_vx / lr.max(1e-6) * kin_beta.sin();
         new_r = w * new_r + (1.0 - w) * kin_r;
-        new_vy = w * new_vy;
+        new_vy *= w;
 
         let heading = state.pose.heading.get();
         let dx = (new_vx * heading.cos() - new_vy * heading.sin()) * dt.get();

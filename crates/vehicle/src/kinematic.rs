@@ -57,7 +57,12 @@ impl KinematicBicycle {
     /// # Panics
     ///
     /// Panics if `dt` is not positive.
-    pub fn step(&mut self, state: &VehicleState, input: &ControlInput, dt: Seconds) -> VehicleState {
+    pub fn step(
+        &mut self,
+        state: &VehicleState,
+        input: &ControlInput,
+        dt: Seconds,
+    ) -> VehicleState {
         assert!(dt.get() > 0.0, "dt must be positive");
         let input = input.sanitized();
         let delta = self.steering.step(input.steer, dt);
@@ -118,8 +123,8 @@ impl KinematicBicycle {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rdsim_math::Pose2;
     use proptest::prelude::*;
+    use rdsim_math::Pose2;
 
     const DT: Seconds = Seconds::new(0.02);
 
@@ -127,7 +132,12 @@ mod tests {
         KinematicBicycle::new(VehicleSpec::passenger_car())
     }
 
-    fn run(model: &mut KinematicBicycle, state: VehicleState, input: ControlInput, steps: usize) -> VehicleState {
+    fn run(
+        model: &mut KinematicBicycle,
+        state: VehicleState,
+        input: ControlInput,
+        steps: usize,
+    ) -> VehicleState {
         let mut s = state;
         for _ in 0..steps {
             s = model.step(&s, &input, DT);
@@ -138,7 +148,12 @@ mod tests {
     #[test]
     fn accelerates_straight() {
         let mut m = model();
-        let s = run(&mut m, VehicleState::default(), ControlInput::full_throttle(), 250);
+        let s = run(
+            &mut m,
+            VehicleState::default(),
+            ControlInput::full_throttle(),
+            250,
+        );
         assert!(s.speed.get() > 10.0, "speed after 5 s: {}", s.speed);
         assert!(s.pose.position.x > 30.0);
         assert!(s.pose.position.y.abs() < 1e-6);
@@ -226,7 +241,11 @@ mod tests {
     #[should_panic(expected = "dt must be positive")]
     fn zero_dt_panics() {
         let mut m = model();
-        let _ = m.step(&VehicleState::default(), &ControlInput::COAST, Seconds::ZERO);
+        let _ = m.step(
+            &VehicleState::default(),
+            &ControlInput::COAST,
+            Seconds::ZERO,
+        );
     }
 
     #[test]

@@ -212,7 +212,10 @@ pub struct VehicleSpecBuilder {
 impl VehicleSpecBuilder {
     /// Sets body length and width.
     pub fn dimensions(mut self, length: Meters, width: Meters) -> Self {
-        assert!(length.get() > 0.0 && width.get() > 0.0, "dimensions must be positive");
+        assert!(
+            length.get() > 0.0 && width.get() > 0.0,
+            "dimensions must be positive"
+        );
         self.spec.length = length;
         self.spec.width = width;
         self
@@ -234,7 +237,10 @@ impl VehicleSpecBuilder {
 
     /// Sets steering limits.
     pub fn steering(mut self, max_steer: Radians, max_rate: Radians) -> Self {
-        assert!(max_steer.get() > 0.0 && max_rate.get() > 0.0, "steering limits must be positive");
+        assert!(
+            max_steer.get() > 0.0 && max_rate.get() > 0.0,
+            "steering limits must be positive"
+        );
         self.spec.max_steer = max_steer;
         self.spec.max_steer_rate = max_rate;
         self
@@ -259,7 +265,10 @@ impl VehicleSpecBuilder {
 
     /// Sets the dynamic-model tire/inertia parameters.
     pub fn dynamics(mut self, cf: f64, cr: f64, yaw_inertia: f64) -> Self {
-        assert!(cf > 0.0 && cr > 0.0 && yaw_inertia > 0.0, "dynamics parameters must be positive");
+        assert!(
+            cf > 0.0 && cr > 0.0 && yaw_inertia > 0.0,
+            "dynamics parameters must be positive"
+        );
         self.spec.cornering_stiffness_front = cf;
         self.spec.cornering_stiffness_rear = cr;
         self.spec.yaw_inertia = yaw_inertia;

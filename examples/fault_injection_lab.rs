@@ -8,9 +8,7 @@
 //! ```
 
 use rdsim::core::{RdsSession, RdsSessionConfig};
-use rdsim::metrics::{
-    steering_reversal_rate, ttc_series, SrrConfig, TtcConfig, TtcStats,
-};
+use rdsim::metrics::{steering_reversal_rate, ttc_series, SrrConfig, TtcConfig, TtcStats};
 use rdsim::netem::NetemConfig;
 use rdsim::operator::{HumanDriverModel, Instruction, SubjectProfile};
 use rdsim::roadnet::town05;
@@ -20,7 +18,9 @@ use rdsim::vehicle::VehicleSpec;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
-    let rule = std::env::args().nth(1).unwrap_or_else(|| "loss 5%".to_owned());
+    let rule = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "loss 5%".to_owned());
     let fault: NetemConfig = match rule.parse() {
         Ok(f) => f,
         Err(e) => {

@@ -35,10 +35,7 @@ fn exercise(rule: &str, n: u64) {
     }
 
     let stats = link.stats();
-    let reordered = received
-        .windows(2)
-        .filter(|w| w[1].seq < w[0].seq)
-        .count();
+    let reordered = received.windows(2).filter(|w| w[1].seq < w[0].seq).count();
     println!("{rule:<28} delivered {:>4}/{:<4}  loss {:>5.1}%  mean lat {:>7.1} ms  max {:>7.1} ms  dup {:>2}  corrupt {:>2}  reordered {:>3}",
         stats.delivered,
         stats.sent,

@@ -17,7 +17,12 @@ use rdsim::simulator::World;
 use rdsim::units::{MetersPerSecond, SimDuration};
 use rdsim::vehicle::VehicleSpec;
 
-fn subject(name: &str, gaming: Experience, station: Familiarity, attentiveness: f64) -> SubjectProfile {
+fn subject(
+    name: &str,
+    gaming: Experience,
+    station: Familiarity,
+    attentiveness: f64,
+) -> SubjectProfile {
     SubjectProfile {
         id: name.to_owned(),
         gaming,
@@ -57,9 +62,24 @@ fn evaluate(profile: &SubjectProfile, fault: Option<NetemConfig>, seed: u64) -> 
 
 fn main() {
     let subjects = [
-        subject("expert  (recent gamer, station-familiar)", Experience::Recent, Familiarity::Few, 0.85),
-        subject("typical (past gamer, first time)        ", Experience::Past, Familiarity::None, 0.65),
-        subject("novice  (no gaming, first time)         ", Experience::None, Familiarity::None, 0.45),
+        subject(
+            "expert  (recent gamer, station-familiar)",
+            Experience::Recent,
+            Familiarity::Few,
+            0.85,
+        ),
+        subject(
+            "typical (past gamer, first time)        ",
+            Experience::Past,
+            Familiarity::None,
+            0.65,
+        ),
+        subject(
+            "novice  (no gaming, first time)         ",
+            Experience::None,
+            Familiarity::None,
+            0.45,
+        ),
     ];
     let faults: [(&str, Option<NetemConfig>); 3] = [
         ("clean", None),
@@ -75,7 +95,7 @@ fn main() {
     for profile in &subjects {
         print!("{:<44}", profile.id);
         for (i, (_, fault)) in faults.iter().enumerate() {
-            let (srr, lat) = evaluate(profile, fault.clone(), 555 + i as u64);
+            let (srr, lat) = evaluate(profile, *fault, 555 + i as u64);
             print!(" {:>9.1} ({:>3.1})", srr, lat);
         }
         println!();

@@ -57,7 +57,10 @@ fn main() {
     println!("One minute of remote driving on the town05 ring, following a lead vehicle.\n");
     let conditions: [(&str, Option<NetemConfig>); 3] = [
         ("no fault", None),
-        ("delay 50ms", Some("delay 50ms".parse().expect("valid rule"))),
+        (
+            "delay 50ms",
+            Some("delay 50ms".parse().expect("valid rule")),
+        ),
         ("loss 5%", Some("loss 5%".parse().expect("valid rule"))),
     ];
     println!(

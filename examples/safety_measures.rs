@@ -48,7 +48,9 @@ fn run(fault: &str, with_stack: bool, seed: u64) -> Outcome {
                     Ratio::from_percent(10.0),
                     MetersPerSecond::new(5.0),
                 )))
-                .push(Box::new(CommandWatchdog::new(SimDuration::from_millis(300))))
+                .push(Box::new(CommandWatchdog::new(SimDuration::from_millis(
+                    300,
+                ))))
                 .push(Box::new(SafeStop::new(SimDuration::from_millis(1500)))),
         );
     }

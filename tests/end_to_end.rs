@@ -8,7 +8,7 @@ use rdsim::netem::{InjectionWindow, NetemConfig};
 use rdsim::operator::{HumanDriverModel, Instruction, SubjectProfile};
 use rdsim::roadnet::town05;
 use rdsim::simulator::{ActorKind, Behavior, CameraConfig, LaneFollowConfig, World};
-use rdsim::units::{Hertz, Meters, MetersPerSecond, Ratio, SimDuration, SimTime};
+use rdsim::units::{Hertz, MetersPerSecond, Ratio, SimDuration, SimTime};
 use rdsim::vehicle::{ControlInput, VehicleSpec};
 
 fn session_with(seed: u64, with_lead: bool) -> RdsSession {
@@ -106,7 +106,9 @@ fn packet_loss_raises_steering_reversal_rate() {
         total / 3.0
     };
     let clean = srr_for(None);
-    let lossy = srr_for(Some(NetemConfig::default().with_loss(Ratio::from_percent(5.0))));
+    let lossy = srr_for(Some(
+        NetemConfig::default().with_loss(Ratio::from_percent(5.0)),
+    ));
     assert!(
         lossy > clean * 1.15,
         "5 % loss should raise SRR: clean {clean:.1}, lossy {lossy:.1}"
@@ -173,7 +175,11 @@ fn operator_trait_objects_compose() {
     let (mut human, _) = driver(5);
     let mut scripted = ScriptedOperator::constant(ControlInput::new(0.2, 0.0, 0.0));
     for i in 0..200 {
-        let op: &mut dyn OperatorSubsystem = if i % 2 == 0 { &mut human } else { &mut scripted };
+        let op: &mut dyn OperatorSubsystem = if i % 2 == 0 {
+            &mut human
+        } else {
+            &mut scripted
+        };
         s.step(op);
     }
     assert!(s.stats().commands_delivered > 0);

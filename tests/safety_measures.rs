@@ -32,7 +32,10 @@ fn safe_stop_halts_vehicle_when_command_link_dies() {
     assert!(ego_speed(&s) > 8.0, "driving normally before the outage");
 
     // Kill the command link entirely (downlink only: video keeps flowing).
-    s.inject_now_on(Direction::Downlink, NetemConfig::default().with_loss(Ratio::ONE));
+    s.inject_now_on(
+        Direction::Downlink,
+        NetemConfig::default().with_loss(Ratio::ONE),
+    );
     s.run(&mut op, SimDuration::from_secs(15));
     assert!(
         ego_speed(&s) < 0.3,
@@ -59,7 +62,10 @@ fn without_measures_the_vehicle_keeps_going_blind() {
     let mut s = session(2);
     let mut op = ScriptedOperator::constant(ControlInput::new(0.6, 0.0, 0.0));
     s.run(&mut op, SimDuration::from_secs(10));
-    s.inject_now_on(Direction::Downlink, NetemConfig::default().with_loss(Ratio::ONE));
+    s.inject_now_on(
+        Direction::Downlink,
+        NetemConfig::default().with_loss(Ratio::ONE),
+    );
     s.run(&mut op, SimDuration::from_secs(10));
     assert!(
         ego_speed(&s) > 8.0,
@@ -98,28 +104,40 @@ fn degraded_mode_caps_speed_under_loss() {
 #[test]
 fn watchdog_neutralises_but_does_not_brake() {
     let mut s = session(4);
-    s.set_safety_stack(
-        SafetyStack::new().push(Box::new(CommandWatchdog::new(SimDuration::from_millis(400)))),
-    );
+    s.set_safety_stack(SafetyStack::new().push(Box::new(CommandWatchdog::new(
+        SimDuration::from_millis(400),
+    ))));
     let mut op = ScriptedOperator::constant(ControlInput::new(0.6, 0.0, 0.0));
     s.run(&mut op, SimDuration::from_secs(10));
     let v_before = ego_speed(&s);
-    s.inject_now_on(Direction::Downlink, NetemConfig::default().with_loss(Ratio::ONE));
+    s.inject_now_on(
+        Direction::Downlink,
+        NetemConfig::default().with_loss(Ratio::ONE),
+    );
     s.run(&mut op, SimDuration::from_secs(6));
     let v_after = ego_speed(&s);
     // Coasting: slower than before, but not a hard stop.
     assert!(v_after < v_before, "{v_after} !< {v_before}");
-    assert!(v_after > 0.5, "watchdog coasts rather than braking: {v_after}");
+    assert!(
+        v_after > 0.5,
+        "watchdog coasts rather than braking: {v_after}"
+    );
 }
 
 #[test]
 fn uplink_only_fault_spares_commands() {
     let mut s = session(5);
     let mut op = ScriptedOperator::constant(ControlInput::new(0.4, 0.0, 0.0));
-    s.inject_now_on(Direction::Uplink, NetemConfig::default().with_loss(Ratio::from_percent(50.0)));
+    s.inject_now_on(
+        Direction::Uplink,
+        NetemConfig::default().with_loss(Ratio::from_percent(50.0)),
+    );
     s.run(&mut op, SimDuration::from_secs(10));
     let stats = s.stats();
-    assert!(stats.frames_delivered < stats.frames_sent * 7 / 10, "uplink lossy");
+    assert!(
+        stats.frames_delivered < stats.frames_sent * 7 / 10,
+        "uplink lossy"
+    );
     assert_eq!(
         stats.commands_delivered, stats.commands_sent,
         "downlink untouched"

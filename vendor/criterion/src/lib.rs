@@ -1,0 +1,194 @@
+//! Offline-vendored subset of `criterion`.
+//!
+//! Provides the API surface the workspace's benches use — `Criterion`,
+//! `benchmark_group` (with `sample_size` / `throughput` / `bench_function`
+//! / `finish`), `Bencher::iter`, `Throughput`, and the `criterion_group!` /
+//! `criterion_main!` macros — backed by a simple monotonic-clock timer
+//! instead of criterion's statistical machinery. Each bench auto-scales
+//! its iteration count to a target sample time, then reports the median
+//! per-iteration time (and derived throughput) on stdout.
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box` under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Throughput hint attached to a benchmark group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Passed to the closure given to `bench_function`; runs and times it.
+pub struct Bencher<'a> {
+    samples: &'a mut Vec<Duration>,
+    sample_count: usize,
+}
+
+impl Bencher<'_> {
+    /// Times `routine`, collecting per-iteration samples.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibrate: how many iterations fit in ~2 ms?
+        let probe_start = Instant::now();
+        std_black_box(routine());
+        let probe = probe_start.elapsed().max(Duration::from_nanos(20));
+        let per_sample =
+            (Duration::from_millis(2).as_nanos() / probe.as_nanos()).clamp(1, 10_000) as u32;
+
+        for _ in 0..self.sample_count {
+            let start = Instant::now();
+            for _ in 0..per_sample {
+                std_black_box(routine());
+            }
+            self.samples.push(start.elapsed() / per_sample);
+        }
+    }
+}
+
+fn report(name: &str, samples: &mut [Duration], throughput: Option<Throughput>) {
+    if samples.is_empty() {
+        println!("bench {name:<40} (no samples)");
+        return;
+    }
+    samples.sort_unstable();
+    let median = samples[samples.len() / 2];
+    let ns = median.as_nanos() as f64;
+    let rate = match throughput {
+        Some(Throughput::Bytes(b)) if ns > 0.0 => {
+            format!(
+                "  {:>10.1} MiB/s",
+                b as f64 / (ns * 1e-9) / (1024.0 * 1024.0)
+            )
+        }
+        Some(Throughput::Elements(e)) if ns > 0.0 => {
+            format!("  {:>10.0} elem/s", e as f64 / (ns * 1e-9))
+        }
+        _ => String::new(),
+    };
+    println!("bench {name:<40} median {:>12.0} ns/iter{rate}", ns);
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_count: usize,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timing samples per bench (criterion default 100;
+    /// this harness caps at 20 to keep offline runs quick).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_count = n.clamp(1, 20);
+        self
+    }
+
+    /// Attaches a throughput hint used in the report.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let mut samples = Vec::with_capacity(self.sample_count);
+        let mut b = Bencher {
+            samples: &mut samples,
+            sample_count: self.sample_count,
+        };
+        f(&mut b);
+        report(
+            &format!("{}/{id}", self.name),
+            &mut samples,
+            self.throughput,
+        );
+        self
+    }
+
+    /// Ends the group (reporting already happened per bench).
+    pub fn finish(self) {}
+}
+
+/// The benchmark harness entry point.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_count: 10,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Runs a single benchmark outside a group.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let mut samples = Vec::new();
+        let mut b = Bencher {
+            samples: &mut samples,
+            sample_count: 10,
+        };
+        f(&mut b);
+        report(id, &mut samples, None);
+        self
+    }
+}
+
+/// Declares a benchmark group function, as in criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, as in criterion.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("smoke");
+        g.sample_size(3);
+        g.throughput(Throughput::Elements(1));
+        let mut count = 0u64;
+        g.bench_function("increment", |b| {
+            b.iter(|| {
+                count = count.wrapping_add(1);
+                count
+            })
+        });
+        g.finish();
+        assert!(count > 0);
+    }
+}

@@ -1,0 +1,69 @@
+//! Offline-vendored subset of `crossbeam`: only `thread::scope`, shimmed
+//! over `std::thread::scope` (stable since Rust 1.63). The workspace uses
+//! scoped threads to fan subjects/sweep points out across cores; std's
+//! scoped threads provide identical join/panic semantics.
+
+/// Scoped threads, API-compatible with `crossbeam::thread` as used here.
+pub mod thread {
+    use std::any::Any;
+
+    /// Result of joining a scoped thread (Err carries the panic payload).
+    pub type Result<T> = std::result::Result<T, Box<dyn Any + Send + 'static>>;
+
+    /// A scope handle passed to the closure given to [`scope`].
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Handle to a spawned scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the thread to finish, returning its result (or the
+        /// panic payload).
+        pub fn join(self) -> Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. The closure receives a unit placeholder
+        /// where crossbeam passes a nested scope (the workspace never
+        /// nests spawns, so the placeholder keeps the `|_|` call sites
+        /// source-compatible).
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(()) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            ScopedJoinHandle {
+                inner: self.inner.spawn(move || f(())),
+            }
+        }
+    }
+
+    /// Creates a scope in which threads borrowing from the environment can
+    /// be spawned; all are joined before the call returns.
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scope_joins_and_collects() {
+        let data = [1, 2, 3];
+        let sum: i32 = super::thread::scope(|scope| {
+            let handles: Vec<_> = data.iter().map(|&v| scope.spawn(move |_| v * 2)).collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        })
+        .unwrap();
+        assert_eq!(sum, 12);
+    }
+}

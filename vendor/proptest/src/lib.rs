@@ -1,0 +1,346 @@
+//! Offline-vendored subset of `proptest`.
+//!
+//! This environment cannot reach crates.io, so the real proptest cannot be
+//! fetched. This crate reimplements the slice of its API the workspace
+//! uses — the `proptest!` macro, range strategies, `collection::vec`, the
+//! `num::*::ANY` strategies and the `prop_assert*` macros — as a small
+//! deterministic sampler:
+//!
+//! * every test runs a fixed number of cases (64) with inputs drawn from a
+//!   SplitMix64 stream seeded from the test's module path, so failures
+//!   reproduce exactly across runs and machines;
+//! * there is **no shrinking**: a failing case reports the assertion with
+//!   the sampled values via the normal panic message.
+//!
+//! The [`Strategy`] trait here is intentionally tiny (sample-only). If the
+//! real proptest becomes available, this crate can be deleted without
+//! touching any test code.
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+
+    /// A source of random values of one type (sample-only; no shrinking).
+    pub trait Strategy {
+        /// The value type produced.
+        type Value;
+
+        /// Draws one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty strategy range");
+                    let width = (self.end - self.start) as u128;
+                    let v = (rng.next_u64() as u128) % width;
+                    self.start + v as $t
+                }
+            }
+
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty strategy range");
+                    let width = (hi - lo) as u128 + 1;
+                    let v = (rng.next_u64() as u128) % width;
+                    lo + v as $t
+                }
+            }
+        )*};
+    }
+
+    int_range_strategy!(u8, u16, u32, u64, usize);
+
+    macro_rules! signed_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty strategy range");
+                    let width = (self.end as i128 - self.start as i128) as u128;
+                    let v = (rng.next_u64() as u128) % width;
+                    (self.start as i128 + v as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    signed_range_strategy!(i8, i16, i32, i64, isize);
+
+    impl Strategy for std::ops::Range<f64> {
+        type Value = f64;
+
+        fn sample(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty strategy range");
+            let u = rng.unit_f64();
+            let v = self.start + u * (self.end - self.start);
+            // Guard against rounding landing exactly on the excluded end.
+            if v >= self.end {
+                self.start
+            } else {
+                v
+            }
+        }
+    }
+
+    impl Strategy for std::ops::Range<f32> {
+        type Value = f32;
+
+        fn sample(&self, rng: &mut TestRng) -> f32 {
+            let r = (self.start as f64)..(self.end as f64);
+            r.sample(rng) as f32
+        }
+    }
+
+    /// A constant strategy (always yields a clone of the value).
+    #[derive(Debug, Clone, Copy)]
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+}
+
+pub mod test_runner {
+    /// Deterministic SplitMix64 stream used to drive all strategies.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seeds the stream from a label (typically the test path) so every
+        /// test gets its own reproducible sequence.
+        pub fn deterministic(label: &str) -> Self {
+            // FNV-1a over the label, folded into a non-zero seed.
+            let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+            for b in label.bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            TestRng { state: h | 1 }
+        }
+
+        /// The next 64 random bits (SplitMix64).
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// A uniform draw in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    /// Number of cases each `proptest!` test runs.
+    pub const CASES: u32 = 64;
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// Strategy for `Vec<T>` with element strategy and length range.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Creates a `Vec` strategy: lengths drawn from `size`, elements from
+    /// `element`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.size.clone().sample(rng);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod num {
+    macro_rules! any_int {
+        ($($m:ident, $t:ty, $s:ident;)*) => {$(
+            pub mod $m {
+                use crate::strategy::Strategy;
+                use crate::test_runner::TestRng;
+
+                /// Strategy over every value of the type (uniform bits).
+                #[derive(Debug, Clone, Copy)]
+                pub struct $s;
+
+                /// Any value of the type.
+                pub const ANY: $s = $s;
+
+                impl Strategy for $s {
+                    type Value = $t;
+
+                    fn sample(&self, rng: &mut TestRng) -> $t {
+                        rng.next_u64() as $t
+                    }
+                }
+            }
+        )*};
+    }
+
+    any_int! {
+        u8, u8, AnyU8;
+        u16, u16, AnyU16;
+        u32, u32, AnyU32;
+        u64, u64, AnyU64;
+        usize, usize, AnyUsize;
+        i8, i8, AnyI8;
+        i16, i16, AnyI16;
+        i32, i32, AnyI32;
+        i64, i64, AnyI64;
+        isize, isize, AnyIsize;
+    }
+
+    pub mod f64 {
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+
+        /// Strategy over arbitrary `f64` bit patterns (includes ±inf and
+        /// NaN, as in real proptest's `num::f64::ANY`).
+        #[derive(Debug, Clone, Copy)]
+        pub struct AnyF64;
+
+        /// Any `f64` bit pattern.
+        pub const ANY: AnyF64 = AnyF64;
+
+        impl Strategy for AnyF64 {
+            type Value = f64;
+
+            fn sample(&self, rng: &mut TestRng) -> f64 {
+                f64::from_bits(rng.next_u64())
+            }
+        }
+    }
+
+    pub mod f32 {
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+
+        /// Strategy over arbitrary `f32` bit patterns.
+        #[derive(Debug, Clone, Copy)]
+        pub struct AnyF32;
+
+        /// Any `f32` bit pattern.
+        pub const ANY: AnyF32 = AnyF32;
+
+        impl Strategy for AnyF32 {
+            type Value = f32;
+
+            fn sample(&self, rng: &mut TestRng) -> f32 {
+                f32::from_bits(rng.next_u64() as u32)
+            }
+        }
+    }
+}
+
+/// Defines property tests: each `fn name(arg in STRATEGY, …) { body }`
+/// becomes a `#[test]` running [`test_runner::CASES`] deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident( $( $arg:ident in $strat:expr ),+ $(,)? ) $body:block
+        )+
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut __proptest_rng = $crate::test_runner::TestRng::deterministic(
+                    concat!(module_path!(), "::", stringify!($name)),
+                );
+                for __proptest_case in 0..$crate::test_runner::CASES {
+                    let _ = __proptest_case;
+                    $(
+                        let $arg = $crate::strategy::Strategy::sample(
+                            &($strat),
+                            &mut __proptest_rng,
+                        );
+                    )+
+                    $body
+                }
+            }
+        )+
+    };
+}
+
+/// Asserts a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+pub mod prelude {
+    //! The usual proptest imports.
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::TestRng;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_respect_bounds(v in 5u64..10, f in -1.0f64..1.0) {
+            prop_assert!((5..10).contains(&v));
+            prop_assert!((-1.0..1.0).contains(&f));
+        }
+
+        #[test]
+        fn vec_strategy_sizes(values in crate::collection::vec(0u8..255, 2..7)) {
+            prop_assert!(values.len() >= 2 && values.len() < 7);
+        }
+    }
+
+    #[test]
+    fn deterministic_streams() {
+        let mut a = TestRng::deterministic("x");
+        let mut b = TestRng::deterministic("x");
+        let mut c = TestRng::deterministic("y");
+        let va: Vec<u64> = (0..4).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..4).map(|_| b.next_u64()).collect();
+        let vc: Vec<u64> = (0..4).map(|_| c.next_u64()).collect();
+        assert_eq!(va, vb);
+        assert_ne!(va, vc);
+    }
+}

@@ -1,0 +1,45 @@
+//! Offline-vendored subset of `rand` 0.8: just [`RngCore`] and [`Error`],
+//! so `rdsim_math::RngStream` can keep implementing the standard RNG
+//! interface (and downstream code can stay generic over `RngCore`).
+
+use std::fmt;
+
+/// Error type for fallible RNG operations (never constructed here).
+#[derive(Debug)]
+pub struct Error {
+    msg: &'static str,
+}
+
+impl Error {
+    /// Creates an error with a static message.
+    pub fn new(msg: &'static str) -> Self {
+        Error { msg }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// The core RNG interface of rand 0.8.
+pub trait RngCore {
+    /// The next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+
+    /// Fills `dest` with random bytes, reporting failure (infallible for
+    /// deterministic generators).
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+        self.fill_bytes(dest);
+        Ok(())
+    }
+}

@@ -1,0 +1,68 @@
+//! A compile-compatible subset of the `serde` facade, vendored because this
+//! environment has no network access to crates.io.
+//!
+//! The workspace only uses serde for `#[derive(Serialize, Deserialize)]`
+//! bounds and one `#[serde(with = "...")]` shim — nothing actually
+//! serializes through serde at runtime (there is no `serde_json` in the
+//! tree; the telemetry layer hand-rolls its JSON). The traits here are
+//! therefore deliberately minimal:
+//!
+//! * [`Serialize`] / [`Deserialize`] are satisfied by blanket impls, so
+//!   derive bounds always hold;
+//! * the derive macros (re-exported from `serde_derive` under the `derive`
+//!   feature) expand to nothing but still register the `#[serde(...)]`
+//!   helper attribute;
+//! * [`Serializer`] / [`Deserializer`] exist so hand-written `with`
+//!   modules type-check, but no implementation of either is provided.
+//!
+//! If real serialization is ever needed, replace this vendored crate with
+//! the upstream one — every type in the workspace already carries the
+//! derive annotations the real macro expects.
+
+/// Marker for types that would be serializable with real serde.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker for types that would be deserializable with real serde.
+pub trait Deserialize<'de>: Sized {
+    /// Deserializes from `deserializer`.
+    ///
+    /// Only callable for `Default` types in this vendored subset; no
+    /// [`Deserializer`] implementation exists, so in practice this is
+    /// compile-time plumbing for `#[serde(with = "...")]` helper modules.
+    fn deserialize<D>(_deserializer: D) -> Result<Self, D::Error>
+    where
+        D: Deserializer<'de>,
+        Self: Default,
+    {
+        Ok(Self::default())
+    }
+}
+
+impl<'de, T> Deserialize<'de> for T {}
+
+/// Owned-deserialization alias, as in real serde.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+/// The serializer interface (declaration only; never implemented here).
+pub trait Serializer: Sized {
+    /// Output of a successful serialization.
+    type Ok;
+    /// Serialization error.
+    type Error;
+
+    /// Serializes raw bytes.
+    fn serialize_bytes(self, v: &[u8]) -> Result<Self::Ok, Self::Error>;
+}
+
+/// The deserializer interface (declaration only; never implemented here).
+pub trait Deserializer<'de>: Sized {
+    /// Deserialization error.
+    type Error;
+}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
