@@ -1,0 +1,173 @@
+//! Observability overhead bench: flight-recorder and telemetry cost.
+//!
+//! Not a criterion bench — a custom harness that times full RDS sessions
+//! in the four recorder/tracer configurations, prints a human-readable
+//! comparison, and writes a machine-readable `BENCH_obs.json` at the
+//! workspace root:
+//!
+//! * `null_null` — no recorder, no tracer (the floor);
+//! * `null_trace` — the always-on flight recorder alone (the cost every
+//!   run pays by default);
+//! * `telemetry_null` — live recorder, no tracer (the PR 1 baseline);
+//! * `telemetry_trace` — both (the `--telemetry --trace-out` path).
+//!
+//! Set `RDSIM_BENCH_FULL=1` to additionally time `repro collisions
+//! --quick`-equivalent studies (3× telemetry-only vs 3× telemetry+trace)
+//! — the acceptance check that the flight recorder stays within 5% of
+//! the telemetry-on baseline.
+
+use rdsim_core::{RdsSession, RdsSessionConfig};
+use rdsim_experiments::{run_study, ScenarioConfig};
+use rdsim_netem::NetemConfig;
+use rdsim_obs::{Recorder, Registry, Tracer};
+use rdsim_roadnet::town05;
+use rdsim_simulator::{ActorKind, Behavior, CameraConfig, LaneFollowConfig, World};
+use rdsim_units::{Hertz, MetersPerSecond, Ratio};
+use rdsim_vehicle::{ControlInput, VehicleSpec};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Steps per timed session (60 s of sim time at 50 Hz).
+const STEPS: u64 = 3_000;
+/// Timed samples per configuration (median reported).
+const SAMPLES: usize = 5;
+
+fn session(recorder: Recorder, tracer: Tracer, seed: u64) -> RdsSession {
+    let mut world = World::new(town05(), seed);
+    world.spawn_ego_at("ego-start", VehicleSpec::passenger_car());
+    world.spawn_npc_at(
+        "lead-start",
+        ActorKind::Vehicle,
+        VehicleSpec::passenger_car(),
+        Behavior::LaneFollow(LaneFollowConfig::urban(MetersPerSecond::new(8.0))),
+        MetersPerSecond::new(8.0),
+    );
+    let config = RdsSessionConfig {
+        camera: CameraConfig::fixed(Hertz::new(25.0), 2_000),
+        recorder,
+        tracer,
+        ..RdsSessionConfig::default()
+    };
+    RdsSession::new(world, config, seed)
+}
+
+/// Median wall seconds to run `STEPS` steps in the given configuration,
+/// over `SAMPLES` timed sessions (a 5% loss fault keeps the netem paths
+/// busy so the tracer's qdisc annotations are exercised).
+fn time_config(make_recorder: impl Fn() -> Recorder, make_tracer: impl Fn() -> Tracer) -> f64 {
+    let mut times = Vec::with_capacity(SAMPLES);
+    for sample in 0..SAMPLES {
+        let mut s = session(make_recorder(), make_tracer(), 40 + sample as u64);
+        s.inject_now(NetemConfig::default().with_loss(Ratio::from_percent(5.0)));
+        let mut op = rdsim_core::ScriptedOperator::constant(ControlInput::new(0.4, 0.0, 0.0));
+        let start = Instant::now();
+        for _ in 0..STEPS {
+            s.step(&mut op);
+        }
+        times.push(start.elapsed().as_secs_f64());
+        drop(s);
+    }
+    times.sort_by(|a, b| a.total_cmp(b));
+    times[times.len() / 2]
+}
+
+fn median_study_secs(trace: bool, runs: usize) -> f64 {
+    let mut times = Vec::with_capacity(runs);
+    for _ in 0..runs {
+        let config = ScenarioConfig {
+            telemetry: true,
+            trace,
+            ..ScenarioConfig::quick()
+        };
+        let start = Instant::now();
+        let results = run_study(424242, &config);
+        times.push(start.elapsed().as_secs_f64());
+        drop(results);
+    }
+    times.sort_by(|a, b| a.total_cmp(b));
+    times[times.len() / 2]
+}
+
+fn overhead_pct(base: f64, with: f64) -> f64 {
+    if base <= 0.0 {
+        return 0.0;
+    }
+    (with - base) / base * 100.0
+}
+
+fn main() {
+    // Cargo invokes benches with `--bench` (and possibly filters); this
+    // harness has no filtering, so arguments are ignored.
+    let _ = std::env::args();
+
+    // Warm-up: fault tables, road network statics, allocator.
+    let warm = time_config(Recorder::null, Tracer::null);
+    eprintln!("warm-up: {warm:.3} s for {STEPS} steps");
+
+    let null_null = time_config(Recorder::null, Tracer::null);
+    let null_trace = time_config(Recorder::null, Tracer::flight_recorder);
+    let telemetry_null = time_config(|| Registry::new().recorder(), Tracer::null);
+    let telemetry_trace = time_config(|| Registry::new().recorder(), Tracer::flight_recorder);
+
+    let steps_per_sec = |secs: f64| STEPS as f64 / secs;
+    println!("== rdsim-obs overhead ({STEPS} steps, median of {SAMPLES}) ==");
+    for (name, secs) in [
+        ("recorder off, tracer off ", null_null),
+        ("recorder off, tracer on  ", null_trace),
+        ("recorder on,  tracer off ", telemetry_null),
+        ("recorder on,  tracer on  ", telemetry_trace),
+    ] {
+        println!(
+            "{name}: {secs:.3} s  ({:.0} steps/s, {:+.2}% vs floor)",
+            steps_per_sec(secs),
+            overhead_pct(null_null, secs)
+        );
+    }
+
+    let mut json = String::new();
+    let _ = write!(
+        json,
+        "{{\n  \"bench\": \"obs_overhead\",\n  \"steps\": {STEPS},\n  \"samples\": {SAMPLES},\n"
+    );
+    let _ = writeln!(
+        json,
+        "  \"median_secs\": {{\"null_null\": {null_null:.6}, \"null_trace\": {null_trace:.6}, \"telemetry_null\": {telemetry_null:.6}, \"telemetry_trace\": {telemetry_trace:.6}}},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"steps_per_sec\": {{\"null_null\": {:.1}, \"null_trace\": {:.1}, \"telemetry_null\": {:.1}, \"telemetry_trace\": {:.1}}},",
+        steps_per_sec(null_null),
+        steps_per_sec(null_trace),
+        steps_per_sec(telemetry_null),
+        steps_per_sec(telemetry_trace)
+    );
+    let _ = write!(
+        json,
+        "  \"overhead_pct\": {{\"flight_recorder_vs_floor\": {:.3}, \"telemetry_vs_floor\": {:.3}, \"trace_on_top_of_telemetry\": {:.3}}}",
+        overhead_pct(null_null, null_trace),
+        overhead_pct(null_null, telemetry_null),
+        overhead_pct(telemetry_null, telemetry_trace)
+    );
+
+    if std::env::var("RDSIM_BENCH_FULL").is_ok_and(|v| v == "1") {
+        eprintln!("full mode: timing quick studies (3× each, several minutes) …");
+        let base = median_study_secs(false, 3);
+        let traced = median_study_secs(true, 3);
+        println!(
+            "quick study, telemetry only : {base:.2} s\nquick study, telemetry+trace: {traced:.2} s ({:+.2}%)",
+            overhead_pct(base, traced)
+        );
+        let _ = write!(
+            json,
+            ",\n  \"quick_study_median_secs\": {{\"telemetry\": {base:.3}, \"telemetry_trace\": {traced:.3}, \"overhead_pct\": {:.3}}}",
+            overhead_pct(base, traced)
+        );
+    }
+    json.push_str("\n}\n");
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_obs.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => eprintln!("wrote {path}"),
+        Err(err) => eprintln!("could not write {path}: {err}"),
+    }
+}

@@ -32,6 +32,7 @@ fn mini_study(seed: u64) -> StudyResults {
         records: vec![golden.record, faulty.record],
         questionnaires: Vec::new(),
         telemetry,
+        traces: Vec::new(),
     }
 }
 

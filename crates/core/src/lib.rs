@@ -55,6 +55,6 @@ pub use campaign::{random_schedule, RunKind, RunRecord, ScheduledFault};
 pub use fault::{FaultKind, FaultSpec, PaperFault};
 pub use infrastructure::{InfrastructureSubsystem, RoadsideUnit};
 pub use protocol::{decode_command, encode_command, CommandCodecError, COMMAND_PACKET_BYTES};
-pub use runlog::{EgoSample, LeadObservation, OtherSample, RunLog};
+pub use runlog::{EgoSample, IncidentKind, IncidentMark, LeadObservation, OtherSample, RunLog};
 pub use session::{RdsSession, RdsSessionConfig, SessionStats};
 pub use station::{OperatorSubsystem, ReceivedFrame, ScriptedOperator};

@@ -62,8 +62,43 @@ pub struct OtherSample {
     pub speed: MetersPerSecond,
 }
 
+/// What kind of safety incident an [`IncidentMark`] flags.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum IncidentKind {
+    /// The ego collided with another actor.
+    Collision,
+    /// Time-to-collision against the lead vehicle dropped below the 6 s
+    /// criticality threshold (entry edge only; one mark per excursion).
+    TtcBreach,
+    /// A fault-injection rule was added or deleted.
+    FaultEdge,
+}
+
+impl IncidentKind {
+    /// Short lower-case label, stable for file names and trace output.
+    pub fn label(self) -> &'static str {
+        match self {
+            IncidentKind::Collision => "collision",
+            IncidentKind::TtcBreach => "ttc-breach",
+            IncidentKind::FaultEdge => "fault-edge",
+        }
+    }
+}
+
+/// A timestamped safety-incident marker. The session emits one per
+/// collision, per TTC-threshold breach entry, and per fault-window edge;
+/// incident dumps window the flight recorder around these instants.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IncidentMark {
+    /// What happened.
+    pub kind: IncidentKind,
+    /// When it happened.
+    pub time: SimTime,
+}
+
 /// A complete run recording (§V.F): collisions, lane invasions, ego and
-/// other-vehicle trajectories, and the fault-injection event log.
+/// other-vehicle trajectories, the fault-injection event log, and the
+/// session's incident marks.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct RunLog {
     ego: Vec<EgoSample>,
@@ -71,6 +106,8 @@ pub struct RunLog {
     collisions: Vec<CollisionEvent>,
     lane_invasions: Vec<LaneInvasionEvent>,
     faults: Vec<InjectionEvent>,
+    #[serde(default)]
+    incidents: Vec<IncidentMark>,
     duration: SimDuration,
 }
 
@@ -96,6 +133,7 @@ impl RunLog {
             collisions,
             lane_invasions,
             faults,
+            incidents: Vec::new(),
             duration,
         }
     }
@@ -121,6 +159,10 @@ impl RunLog {
 
     pub(crate) fn set_faults(&mut self, faults: Vec<InjectionEvent>) {
         self.faults = faults;
+    }
+
+    pub(crate) fn set_incidents(&mut self, incidents: Vec<IncidentMark>) {
+        self.incidents = incidents;
     }
 
     pub(crate) fn set_duration(&mut self, duration: SimDuration) {
@@ -150,6 +192,12 @@ impl RunLog {
     /// Fault-injection events (timestamp, rule, added/deleted).
     pub fn fault_events(&self) -> &[InjectionEvent] {
         &self.faults
+    }
+
+    /// Safety-incident marks (collisions, TTC breaches, fault edges) in
+    /// emission order.
+    pub fn incidents(&self) -> &[IncidentMark] {
+        &self.incidents
     }
 
     /// Total run duration.

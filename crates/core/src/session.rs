@@ -1,11 +1,13 @@
 //! The HIL session: vehicle ↔ network ↔ operator in simulated time.
 
 use crate::{
-    decode_command, encode_command, EgoSample, InfrastructureSubsystem, LeadObservation,
-    OperatorSubsystem, OtherSample, ReceivedFrame, RunLog,
+    decode_command, encode_command, EgoSample, IncidentKind, IncidentMark, InfrastructureSubsystem,
+    LeadObservation, OperatorSubsystem, OtherSample, ReceivedFrame, RunLog,
 };
-use rdsim_netem::{DuplexLink, FaultInjector, InjectionWindow, NetemConfig, Packet, PacketKind};
-use rdsim_obs::{Counter, Histogram, Recorder};
+use rdsim_netem::{
+    DuplexLink, FaultInjector, InjectionAction, InjectionWindow, NetemConfig, Packet, PacketKind,
+};
+use rdsim_obs::{Counter, Histogram, Recorder, TraceId, TraceStage, Tracer};
 use rdsim_simulator::{decode_frame_recorded, ActorKind, CameraConfig, SimulatorServer, World};
 use rdsim_units::{Meters, SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
@@ -24,6 +26,12 @@ pub struct RdsSessionConfig {
     /// Telemetry recorder. Defaults to the null recorder, which keeps the
     /// session's own counters working but records nothing else.
     pub recorder: Recorder,
+    /// Causal tracer. Defaults to the always-on flight recorder
+    /// ([`Tracer::flight_recorder`]): a bounded overwrite-oldest ring that
+    /// keeps the most recent trace events at negligible cost, so the run-up
+    /// to any incident can be dumped after the fact. [`Tracer::null`]
+    /// disables tracing entirely.
+    pub tracer: Tracer,
 }
 
 impl Default for RdsSessionConfig {
@@ -36,6 +44,7 @@ impl Default for RdsSessionConfig {
             lead_log_horizon: Meters::new(150.0),
             infrastructure: None,
             recorder: Recorder::null(),
+            tracer: Tracer::flight_recorder(),
         }
     }
 }
@@ -156,11 +165,21 @@ pub struct RdsSession {
     infrastructure: Option<InfrastructureSubsystem>,
     log: RunLog,
     recorder: Recorder,
+    tracer: Tracer,
     obs: SessionObs,
     /// Injection-log entries already mirrored as recorder events.
     fault_events_seen: usize,
     frame_seq: u64,
     cmd_seq: u64,
+    /// Incident marks emitted so far (moved into the log on completion).
+    incidents: Vec<IncidentMark>,
+    /// Sequence for incident trace ids.
+    incident_seq: u64,
+    /// Whether the previous sample was inside a TTC breach (edge detector).
+    ttc_breached: bool,
+    /// Sequence number of the newest frame shown to the operator — the
+    /// causal antecedent stamped onto every emitted command.
+    last_displayed_frame: Option<u64>,
     safety: Option<crate::safety::SafetyStack>,
     last_cmd_received_at: Option<SimTime>,
     highest_cmd_seq: Option<u64>,
@@ -176,10 +195,12 @@ impl RdsSession {
     /// Panics if the world has no ego vehicle.
     pub fn new(world: World, config: RdsSessionConfig, seed: u64) -> Self {
         let recorder = config.recorder;
+        let tracer = config.tracer;
         let mut server = SimulatorServer::new(world, config.camera, seed);
         server.set_recorder(recorder.clone());
         let mut link = DuplexLink::new(seed ^ 0x6E65_7431);
         link.attach_recorder(&recorder);
+        link.attach_tracer(&tracer);
         let obs = SessionObs::new(&recorder);
         RdsSession {
             server,
@@ -190,10 +211,15 @@ impl RdsSession {
             infrastructure: config.infrastructure,
             log: RunLog::new(),
             recorder,
+            tracer,
             obs,
             fault_events_seen: 0,
             frame_seq: 0,
             cmd_seq: 0,
+            incidents: Vec::new(),
+            incident_seq: 0,
+            ttc_breached: false,
+            last_displayed_frame: None,
             safety: None,
             last_cmd_received_at: None,
             highest_cmd_seq: None,
@@ -283,6 +309,25 @@ impl RdsSession {
         &self.recorder
     }
 
+    /// The session's causal tracer (the always-on flight recorder unless
+    /// a null tracer was configured).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Safety-incident marks emitted so far.
+    pub fn incidents(&self) -> &[IncidentMark] {
+        &self.incidents
+    }
+
+    fn mark_incident(&mut self, kind: IncidentKind, time: SimTime, stage: TraceStage, arg: u64) {
+        let n = self.incident_seq;
+        self.incident_seq += 1;
+        self.tracer
+            .record(TraceId::incident(n), stage, time.as_micros(), arg);
+        self.incidents.push(IncidentMark { kind, time });
+    }
+
     /// Current simulation time.
     pub fn time(&self) -> SimTime {
         self.server.world().time()
@@ -327,19 +372,34 @@ impl RdsSession {
     }
 
     /// Mirrors injection-log entries not yet seen as structured recorder
-    /// events (`session.fault`), stamped with the transition's sim-time.
+    /// events (`session.fault`) and fault-edge incident marks, stamped
+    /// with the transition's sim-time.
     fn sync_fault_events(&mut self) {
         let log = self.injector.log();
-        if self.recorder.enabled() {
-            for ev in &log[self.fault_events_seen..] {
-                self.recorder.event(
-                    "session.fault",
-                    ev.time.as_micros(),
+        let new: Vec<(SimTime, bool, String)> = log[self.fault_events_seen..]
+            .iter()
+            .map(|ev| {
+                (
+                    ev.time,
+                    matches!(ev.action, InjectionAction::Added),
                     format!("{} {} {:?}", ev.action, ev.direction, ev.config),
-                );
-            }
-        }
+                )
+            })
+            .collect();
         self.fault_events_seen = log.len();
+        for (time, added, note) in new {
+            if self.recorder.enabled() {
+                self.recorder.event("session.fault", time.as_micros(), note);
+            }
+            // Fault-window edges are trace incidents: arg 1 = rule added
+            // (window opens), 0 = rule deleted (window closes).
+            self.mark_incident(
+                IncidentKind::FaultEdge,
+                time,
+                TraceStage::FaultEdge,
+                added as u64,
+            );
+        }
     }
 
     /// Advances one step: faults, plant, uplink, operator, downlink, log.
@@ -379,6 +439,16 @@ impl RdsSession {
             w_sent.inc();
             let seq = self.frame_seq;
             self.frame_seq += 1;
+            let id = TraceId::frame(seq);
+            let captured_us = frame.captured_at.as_micros();
+            self.tracer
+                .record(id, TraceStage::Capture, captured_us, frame.frame_id);
+            self.tracer.record(
+                id,
+                TraceStage::Encode,
+                captured_us,
+                frame.payload.len() as u64,
+            );
             self.link
                 .uplink
                 .send(Packet::new(seq, PacketKind::Video, frame.payload), now);
@@ -389,19 +459,26 @@ impl RdsSession {
         // 4. Delivered frames reach the station display.
         let span = self.recorder.span("session.stage.operator_ns");
         for pkt in arrived_frames {
+            let id = pkt.trace_id();
             let decoded = decode_frame_recorded(&pkt.payload, &self.recorder);
             match decoded {
                 Ok(snapshot) => {
                     self.obs.frames_delivered.inc();
                     w_delivered.inc();
+                    self.tracer
+                        .record(id, TraceStage::Decode, now.as_micros(), pkt.len() as u64);
                     let snapshot = match &self.infrastructure {
                         Some(infra) => infra.augment(&snapshot),
                         None => snapshot,
                     };
                     let captured_at = snapshot.time;
+                    let age_us = now.saturating_since(captured_at).as_micros();
                     if let Some(h) = &self.obs.frame_age_us {
-                        h.record(now.saturating_since(captured_at).as_micros());
+                        h.record(age_us);
                     }
+                    self.tracer
+                        .record(id, TraceStage::Display, now.as_micros(), age_us);
+                    self.last_displayed_frame = Some(pkt.seq);
                     operator.on_frame(ReceivedFrame {
                         snapshot,
                         captured_at,
@@ -411,6 +488,12 @@ impl RdsSession {
                 Err(_) => {
                     self.obs.frames_corrupted.inc();
                     w_corrupted.inc();
+                    self.tracer.record(
+                        id,
+                        TraceStage::DecodeFailed,
+                        now.as_micros(),
+                        pkt.len() as u64,
+                    );
                     operator.on_bad_frame(now);
                 }
             }
@@ -425,6 +508,15 @@ impl RdsSession {
         self.cmd_seq += 1;
         self.obs.commands_sent.inc();
         w_sent.inc();
+        // The operator reacted to whatever frame was displayed last, so
+        // the command's emit event carries that frame's sequence number —
+        // the frame → reaction → command causal link.
+        self.tracer.record(
+            TraceId::command(seq),
+            TraceStage::CommandEmit,
+            now.as_micros(),
+            self.last_displayed_frame.unwrap_or(u64::MAX),
+        );
         let span = self.recorder.span("session.stage.link_transfer_ns");
         self.link.downlink.send(
             Packet::new(seq, PacketKind::Command, encode_command(seq, &control)),
@@ -435,13 +527,17 @@ impl RdsSession {
 
         // 6. Delivered commands are applied by the vehicle subsystem.
         for pkt in arrived_cmds {
+            let id = pkt.trace_id();
             match decode_command(&pkt.payload) {
                 Ok((cmd_seq, ctrl)) => {
                     self.obs.commands_delivered.inc();
                     w_delivered.inc();
+                    let age_us = now.saturating_since(pkt.sent_at).as_micros();
                     if let Some(h) = &self.obs.command_age_us {
-                        h.record(now.saturating_since(pkt.sent_at).as_micros());
+                        h.record(age_us);
                     }
+                    self.tracer
+                        .record(id, TraceStage::Actuate, now.as_micros(), age_us);
                     self.note_cmd_delivery(cmd_seq);
                     self.last_cmd_received_at = Some(now);
                     self.server.apply_command(ctrl);
@@ -449,6 +545,12 @@ impl RdsSession {
                 Err(_) => {
                     self.obs.commands_corrupted.inc();
                     w_corrupted.inc();
+                    self.tracer.record(
+                        id,
+                        TraceStage::DecodeFailed,
+                        now.as_micros(),
+                        pkt.len() as u64,
+                    );
                 }
             }
         }
@@ -499,6 +601,19 @@ impl RdsSession {
         self.log.set_faults(self.injector.log().to_vec());
         self.log
             .set_duration(self.time().saturating_since(SimTime::ZERO));
+        // Surface flight-recorder accounting in the run's telemetry so
+        // campaign reports can aggregate it next to `events_dropped`.
+        if self.recorder.enabled() && self.tracer.enabled() {
+            let overwritten = self.tracer.overwritten();
+            self.recorder
+                .counter("session.trace.recorded")
+                .add(self.tracer.len() as u64 + overwritten);
+            self.recorder
+                .counter("session.trace.overwritten")
+                .add(overwritten);
+        }
+        let incidents = std::mem::take(&mut self.incidents);
+        self.log.set_incidents(incidents);
         self.log
     }
 
@@ -546,9 +661,35 @@ impl RdsSession {
         for o in others {
             self.log.push_other(o);
         }
+        // TTC breach-entry detection, mirroring the offline TTC metric's
+        // defaults (gate 100 m, min closing 1 m/s, threshold 6 s). Only the
+        // entry edge marks an incident; the flag resets when TTC recovers.
+        const TTC_MAX_GAP_M: f64 = 100.0;
+        const TTC_MIN_CLOSING_MPS: f64 = 1.0;
+        const TTC_THRESHOLD_S: f64 = 6.0;
+        let ttc_s = lead.as_ref().and_then(|l| {
+            let (gap, closing) = (l.gap.get(), l.closing_speed.get());
+            (gap <= TTC_MAX_GAP_M && closing >= TTC_MIN_CLOSING_MPS).then(|| gap / closing)
+        });
+        let breached = ttc_s.is_some_and(|t| t < TTC_THRESHOLD_S);
+        if breached && !self.ttc_breached {
+            let ttc_us = (ttc_s.unwrap_or_default() * 1e6) as u64;
+            self.mark_incident(IncidentKind::TtcBreach, now, TraceStage::Incident, ttc_us);
+        }
+        self.ttc_breached = breached;
         let world = self.server.world_mut();
         let collisions = world.drain_collisions();
         let invasions = world.drain_lane_invasions();
+        for c in &collisions {
+            // Incident arg: impact severity as |relative speed| in mm/s.
+            let severity = (c.relative_speed.get().abs() * 1_000.0) as u64;
+            self.mark_incident(
+                IncidentKind::Collision,
+                c.time,
+                TraceStage::Incident,
+                severity,
+            );
+        }
         self.log.extend_collisions(collisions);
         self.log.extend_lane_invasions(invasions);
     }
@@ -864,6 +1005,121 @@ mod tests {
         assert_eq!(events_a, events_b, "sim-time-stamped event streams");
         assert_eq!(counters_a, counters_b, "all counters, incl. fault-window");
         assert!(!events_a.is_empty(), "window open + close were mirrored");
+    }
+
+    #[test]
+    fn tracer_records_complete_lineages() {
+        use rdsim_obs::{ArtifactKind, TraceStage};
+        let mut s = session_with_lead(13);
+        assert!(s.tracer().enabled(), "flight recorder is on by default");
+        let mut op = ScriptedOperator::constant(ControlInput::new(0.5, 0.0, 0.0));
+        s.run(&mut op, SimDuration::from_secs(5));
+        let stats = s.stats();
+        let log = s.tracer().log();
+
+        // Every delivered frame has a full capture → display lineage and
+        // every applied command a full emit → actuate lineage.
+        assert_eq!(
+            log.complete_lineages(
+                ArtifactKind::Frame,
+                TraceStage::Capture,
+                TraceStage::Display
+            ),
+            stats.frames_delivered
+        );
+        assert_eq!(
+            log.complete_lineages(
+                ArtifactKind::Command,
+                TraceStage::CommandEmit,
+                TraceStage::Actuate
+            ),
+            stats.commands_delivered
+        );
+        // A frame's lineage passes through the qdisc in causal order.
+        let lineage = log.lineage(rdsim_obs::TraceId::frame(10));
+        let stages: Vec<TraceStage> = lineage.iter().map(|e| e.stage).collect();
+        assert_eq!(
+            stages,
+            vec![
+                TraceStage::Capture,
+                TraceStage::Encode,
+                TraceStage::NetemEnqueue,
+                TraceStage::NetemDeliver,
+                TraceStage::Decode,
+                TraceStage::Display,
+            ]
+        );
+        // Commands reference the frame the operator last saw.
+        let emit = log
+            .events
+            .iter()
+            .rfind(|e| e.stage == TraceStage::CommandEmit)
+            .expect("commands were emitted");
+        assert!(emit.arg < stats.frames_delivered, "a real frame seq");
+    }
+
+    #[test]
+    fn fault_edges_become_incident_marks() {
+        let mut s = session_with_lead(14);
+        let mut op = ScriptedOperator::constant(ControlInput::COAST);
+        s.run(&mut op, SimDuration::from_secs(1));
+        s.inject_now(PaperFault::Loss5Pct.config());
+        s.run(&mut op, SimDuration::from_secs(1));
+        s.clear_fault_now();
+        assert_eq!(s.incidents().len(), 2, "added + deleted edges");
+        assert!(s
+            .incidents()
+            .iter()
+            .all(|i| i.kind == crate::IncidentKind::FaultEdge));
+        let edge_time = s.incidents()[0].time;
+        let trace = s.tracer().log();
+        let edges: Vec<_> = trace
+            .events
+            .iter()
+            .filter(|e| e.stage == TraceStage::FaultEdge)
+            .collect();
+        assert_eq!(edges.len(), 2);
+        assert_eq!(edges[0].arg, 1, "rule added");
+        assert_eq!(edges[1].arg, 0, "rule deleted");
+        let log = s.into_log();
+        assert_eq!(log.incidents().len(), 2, "marks move into the run log");
+        assert_eq!(log.incidents()[0].time, edge_time);
+    }
+
+    #[test]
+    fn trace_stream_is_deterministic() {
+        let run = |seed| {
+            let mut s = session_with_lead(seed);
+            s.schedule_fault(InjectionWindow::new(
+                SimTime::from_secs(1),
+                SimDuration::from_secs(2),
+                PaperFault::Loss5Pct.config(),
+            ))
+            .unwrap();
+            let mut op = ScriptedOperator::constant(ControlInput::new(0.5, 0.0, 0.01));
+            s.run(&mut op, SimDuration::from_secs(5));
+            s.tracer().log()
+        };
+        let a = run(11);
+        assert_eq!(a, run(11), "sim-time-only stamps replay identically");
+        assert!(!a.events.is_empty());
+        assert_ne!(a, run(12));
+    }
+
+    #[test]
+    fn null_tracer_disables_tracing() {
+        let mut world = World::new(town05(), 15);
+        world.spawn_ego_at("ego-start", VehicleSpec::passenger_car());
+        let config = RdsSessionConfig {
+            camera: CameraConfig::fixed(Hertz::new(25.0), 2_000),
+            tracer: Tracer::null(),
+            ..RdsSessionConfig::default()
+        };
+        let mut s = RdsSession::new(world, config, 15);
+        let mut op = ScriptedOperator::constant(ControlInput::COAST);
+        s.run(&mut op, SimDuration::from_secs(1));
+        assert!(!s.tracer().enabled());
+        assert!(s.tracer().log().is_empty());
     }
 
     #[test]

@@ -3,6 +3,7 @@
 //! ```text
 //! repro [all|table1|table2|table3|table4|fig4|collisions|questionnaire|
 //!        validity|model-vehicle] [--seed N] [--quick] [--telemetry]
+//!       [--trace-out DIR]
 //! ```
 //!
 //! `--quick` shortens the runs (for smoke testing); the full study drives
@@ -10,13 +11,21 @@
 //! were recorded. `--telemetry` records pipeline telemetry during the
 //! study runs and appends a campaign report (frame/command age quantiles,
 //! per-fault-window packet accounting, stage timings, steps/sec).
+//! `--trace-out DIR` retains each study run's flight-recorder snapshot
+//! and writes it as Chrome/Perfetto `trace_event` JSON
+//! (`DIR/<subject>_<kind>.trace.json`, loadable in ui.perfetto.dev or
+//! `chrome://tracing`), plus an incident dump per safety incident
+//! (`DIR/incidents/…`, the 12 s window around each collision, TTC breach,
+//! or fault edge).
 
+use rdsim_core::{IncidentKind, RunKind};
 use rdsim_experiments::{
     collision_summary, figure4, model_vehicle_sweep, questionnaire_summary, run_study, table2,
     table3, table4, validity_sweep, ScenarioConfig, StationSpec, StudyResults, SweepReport,
     TextTable,
 };
 use rdsim_metrics::{SrrConfig, TtcConfig, TtcStats};
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -25,6 +34,7 @@ fn main() -> ExitCode {
     let mut seed = 424242u64;
     let mut quick = false;
     let mut telemetry = false;
+    let mut trace_out: Option<PathBuf> = None;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -37,6 +47,13 @@ fn main() -> ExitCode {
             },
             "--quick" => quick = true,
             "--telemetry" => telemetry = true,
+            "--trace-out" => match iter.next() {
+                Some(dir) => trace_out = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("--trace-out needs a directory");
+                    return ExitCode::FAILURE;
+                }
+            },
             other if !other.starts_with('-') => command = other.to_owned(),
             other => {
                 eprintln!("unknown flag '{other}'");
@@ -50,6 +67,7 @@ fn main() -> ExitCode {
         ScenarioConfig::default()
     };
     config.telemetry = telemetry;
+    config.trace = trace_out.is_some();
 
     let needs_study = matches!(
         command.as_str(),
@@ -98,7 +116,80 @@ fn main() -> ExitCode {
             None => eprintln!("--telemetry only applies to study commands; ignored"),
         }
     }
+    if let Some(dir) = &trace_out {
+        match &study {
+            Some(study) => {
+                if let Err(err) = write_traces(dir, study) {
+                    eprintln!("failed to write traces to {}: {err}", dir.display());
+                    return ExitCode::FAILURE;
+                }
+            }
+            None => eprintln!("--trace-out only applies to study commands; ignored"),
+        }
+    }
     ExitCode::SUCCESS
+}
+
+fn kind_slug(kind: RunKind) -> &'static str {
+    match kind {
+        RunKind::Training => "training",
+        RunKind::Golden => "golden",
+        RunKind::Faulty => "faulty",
+    }
+}
+
+/// Incident dumps cover this much run-up before the incident …
+const INCIDENT_LOOKBACK_US: u64 = 10_000_000;
+/// … and this much aftermath.
+const INCIDENT_LOOKAHEAD_US: u64 = 2_000_000;
+/// At most this many incident dumps per run (fault-heavy runs can mark
+/// dozens of edges; the full trace file still has everything). Collisions
+/// are exempt from the cap — they are the rare marks the dumps exist for,
+/// and they tend to come *after* a run's many fault-edge marks.
+const MAX_DUMPS_PER_RUN: usize = 8;
+
+/// Writes every retained run trace as Perfetto-loadable JSON plus one
+/// windowed incident dump per safety-incident mark.
+fn write_traces(dir: &Path, study: &StudyResults) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    let incidents_dir = dir.join("incidents");
+    std::fs::create_dir_all(&incidents_dir)?;
+    let mut n_traces = 0usize;
+    let mut n_dumps = 0usize;
+    for run in &study.traces {
+        let kind = kind_slug(run.kind);
+        let path = dir.join(format!("{}_{kind}.trace.json", run.subject));
+        std::fs::write(&path, run.trace.to_chrome_json())?;
+        n_traces += 1;
+        let mut dumped = 0usize;
+        for (i, mark) in run.incidents.iter().enumerate() {
+            if mark.kind != IncidentKind::Collision && dumped >= MAX_DUMPS_PER_RUN {
+                continue;
+            }
+            dumped += 1;
+            let t = mark.time.as_micros();
+            let window = run.trace.window(
+                t.saturating_sub(INCIDENT_LOOKBACK_US),
+                t.saturating_add(INCIDENT_LOOKAHEAD_US),
+            );
+            let name = format!("{}_{kind}_{i:02}_{}.json", run.subject, mark.kind.label());
+            std::fs::write(incidents_dir.join(name), window.to_chrome_json())?;
+            n_dumps += 1;
+        }
+        if dumped < run.incidents.len() {
+            eprintln!(
+                "note: {} {kind} marked {} incidents; dumped {dumped} (every collision, \
+                 then fault edges / TTC breaches up to {MAX_DUMPS_PER_RUN})",
+                run.subject,
+                run.incidents.len()
+            );
+        }
+    }
+    eprintln!(
+        "wrote {n_traces} trace file(s) and {n_dumps} incident dump(s) under {}",
+        dir.display()
+    );
+    Ok(())
 }
 
 fn print_telemetry(study: &StudyResults) {
@@ -143,6 +234,16 @@ fn print_telemetry(study: &StudyResults) {
         t.steps_per_sec("session.steps"),
         t.counter("session.steps"),
         t.wall_elapsed_ns as f64 * 1e-9
+    );
+    println!(
+        "telemetry events: {} retained, {} dropped",
+        t.events.len(),
+        t.events_dropped
+    );
+    println!(
+        "trace ring: {} event(s) recorded, {} overwritten by the bound",
+        t.counter("session.trace.recorded"),
+        t.counter("session.trace.overwritten"),
     );
     println!("\n{}", t.report());
 }

@@ -90,6 +90,7 @@ mod tests {
             records: vec![golden.record, faulty.record],
             questionnaires: Vec::new(),
             telemetry: rdsim_obs::RunTelemetry::default(),
+            traces: Vec::new(),
         }
     }
 

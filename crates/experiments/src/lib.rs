@@ -35,8 +35,8 @@ pub use runner::{run_protocol, RunOutput, ScenarioConfig};
 pub use scenario::{CourseMap, FaultPoint, ScenarioPlan};
 pub use station::StationSpec;
 pub use study::{
-    collision_summary, questionnaire_summary, run_study, table2, table3, table4, StudyResults,
-    Table2Row, Table3Row, Table4Row,
+    collision_summary, questionnaire_summary, run_study, table2, table3, table4, RunTrace,
+    StudyResults, Table2Row, Table3Row, Table4Row,
 };
 pub use tables::TextTable;
 pub use validity::{model_vehicle_sweep, validity_sweep, Drivability, SweepPoint, SweepReport};

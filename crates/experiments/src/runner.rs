@@ -4,7 +4,7 @@ use crate::{CourseMap, ScenarioPlan};
 use rdsim_core::{PaperFault, RdsSession, RdsSessionConfig, RunKind, RunRecord, ScheduledFault};
 use rdsim_math::RngStream;
 use rdsim_netem::InjectionWindow;
-use rdsim_obs::{Recorder, Registry, RunTelemetry};
+use rdsim_obs::{Recorder, Registry, RunTelemetry, TraceLog, Tracer};
 use rdsim_operator::{HumanDriverModel, Instruction, SubjectProfile};
 use rdsim_roadnet::town05;
 use rdsim_simulator::{ActorId, ActorKind, Behavior, CameraConfig, LaneFollowConfig, World};
@@ -45,7 +45,19 @@ pub struct ScenarioConfig {
     /// Collect per-run telemetry ([`RunOutput::telemetry`]). Off by
     /// default: the run then uses the null recorder throughout.
     pub telemetry: bool,
+    /// Retain the session's flight-recorder snapshot in
+    /// [`RunOutput::trace`]. The flight recorder itself is always on
+    /// (bounded ring, negligible cost); this flag controls whether its
+    /// contents survive the run for export, and deepens the ring to
+    /// [`TRACE_EXPORT_CAPACITY`] so a full paper-style run fits without
+    /// overwriting its early incidents.
+    pub trace: bool,
 }
+
+/// Ring depth for runs whose trace is retained ([`ScenarioConfig::trace`]):
+/// a full two-lap run records ~170 k events, so 2¹⁸ holds it whole
+/// (~8 MiB; the default always-on ring stays at its much smaller bound).
+pub const TRACE_EXPORT_CAPACITY: usize = 1 << 18;
 
 impl Default for ScenarioConfig {
     /// The full paper-style run: two laps (~6 sim-minutes of driving).
@@ -63,6 +75,7 @@ impl Default for ScenarioConfig {
             ambient_fault: None,
             driver_extrapolation: None,
             telemetry: false,
+            trace: false,
         }
     }
 }
@@ -98,6 +111,10 @@ pub struct RunOutput {
     /// set. Serializes to JSON via [`RunTelemetry::to_json`].
     #[serde(default)]
     pub telemetry: RunTelemetry,
+    /// The flight-recorder snapshot; empty unless [`ScenarioConfig::trace`]
+    /// was set. Exports to Perfetto via [`TraceLog::to_chrome_json`].
+    #[serde(default)]
+    pub trace: TraceLog,
 }
 
 /// Runs one protocol run for a subject.
@@ -180,6 +197,14 @@ pub fn run_protocol(
             .as_ref()
             .map(Registry::recorder)
             .unwrap_or_else(Recorder::null),
+        // The default flight recorder keeps the recent past; a run whose
+        // trace will be *retained* for export gets a ring deep enough to
+        // hold the entire run, so early incidents survive to the dump.
+        tracer: if config.trace {
+            Tracer::with_capacity(TRACE_EXPORT_CAPACITY)
+        } else {
+            RdsSessionConfig::default().tracer
+        },
         ..RdsSessionConfig::default()
     };
     let mut session = RdsSession::new(world, session_config, seed);
@@ -337,6 +362,11 @@ pub fn run_protocol(
     let stutter_time = driver.perception().stutter_time();
     let worst_display_gap = driver.perception().worst_display_gap();
     let frames_seen = driver.perception().frames_seen();
+    let trace = if config.trace {
+        session.tracer().log()
+    } else {
+        TraceLog::default()
+    };
     let log = session.into_log();
     RunOutput {
         record: RunRecord::new(profile.id.clone(), kind, log, schedule),
@@ -345,6 +375,7 @@ pub fn run_protocol(
         frames_seen,
         progress,
         telemetry: registry.map(|r| r.snapshot()).unwrap_or_default(),
+        trace,
     }
 }
 
@@ -432,6 +463,40 @@ mod tests {
         assert!(t.events.iter().any(|e| e.name == "session.fault"));
         // Serializes without panicking and round-trips the step counter.
         assert!(t.to_json().contains("\"session.steps\""));
+    }
+
+    #[test]
+    fn trace_flag_retains_the_flight_recorder() {
+        use rdsim_obs::{ArtifactKind, TraceStage};
+        let cfg = ScenarioConfig {
+            trace: true,
+            ..ScenarioConfig::quick()
+        };
+        let out = run_protocol(&profile(), RunKind::Faulty, 101, &cfg);
+        assert!(!out.trace.is_empty());
+        // The retained window still holds complete frame and command
+        // lineages, and the run's incident marks are in the log.
+        assert!(
+            out.trace.complete_lineages(
+                ArtifactKind::Frame,
+                TraceStage::Capture,
+                TraceStage::Display
+            ) > 0
+        );
+        assert!(
+            out.trace.complete_lineages(
+                ArtifactKind::Command,
+                TraceStage::CommandEmit,
+                TraceStage::Actuate
+            ) > 0
+        );
+        assert!(
+            !out.record.log.incidents().is_empty(),
+            "faulty run has fault-edge incidents at least"
+        );
+        // Off by default: no snapshot retained.
+        let plain = run_protocol(&profile(), RunKind::Faulty, 101, &ScenarioConfig::quick());
+        assert!(plain.trace.is_empty());
     }
 
     #[test]

@@ -2,13 +2,13 @@
 //! paper's exclusions and recording artifacts, plus the table generators.
 
 use crate::{paper_roster, run_protocol, RosterEntry, RunOutput, ScenarioConfig};
-use rdsim_core::{PaperFault, RunKind, RunRecord};
+use rdsim_core::{IncidentMark, PaperFault, RunKind, RunRecord};
 use rdsim_math::RngStream;
 use rdsim_metrics::{
     srr_for_fault, steering_reversal_rate, ttc_series, ttc_stats_for_fault, CollisionAnalysis,
     SrrConfig, TtcConfig, TtcStats,
 };
-use rdsim_obs::RunTelemetry;
+use rdsim_obs::{RunTelemetry, TraceLog};
 use rdsim_operator::{Questionnaire, QuestionnaireSummary};
 use serde::{Deserialize, Serialize};
 
@@ -26,6 +26,24 @@ pub struct StudyResults {
     /// ran with [`ScenarioConfig::telemetry`] enabled.
     #[serde(default)]
     pub telemetry: RunTelemetry,
+    /// Per-run flight-recorder snapshots (golden + faulty per subject).
+    /// Empty unless the study ran with [`ScenarioConfig::trace`] enabled.
+    #[serde(default)]
+    pub traces: Vec<RunTrace>,
+}
+
+/// One run's retained trace, keyed for export file names.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunTrace {
+    /// Subject id (e.g. `T5`).
+    pub subject: String,
+    /// Which protocol run this trace came from.
+    pub kind: RunKind,
+    /// The flight-recorder snapshot.
+    pub trace: TraceLog,
+    /// The run's safety-incident marks (collisions, TTC breaches, fault
+    /// edges) — the anchors for incident-window dumps.
+    pub incidents: Vec<IncidentMark>,
 }
 
 impl StudyResults {
@@ -112,10 +130,21 @@ pub fn run_study(seed: u64, config: &ScenarioConfig) -> StudyResults {
     let mut records = Vec::with_capacity(roster.len() * 2);
     let mut questionnaires = Vec::new();
     let mut telemetry = RunTelemetry::default();
+    let mut traces = Vec::new();
     let q_rng = RngStream::from_seed(seed).substream("questionnaire");
     for (entry, (mut golden, mut faulty)) in roster.iter().zip(outputs) {
         telemetry.merge(&golden.telemetry);
         telemetry.merge(&faulty.telemetry);
+        if config.trace {
+            for run in [&mut golden, &mut faulty] {
+                traces.push(RunTrace {
+                    subject: entry.profile.id.clone(),
+                    kind: run.record.kind.expect("protocol runs are kinded"),
+                    trace: std::mem::take(&mut run.trace),
+                    incidents: run.record.log.incidents().to_vec(),
+                });
+            }
+        }
         // Recording artifacts (§VI.A).
         if entry.steering_lost_golden {
             golden.record.log.redact_steering();
@@ -144,6 +173,7 @@ pub fn run_study(seed: u64, config: &ScenarioConfig) -> StudyResults {
         records,
         questionnaires,
         telemetry,
+        traces,
     }
 }
 

@@ -1,7 +1,7 @@
 //! Emulated links: unidirectional and duplex.
 
 use crate::{NetemConfig, NetemQdisc, Packet, Qdisc};
-use rdsim_obs::{Histogram, Recorder};
+use rdsim_obs::{Histogram, Recorder, Tracer};
 use rdsim_units::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
@@ -87,6 +87,13 @@ impl Link {
         self.latency_hist = recorder
             .enabled()
             .then(|| recorder.histogram(&format!("{prefix}.latency_us")));
+    }
+
+    /// Attaches a causal tracer to the underlying qdisc, annotating every
+    /// per-packet decision with the packet's trace id. Attaching a null
+    /// tracer detaches.
+    pub fn attach_tracer(&mut self, tracer: &Tracer) {
+        self.qdisc.attach_tracer(tracer);
     }
 
     /// The active fault configuration.
@@ -191,6 +198,12 @@ impl DuplexLink {
     pub fn attach_recorder(&mut self, recorder: &Recorder) {
         self.uplink.attach_recorder(recorder, "netem.uplink");
         self.downlink.attach_recorder(recorder, "netem.downlink");
+    }
+
+    /// Attaches a causal tracer to both directions.
+    pub fn attach_tracer(&mut self, tracer: &Tracer) {
+        self.uplink.attach_tracer(tracer);
+        self.downlink.attach_tracer(tracer);
     }
 
     /// Resets both directions.

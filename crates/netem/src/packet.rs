@@ -39,7 +39,6 @@ pub struct Packet {
     /// Traffic class.
     pub kind: PacketKind,
     /// Payload bytes (for video frames this is the encoded frame).
-    #[serde(with = "bytes_serde")]
     pub payload: Bytes,
     /// When the packet entered the link; set by [`crate::Link::send`].
     pub sent_at: SimTime,
@@ -76,6 +75,32 @@ impl Packet {
     pub fn latency_at(&self, now: SimTime) -> rdsim_units::SimDuration {
         now.saturating_since(self.sent_at)
     }
+
+    /// The tracing identity of this packet: its traffic class mapped to
+    /// an [`ArtifactKind`](rdsim_obs::ArtifactKind) plus the sender
+    /// sequence number — minted at origin, so the same id stitches the
+    /// qdisc's decisions to the endpoints' capture/display/actuate events.
+    pub fn trace_id(&self) -> rdsim_obs::TraceId {
+        let kind = match self.kind {
+            PacketKind::Video => rdsim_obs::ArtifactKind::Frame,
+            PacketKind::Command => rdsim_obs::ArtifactKind::Command,
+            PacketKind::Meta => rdsim_obs::ArtifactKind::Meta,
+            PacketKind::Qos => rdsim_obs::ArtifactKind::Qos,
+        };
+        rdsim_obs::TraceId::new(kind, self.seq)
+    }
+
+    /// The packet's metadata packed into the trace-annotation word:
+    /// payload length in the low 32 bits, the `corrupted` flag in bit 32,
+    /// the `duplicate` flag in bit 33, and the send time (whole ms,
+    /// saturating) in bits 34..=63.
+    pub fn trace_arg(&self) -> u64 {
+        let sent_ms = (self.sent_at.as_micros() / 1_000).min((1 << 30) - 1);
+        (self.len() as u64 & 0xFFFF_FFFF)
+            | ((self.corrupted as u64) << 32)
+            | ((self.duplicate as u64) << 33)
+            | (sent_ms << 34)
+    }
 }
 
 impl fmt::Display for Packet {
@@ -89,24 +114,6 @@ impl fmt::Display for Packet {
             if self.corrupted { ", corrupted" } else { "" },
             if self.duplicate { ", dup" } else { "" },
         )
-    }
-}
-
-// Referenced via `#[serde(with = "bytes_serde")]`; the vendored no-op
-// serde derive never expands that attribute, so the functions look dead
-// until the real serde is restored.
-#[allow(dead_code)]
-mod bytes_serde {
-    use bytes::Bytes;
-    use serde::{Deserialize, Deserializer, Serializer};
-
-    pub fn serialize<S: Serializer>(b: &Bytes, s: S) -> Result<S::Ok, S::Error> {
-        s.serialize_bytes(b)
-    }
-
-    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<Bytes, D::Error> {
-        let v = Vec::<u8>::deserialize(d)?;
-        Ok(Bytes::from(v))
     }
 }
 
@@ -143,6 +150,36 @@ mod tests {
         );
         // Before send time: saturates.
         assert_eq!(p.latency_at(SimTime::from_millis(50)), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn trace_id_follows_kind_and_seq() {
+        use rdsim_obs::ArtifactKind;
+        let cases = [
+            (PacketKind::Video, ArtifactKind::Frame),
+            (PacketKind::Command, ArtifactKind::Command),
+            (PacketKind::Meta, ArtifactKind::Meta),
+            (PacketKind::Qos, ArtifactKind::Qos),
+        ];
+        for (pk, ak) in cases {
+            let p = Packet::new(42, pk, vec![0u8; 4]);
+            assert_eq!(p.trace_id().kind(), ak);
+            assert_eq!(p.trace_id().seq(), 42);
+        }
+    }
+
+    #[test]
+    fn trace_arg_packs_metadata_fields() {
+        let mut p = Packet::new(1, PacketKind::Video, vec![0u8; 300]);
+        p.sent_at = SimTime::from_millis(250);
+        assert_eq!(p.trace_arg() & 0xFFFF_FFFF, 300, "payload length");
+        assert_eq!((p.trace_arg() >> 32) & 1, 0);
+        assert_eq!((p.trace_arg() >> 33) & 1, 0);
+        assert_eq!(p.trace_arg() >> 34, 250, "send time in ms");
+        p.corrupted = true;
+        p.duplicate = true;
+        assert_eq!((p.trace_arg() >> 32) & 1, 1, "corrupted flag");
+        assert_eq!((p.trace_arg() >> 33) & 1, 1, "duplicate flag");
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use crate::{LossConfig, NetemConfig, Packet};
 use rdsim_math::RngStream;
-use rdsim_obs::{Counter, Recorder};
+use rdsim_obs::{Counter, Recorder, TraceStage, Tracer};
 use rdsim_units::{SimDuration, SimTime};
 use std::collections::BinaryHeap;
 
@@ -167,6 +167,10 @@ pub struct NetemQdisc {
     corrupted: u64,
     /// Telemetry handles (None unless a live recorder was attached).
     obs: Option<QdiscObs>,
+    /// Per-packet decision tracer (null unless attached): annotates every
+    /// enqueue/drop/corrupt/duplicate/reorder/deliver decision with the
+    /// affected packet's [`Packet::trace_id`].
+    tracer: Tracer,
 }
 
 impl NetemQdisc {
@@ -191,6 +195,7 @@ impl NetemQdisc {
             duplicated: 0,
             corrupted: 0,
             obs: None,
+            tracer: Tracer::null(),
         }
     }
 
@@ -203,6 +208,14 @@ impl NetemQdisc {
         self.obs = recorder
             .enabled()
             .then(|| QdiscObs::attach(recorder, prefix));
+    }
+
+    /// Attaches a causal tracer: every qdisc decision is then recorded
+    /// against the affected packet's trace id, with the packet's metadata
+    /// word ([`Packet::trace_arg`]) as the event detail. Attaching a null
+    /// tracer detaches.
+    pub fn attach_tracer(&mut self, tracer: &Tracer) {
+        self.tracer = tracer.clone();
     }
 
     /// The active configuration.
@@ -288,7 +301,7 @@ impl NetemQdisc {
         }
     }
 
-    fn maybe_corrupt(&mut self, packet: &mut Packet) {
+    fn maybe_corrupt(&mut self, packet: &mut Packet, now: SimTime) {
         if let Some(p) = self.config.corrupt {
             if !packet.payload.is_empty() && self.rng.bernoulli(p.get()) {
                 let mut bytes = packet.payload.to_vec();
@@ -301,6 +314,12 @@ impl NetemQdisc {
                 if let Some(obs) = &self.obs {
                     obs.corrupted.inc();
                 }
+                self.tracer.record(
+                    packet.trace_id(),
+                    TraceStage::NetemCorrupt,
+                    now.as_micros(),
+                    packet.trace_arg(),
+                );
             }
         }
     }
@@ -320,18 +339,30 @@ impl Qdisc for NetemQdisc {
         if let Some(obs) = &self.obs {
             obs.enqueued.inc();
         }
+        self.tracer.record(
+            packet.trace_id(),
+            TraceStage::NetemEnqueue,
+            now.as_micros(),
+            packet.trace_arg(),
+        );
         if self.draw_loss() {
             self.dropped += 1;
             if let Some(obs) = &self.obs {
                 obs.dropped.inc();
             }
+            self.tracer.record(
+                packet.trace_id(),
+                TraceStage::NetemDrop,
+                now.as_micros(),
+                packet.trace_arg(),
+            );
             return 0;
         }
         let duplicate = match self.config.duplicate {
             Some(p) => self.rng.bernoulli(p.get()),
             None => false,
         };
-        self.maybe_corrupt(&mut packet);
+        self.maybe_corrupt(&mut packet, now);
 
         // Rate limiting: serialisation occupies the link sequentially.
         let mut base_time = now;
@@ -353,6 +384,12 @@ impl Qdisc for NetemQdisc {
                     if let Some(obs) = &self.obs {
                         obs.reordered.inc();
                     }
+                    self.tracer.record(
+                        packet.trace_id(),
+                        TraceStage::NetemReorder,
+                        now.as_micros(),
+                        packet.trace_arg(),
+                    );
                 }
             }
         }
@@ -372,6 +409,12 @@ impl Qdisc for NetemQdisc {
             if let Some(obs) = &self.obs {
                 obs.duplicated.inc();
             }
+            self.tracer.record(
+                copy.trace_id(),
+                TraceStage::NetemDuplicate,
+                now.as_micros(),
+                copy.trace_arg(),
+            );
             // Netem sends the duplicate immediately after the original.
             self.push(copy, release);
             entries += 1;
@@ -390,6 +433,16 @@ impl Qdisc for NetemQdisc {
         }
         if let Some(obs) = &self.obs {
             obs.dequeued.add(out.len() as u64);
+        }
+        if self.tracer.enabled() {
+            for p in &out {
+                self.tracer.record(
+                    p.trace_id(),
+                    TraceStage::NetemDeliver,
+                    now.as_micros(),
+                    p.latency_at(now).as_micros(),
+                );
+            }
         }
         out
     }
@@ -747,6 +800,53 @@ mod tests {
         assert_eq!(t.counter("netem.test.duplicated"), q.duplicated());
         assert_eq!(t.counter("netem.test.corrupted"), q.corrupted());
         assert!(q.dropped() > 0 && q.duplicated() > 0 && q.corrupted() > 0);
+    }
+
+    #[test]
+    fn tracer_annotates_decisions_with_packet_metadata() {
+        use rdsim_obs::{ArtifactKind, TraceStage, Tracer};
+        let tracer = Tracer::with_capacity(16_384);
+        let config = NetemConfig::default()
+            .with_delay(Millis::new(10.0))
+            .with_loss(Ratio::from_percent(25.0))
+            .with_duplicate(Ratio::from_percent(25.0))
+            .with_corrupt(Ratio::from_percent(25.0));
+        let mut q = NetemQdisc::with_config(config, 9);
+        q.attach_tracer(&tracer);
+        let n = 500u64;
+        for seq in 0..n {
+            q.enqueue(pkt(seq), SimTime::from_millis(seq));
+        }
+        let delivered = drain_all(&mut q);
+        let log = tracer.log();
+        let count =
+            |stage: TraceStage| log.events.iter().filter(|e| e.stage == stage).count() as u64;
+        assert_eq!(count(TraceStage::NetemEnqueue), n, "every packet enters");
+        assert_eq!(count(TraceStage::NetemDrop), q.dropped());
+        assert_eq!(count(TraceStage::NetemDuplicate), q.duplicated());
+        assert_eq!(count(TraceStage::NetemCorrupt), q.corrupted());
+        assert_eq!(count(TraceStage::NetemDeliver), delivered.len() as u64);
+        assert!(q.dropped() > 0 && q.duplicated() > 0 && q.corrupted() > 0);
+        // Annotations carry the packet's metadata word: duplicate deliveries
+        // have bit 33 set, and every enqueue arg's low 32 bits are the
+        // payload length of our fixed test packet.
+        let dup_seq = delivered.iter().find(|p| p.duplicate).expect("dup").seq;
+        assert!(log
+            .lineage(rdsim_obs::TraceId::new(ArtifactKind::Command, dup_seq))
+            .iter()
+            .any(|e| e.stage == TraceStage::NetemDuplicate && (e.arg >> 33) & 1 == 1));
+        let payload_len = pkt(0).len() as u64;
+        assert!(log
+            .events
+            .iter()
+            .filter(|e| e.stage == TraceStage::NetemEnqueue)
+            .all(|e| e.arg & 0xFFFF_FFFF == payload_len));
+        // Deliver args are the experienced latency in µs (≥ base delay).
+        assert!(log
+            .events
+            .iter()
+            .filter(|e| e.stage == TraceStage::NetemDeliver)
+            .all(|e| e.arg >= 10_000));
     }
 
     #[test]

@@ -1,0 +1,211 @@
+//! Hand-rolled Chrome/Perfetto `trace_event` JSON writer.
+//!
+//! Emits the JSON-object format both `chrome://tracing` and
+//! [ui.perfetto.dev](https://ui.perfetto.dev) load directly. No external
+//! serializer: every string written is a fixed label or a formatted
+//! number, so plain `write!` is sufficient and the output is
+//! deterministic for a deterministic [`TraceLog`].
+//!
+//! Layout chosen for readability in the Perfetto UI:
+//!
+//! * one *process* per artifact kind (video pipeline, command pipeline,
+//!   incidents …), one *thread lane* per pipeline stage;
+//! * every [`TraceEvent`] becomes an instant event (`"ph":"i"`) on its
+//!   stage lane, with the artifact id and stage detail in `args`;
+//! * every artifact with ≥ 2 events additionally becomes an async span
+//!   (`"ph":"b"` / `"ph":"e"`, keyed by the artifact's raw id), so each
+//!   frame/command shows as one bar from origin to its last observed hop
+//!   — the capture → actuation lineage at a glance.
+//!
+//! Timestamps (`"ts"`) are the events' sim-time in µs, which is exactly
+//! the unit the format expects.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::trace::{ArtifactKind, TraceEvent, TraceLog};
+
+fn pid(kind: ArtifactKind) -> u32 {
+    match kind {
+        ArtifactKind::Frame => 1,
+        ArtifactKind::Command => 2,
+        ArtifactKind::Meta => 3,
+        ArtifactKind::Qos => 4,
+        ArtifactKind::Incident => 5,
+    }
+}
+
+fn process_name(kind: ArtifactKind) -> &'static str {
+    match kind {
+        ArtifactKind::Frame => "video pipeline (vehicle -> operator)",
+        ArtifactKind::Command => "command pipeline (operator -> vehicle)",
+        ArtifactKind::Meta => "meta packets",
+        ArtifactKind::Qos => "qos packets",
+        ArtifactKind::Incident => "incidents & fault windows",
+    }
+}
+
+/// Renders a [`TraceLog`] as a Chrome `trace_event` JSON document.
+pub fn chrome_trace_json(log: &TraceLog) -> String {
+    let mut out = String::with_capacity(256 + log.events.len() * 160);
+    let _ = write!(
+        out,
+        "{{\"displayTimeUnit\":\"ms\",\"otherData\":{{\"events\":{},\"overwritten\":{},\"capacity\":{}}},\"traceEvents\":[",
+        log.events.len(),
+        log.overwritten,
+        log.capacity
+    );
+    let mut first = true;
+    let mut push = |out: &mut String| {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+    };
+
+    // Metadata: name every process and stage lane that actually appears.
+    let mut lanes: BTreeMap<(u32, u32), &'static str> = BTreeMap::new();
+    let mut procs: BTreeMap<u32, &'static str> = BTreeMap::new();
+    for e in &log.events {
+        let p = pid(e.id.kind());
+        procs.insert(p, process_name(e.id.kind()));
+        lanes.insert((p, e.stage.lane()), e.stage.label());
+    }
+    for (p, name) in &procs {
+        push(&mut out);
+        let _ = write!(
+            out,
+            "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{p},\"tid\":0,\"args\":{{\"name\":\"{name}\"}}}}"
+        );
+    }
+    for ((p, t), name) in &lanes {
+        push(&mut out);
+        let _ = write!(
+            out,
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{p},\"tid\":{t},\"args\":{{\"name\":\"{name}\"}}}}"
+        );
+    }
+
+    // Async lineage spans: one bar per artifact from its first to its
+    // last observed event (in recorded order, which is causal order).
+    let mut spans: BTreeMap<crate::trace::TraceId, (TraceEvent, TraceEvent, usize)> =
+        BTreeMap::new();
+    for e in &log.events {
+        spans
+            .entry(e.id)
+            .and_modify(|(_, last, n)| {
+                *last = *e;
+                *n += 1;
+            })
+            .or_insert((*e, *e, 1));
+    }
+    for (id, (begin, end, n)) in &spans {
+        if *n < 2 {
+            continue;
+        }
+        let (p, cat) = (pid(id.kind()), id.kind().label());
+        let lane = begin.stage.lane();
+        push(&mut out);
+        let _ = write!(
+            out,
+            "{{\"name\":\"{id}\",\"cat\":\"{cat}\",\"ph\":\"b\",\"id\":\"0x{:x}\",\"pid\":{p},\"tid\":{lane},\"ts\":{},\"args\":{{\"hops\":{n}}}}}",
+            id.raw(),
+            begin.sim_us
+        );
+        push(&mut out);
+        let _ = write!(
+            out,
+            "{{\"name\":\"{id}\",\"cat\":\"{cat}\",\"ph\":\"e\",\"id\":\"0x{:x}\",\"pid\":{p},\"tid\":{lane},\"ts\":{}}}",
+            id.raw(),
+            end.sim_us.max(begin.sim_us)
+        );
+    }
+
+    // Instant events: one per recorded hop/decision.
+    for e in &log.events {
+        let kind = e.id.kind();
+        let (p, cat, lane) = (pid(kind), kind.label(), e.stage.lane());
+        // Incidents render process-wide so they stand out.
+        let scope = if kind == ArtifactKind::Incident {
+            "p"
+        } else {
+            "t"
+        };
+        push(&mut out);
+        let _ = write!(
+            out,
+            "{{\"name\":\"{}\",\"cat\":\"{cat}\",\"ph\":\"i\",\"s\":\"{scope}\",\"pid\":{p},\"tid\":{lane},\"ts\":{},\"args\":{{\"id\":\"{}\",\"seq\":{},\"arg\":{}}}}}",
+            e.stage.label(),
+            e.sim_us,
+            e.id,
+            e.id.seq(),
+            e.arg
+        );
+    }
+
+    out.push_str("]}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{TraceId, TraceStage, Tracer};
+
+    fn sample_log() -> TraceLog {
+        let t = Tracer::with_capacity(64);
+        let f = TraceId::frame(3);
+        t.record(f, TraceStage::Capture, 1_000, 3);
+        t.record(f, TraceStage::NetemEnqueue, 1_200, 2_000);
+        t.record(f, TraceStage::NetemDeliver, 51_200, 50_000);
+        t.record(f, TraceStage::Display, 51_200, 50_200);
+        let c = TraceId::command(9);
+        t.record(c, TraceStage::CommandEmit, 60_000, 3);
+        t.record(c, TraceStage::NetemDrop, 60_000, 12);
+        t.record(TraceId::incident(0), TraceStage::Incident, 70_000, 1);
+        t.log()
+    }
+
+    #[test]
+    fn emits_wellformed_trace_events() {
+        let json = sample_log().to_chrome_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"traceEvents\":["));
+        assert!(json.contains("\"displayTimeUnit\":\"ms\""));
+        // Process + lane metadata for what appeared.
+        assert!(json.contains("video pipeline (vehicle -> operator)"));
+        assert!(json.contains("command pipeline (operator -> vehicle)"));
+        assert!(json.contains("incidents & fault windows"));
+        // Async span for the 4-hop frame, begin and end.
+        assert!(json.contains("\"name\":\"frame#3\",\"cat\":\"frame\",\"ph\":\"b\""));
+        assert!(json.contains("\"name\":\"frame#3\",\"cat\":\"frame\",\"ph\":\"e\""));
+        // Instants carry id + arg.
+        assert!(json.contains("\"name\":\"netem.drop\""));
+        assert!(json.contains("\"id\":\"cmd#9\""));
+        // Incident instants are process-scoped.
+        assert!(
+            json.contains("\"name\":\"incident\",\"cat\":\"incident\",\"ph\":\"i\",\"s\":\"p\"")
+        );
+        // Balanced braces/brackets (cheap well-formedness check; no string
+        // in the output contains braces).
+        let opens = json.matches('{').count();
+        let closes = json.matches('}').count();
+        assert_eq!(opens, closes);
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn single_event_artifacts_get_no_span() {
+        let t = Tracer::with_capacity(8);
+        t.record(TraceId::frame(1), TraceStage::Capture, 0, 0);
+        let json = t.log().to_chrome_json();
+        assert!(!json.contains("\"ph\":\"b\""));
+        assert!(json.contains("\"ph\":\"i\""));
+    }
+
+    #[test]
+    fn empty_log_is_still_loadable() {
+        let json = TraceLog::default().to_chrome_json();
+        assert!(json.contains("\"traceEvents\":[]"));
+    }
+}

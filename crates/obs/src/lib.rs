@@ -16,6 +16,12 @@
 //!   runs deterministic and makes parallel campaign execution trivially
 //!   safe. [`Recorder::null`] is the disabled variant whose operations
 //!   compile down to a branch on an `Option`.
+//! * [`Tracer`] / [`TraceRing`] — causal per-frame/per-command tracing: a
+//!   [`TraceId`] minted at each artifact's origin, span events for every
+//!   pipeline hop, and an always-on bounded overwrite-oldest flight
+//!   recorder. Snapshots ([`TraceLog`]) window around incidents and
+//!   export as Chrome/Perfetto `trace_event` JSON
+//!   ([`chrome_trace_json`]).
 //!
 //! The crate depends on nothing but `std` — not even other workspace
 //! crates — so every layer can use it without dependency cycles.
@@ -30,14 +36,22 @@
 //!   in `rdsim-units`, passed as a plain `u64` to keep this crate
 //!   dependency-free).
 
+mod chrome;
 mod event;
 mod hist;
 mod metrics;
 mod recorder;
+mod ring;
 mod telemetry;
+mod trace;
 
+pub use chrome::chrome_trace_json;
 pub use event::Event;
 pub use hist::{bucket_bounds, bucket_index, Histogram, HistogramSnapshot, BUCKETS};
 pub use metrics::{Counter, Gauge};
 pub use recorder::{Recorder, Registry, Span};
+pub use ring::TraceRing;
 pub use telemetry::RunTelemetry;
+pub use trace::{
+    ArtifactKind, TraceEvent, TraceId, TraceLog, TraceStage, Tracer, DEFAULT_TRACE_CAPACITY,
+};

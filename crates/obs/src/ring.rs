@@ -1,0 +1,171 @@
+//! The flight-recorder ring buffer backing [`crate::Tracer`].
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::trace::TraceEvent;
+
+/// A bounded overwrite-oldest buffer of [`TraceEvent`]s.
+///
+/// The ring is the "flight recorder": it is always on, holds the most
+/// recent `capacity` events, and counts (rather than blocks on) everything
+/// it had to overwrite. Writers share the ring through an `Arc` held by
+/// cloned [`crate::Tracer`] handles.
+///
+/// Pushes serialize through a mutex rather than a lock-free queue: trace
+/// events are produced by one session thread at a time in this codebase,
+/// so the lock is uncontended and the critical section is a bounds check
+/// plus one 32-byte store. The overwrite counter is an atomic so readers
+/// can poll it without taking the lock.
+#[derive(Debug)]
+pub struct TraceRing {
+    inner: Mutex<RingBuf>,
+    overwritten: AtomicU64,
+}
+
+#[derive(Debug)]
+struct RingBuf {
+    /// Storage; grows up to `capacity` and then becomes a circular buffer.
+    buf: Vec<TraceEvent>,
+    /// Index of the oldest entry once the buffer has wrapped.
+    head: usize,
+    capacity: usize,
+}
+
+impl TraceRing {
+    /// Creates a ring holding at most `capacity` events (minimum 1).
+    /// Storage is allocated lazily as events arrive, so short runs never
+    /// pay for the full capacity.
+    pub fn with_capacity(capacity: usize) -> Self {
+        TraceRing {
+            inner: Mutex::new(RingBuf {
+                buf: Vec::new(),
+                head: 0,
+                capacity: capacity.max(1),
+            }),
+            overwritten: AtomicU64::new(0),
+        }
+    }
+
+    /// Appends an event, overwriting the oldest one when full.
+    pub fn push(&self, event: TraceEvent) {
+        let mut ring = self.inner.lock().expect("trace ring poisoned");
+        if ring.buf.len() < ring.capacity {
+            ring.buf.push(event);
+        } else {
+            let head = ring.head;
+            ring.buf[head] = event;
+            ring.head = (head + 1) % ring.capacity;
+            self.overwritten.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Events overwritten (lost to the bound) so far.
+    pub fn overwritten(&self) -> u64 {
+        self.overwritten.load(Ordering::Relaxed)
+    }
+
+    /// The configured bound.
+    pub fn capacity(&self) -> usize {
+        self.inner.lock().expect("trace ring poisoned").capacity
+    }
+
+    /// Events currently retained.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("trace ring poisoned").buf.len()
+    }
+
+    /// `true` when nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The retained events, oldest first.
+    pub fn snapshot(&self) -> Vec<TraceEvent> {
+        let ring = self.inner.lock().expect("trace ring poisoned");
+        let mut out = Vec::with_capacity(ring.buf.len());
+        out.extend_from_slice(&ring.buf[ring.head..]);
+        out.extend_from_slice(&ring.buf[..ring.head]);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{TraceId, TraceStage};
+
+    fn ev(n: u64) -> TraceEvent {
+        TraceEvent {
+            id: TraceId::frame(n),
+            stage: TraceStage::Capture,
+            sim_us: n,
+            arg: n,
+        }
+    }
+
+    #[test]
+    fn fills_then_overwrites_oldest() {
+        let ring = TraceRing::with_capacity(3);
+        assert!(ring.is_empty());
+        for n in 0..5 {
+            ring.push(ev(n));
+        }
+        assert_eq!(ring.len(), 3);
+        assert_eq!(ring.capacity(), 3);
+        assert_eq!(ring.overwritten(), 2);
+        let got: Vec<u64> = ring.snapshot().iter().map(|e| e.sim_us).collect();
+        assert_eq!(got, vec![2, 3, 4], "most recent 3, oldest first");
+    }
+
+    #[test]
+    fn partial_fill_keeps_order() {
+        let ring = TraceRing::with_capacity(8);
+        for n in 0..3 {
+            ring.push(ev(n));
+        }
+        assert_eq!(ring.overwritten(), 0);
+        let got: Vec<u64> = ring.snapshot().iter().map(|e| e.sim_us).collect();
+        assert_eq!(got, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn zero_capacity_clamps_to_one() {
+        let ring = TraceRing::with_capacity(0);
+        ring.push(ev(1));
+        ring.push(ev(2));
+        assert_eq!(ring.capacity(), 1);
+        assert_eq!(ring.snapshot().len(), 1);
+        assert_eq!(ring.snapshot()[0].sim_us, 2);
+        assert_eq!(ring.overwritten(), 1);
+    }
+
+    #[test]
+    fn shared_across_threads() {
+        let ring = std::sync::Arc::new(TraceRing::with_capacity(1024));
+        std::thread::scope(|scope| {
+            for t in 0..4u64 {
+                let ring = std::sync::Arc::clone(&ring);
+                scope.spawn(move || {
+                    for n in 0..100 {
+                        ring.push(ev(t * 1000 + n));
+                    }
+                });
+            }
+        });
+        assert_eq!(ring.len(), 400);
+        assert_eq!(ring.overwritten(), 0);
+        // Each thread's events keep their relative order.
+        for t in 0..4u64 {
+            let mine: Vec<u64> = ring
+                .snapshot()
+                .iter()
+                .map(|e| e.sim_us)
+                .filter(|s| s / 1000 == t)
+                .collect();
+            let mut sorted = mine.clone();
+            sorted.sort_unstable();
+            assert_eq!(mine, sorted);
+        }
+    }
+}

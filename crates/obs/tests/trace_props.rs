@@ -1,0 +1,213 @@
+//! Property tests for telemetry merging and the trace flight recorder.
+//!
+//! * `RunTelemetry::merge` is associative, and commutative on the
+//!   order-insensitive parts (counters, histograms, drop/wall totals).
+//!   Gauges are last-wins and events concatenate, so those are *expected*
+//!   to be order-sensitive — the tests pin down exactly that split.
+//! * Merged histograms agree with a brute-force oracle that records every
+//!   sample into one histogram directly.
+//! * The trace ring never loses the most recent `capacity` entries, for
+//!   arbitrary push sequences and interleavings.
+
+use proptest::prelude::*;
+use rdsim_obs::{
+    Event, Histogram, RunTelemetry, TraceEvent, TraceId, TraceRing, TraceStage, Tracer,
+};
+
+// --- Generators -----------------------------------------------------------
+
+/// A small pool of names so merges actually collide on shared keys.
+fn name(i: u8) -> String {
+    format!("metric.{}", i % 5)
+}
+
+fn arb_telemetry() -> impl Strategy<Value = RunTelemetry> {
+    let counters = proptest::collection::vec((0u8..10, 0u64..1_000_000), 0..6);
+    let hists = proptest::collection::vec(
+        (
+            0u8..10,
+            proptest::collection::vec(proptest::num::u64::ANY, 0..20),
+        ),
+        0..4,
+    );
+    let events = proptest::collection::vec((0u8..10, 0u64..1_000_000), 0..4);
+    (counters, hists, events, 0u64..1_000, 0u64..1_000_000).prop_map(
+        |(counters, hists, events, dropped, wall)| {
+            let mut t = RunTelemetry::default();
+            for (n, v) in counters {
+                *t.counters.entry(name(n)).or_insert(0) += v;
+            }
+            for (n, samples) in hists {
+                let h = Histogram::new();
+                for s in samples {
+                    h.record(s);
+                }
+                t.histograms
+                    .entry(name(n))
+                    .or_default()
+                    .merge(&h.snapshot());
+            }
+            for (n, sim_us) in events {
+                t.events.push(Event {
+                    name: name(n),
+                    sim_us,
+                    wall_ns: 0,
+                    note: String::new(),
+                });
+            }
+            t.events_dropped = dropped;
+            t.wall_elapsed_ns = wall;
+            t
+        },
+    )
+}
+
+fn merged(a: &RunTelemetry, b: &RunTelemetry) -> RunTelemetry {
+    let mut out = a.clone();
+    out.merge(b);
+    out
+}
+
+// --- Merge laws -----------------------------------------------------------
+
+proptest! {
+    /// (a ⊕ b) ⊕ c == a ⊕ (b ⊕ c), on the whole structure.
+    #[test]
+    fn merge_is_associative(
+        a in arb_telemetry(),
+        b in arb_telemetry(),
+        c in arb_telemetry(),
+    ) {
+        let left = merged(&merged(&a, &b), &c);
+        let right = merged(&a, &merged(&b, &c));
+        prop_assert_eq!(left, right);
+    }
+
+    /// a ⊕ b == b ⊕ a for everything except the deliberately
+    /// order-sensitive parts: gauges (last-wins) and the event *order*
+    /// (concatenation). Event multisets still agree.
+    #[test]
+    fn merge_is_commutative_on_order_insensitive_parts(
+        a in arb_telemetry(),
+        b in arb_telemetry(),
+    ) {
+        let ab = merged(&a, &b);
+        let ba = merged(&b, &a);
+        prop_assert_eq!(&ab.counters, &ba.counters);
+        prop_assert_eq!(&ab.histograms, &ba.histograms);
+        prop_assert_eq!(ab.events_dropped, ba.events_dropped);
+        prop_assert_eq!(ab.wall_elapsed_ns, ba.wall_elapsed_ns);
+        let mut ev_ab: Vec<_> = ab.events.iter().map(Event::deterministic_key).collect();
+        let mut ev_ba: Vec<_> = ba.events.iter().map(Event::deterministic_key).collect();
+        ev_ab.sort();
+        ev_ba.sort();
+        prop_assert_eq!(ev_ab, ev_ba, "same events, possibly reordered");
+    }
+
+    /// The identity element: merging a default leaves everything unchanged.
+    #[test]
+    fn merge_with_default_is_identity(a in arb_telemetry()) {
+        prop_assert_eq!(merged(&a, &RunTelemetry::default()), a.clone());
+        prop_assert_eq!(merged(&RunTelemetry::default(), &a), a);
+    }
+
+    /// Merging per-run histograms equals recording every sample into one
+    /// histogram directly (the brute-force oracle).
+    #[test]
+    fn histogram_merge_matches_brute_force(
+        runs in proptest::collection::vec(
+            proptest::collection::vec(proptest::num::u64::ANY, 0..40),
+            1..6,
+        ),
+    ) {
+        let mut campaign = RunTelemetry::default();
+        let oracle = Histogram::new();
+        for samples in &runs {
+            let h = Histogram::new();
+            for &s in samples {
+                h.record(s);
+                oracle.record(s);
+            }
+            let mut run = RunTelemetry::default();
+            run.histograms.insert("h".into(), h.snapshot());
+            campaign.merge(&run);
+        }
+        let merged = campaign.histogram("h").expect("at least one run merged");
+        prop_assert_eq!(merged, &oracle.snapshot());
+    }
+}
+
+// --- Trace-ring retention -------------------------------------------------
+
+fn ev(tag: u64, n: u64) -> TraceEvent {
+    TraceEvent {
+        id: TraceId::frame(tag),
+        stage: TraceStage::Capture,
+        sim_us: n,
+        arg: tag,
+    }
+}
+
+proptest! {
+    /// After n pushes into a ring of capacity c, the snapshot is exactly
+    /// the last min(n, c) entries in order, and the overwrite counter
+    /// accounts for every entry not retained.
+    #[test]
+    fn ring_retains_exactly_the_most_recent_entries(
+        capacity in 1usize..64,
+        n in 0usize..300,
+    ) {
+        let ring = TraceRing::with_capacity(capacity);
+        for i in 0..n {
+            ring.push(ev(0, i as u64));
+        }
+        let kept: Vec<u64> = ring.snapshot().iter().map(|e| e.sim_us).collect();
+        let expect: Vec<u64> = (n.saturating_sub(capacity)..n).map(|i| i as u64).collect();
+        prop_assert_eq!(kept, expect);
+        prop_assert_eq!(ring.overwritten() as usize, n.saturating_sub(capacity));
+    }
+
+    /// Arbitrary interleavings of several logical streams through one
+    /// shared tracer: the ring keeps the globally most recent `capacity`
+    /// events, and each stream's retained suffix preserves its order.
+    #[test]
+    fn ring_preserves_order_under_interleaving(
+        capacity in 1usize..48,
+        streams in proptest::collection::vec(0u64..4, 0..200),
+    ) {
+        let tracer = Tracer::with_capacity(capacity);
+        let mut counters = [0u64; 4];
+        let mut all = Vec::new();
+        for (i, &s) in streams.iter().enumerate() {
+            let e = ev(s, i as u64);
+            tracer.record(e.id, e.stage, e.sim_us, counters[s as usize]);
+            counters[s as usize] += 1;
+            all.push((s, i as u64));
+        }
+        let log = tracer.log();
+        // Globally: the last `capacity` events, in push order.
+        let kept: Vec<u64> = log.events.iter().map(|e| e.sim_us).collect();
+        let expect: Vec<u64> = all
+            .iter()
+            .skip(all.len().saturating_sub(capacity))
+            .map(|&(_, i)| i)
+            .collect();
+        prop_assert_eq!(kept, expect);
+        // Per stream: retained args (each stream's own sequence) ascend.
+        for s in 0..4u64 {
+            let args: Vec<u64> = log
+                .events
+                .iter()
+                .filter(|e| e.id == TraceId::frame(s))
+                .map(|e| e.arg)
+                .collect();
+            let mut sorted = args.clone();
+            sorted.sort_unstable();
+            prop_assert_eq!(args, sorted, "stream {} order", s);
+        }
+        prop_assert_eq!(
+            log.overwritten as usize,
+            all.len().saturating_sub(capacity)
+        );
+    }
+}

@@ -2,9 +2,9 @@
 //!
 //! This environment cannot reach crates.io, so the real proptest cannot be
 //! fetched. This crate reimplements the slice of its API the workspace
-//! uses — the `proptest!` macro, range strategies, `collection::vec`, the
-//! `num::*::ANY` strategies and the `prop_assert*` macros — as a small
-//! deterministic sampler:
+//! uses — the `proptest!` macro, range and tuple strategies, `prop_map`,
+//! `collection::vec`, the `num::*::ANY` strategies and the `prop_assert*`
+//! macros — as a small deterministic sampler:
 //!
 //! * every test runs a fixed number of cases (64) with inputs drawn from a
 //!   SplitMix64 stream seeded from the test's module path, so failures
@@ -26,6 +26,50 @@ pub mod strategy {
 
         /// Draws one value.
         fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps drawn values through `map` (the real proptest combinator,
+        /// minus shrinking).
+        fn prop_map<T, F: Fn(Self::Value) -> T>(self, map: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { source: self, map }
+        }
+    }
+
+    /// The strategy returned by [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        source: S,
+        map: F,
+    }
+
+    impl<T, S: Strategy, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut TestRng) -> T {
+            (self.map)(self.source.sample(rng))
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($(($($S:ident $idx:tt),+);)*) => {$(
+            impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+                type Value = ($($S::Value,)+);
+
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.sample(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    tuple_strategy! {
+        (A 0, B 1);
+        (A 0, B 1, C 2);
+        (A 0, B 1, C 2, D 3);
+        (A 0, B 1, C 2, D 3, E 4);
+        (A 0, B 1, C 2, D 3, E 4, F 5);
     }
 
     macro_rules! int_range_strategy {
