@@ -1,0 +1,137 @@
+//! Parallel campaign-executor bench: serial vs work-stealing wall-clock.
+//!
+//! Not a criterion bench — a custom harness that runs the same sharded
+//! protocol matrix through [`execute_ordered`] at 1, 2 and 4 workers,
+//! prints the speedups, re-checks digest equivalence while it is at it,
+//! and writes a machine-readable `BENCH_campaign.json` at the workspace
+//! root. The recorded numbers are honest medians on whatever hardware ran
+//! the bench: `available_parallelism` is recorded next to them, because on
+//! a single-core CI runner the parallel speedup is necessarily ≈1× (the
+//! executor can only help where there are cores; what it must never do is
+//! change results, which the digest check asserts either way).
+//!
+//! Set `RDSIM_BENCH_FULL=1` to additionally time the full 12-subject
+//! `--quick` study at 1 vs 4 workers (the `repro --quick --jobs N` path).
+
+use rdsim_core::RunKind;
+use rdsim_experiments::{
+    execute_ordered, run_digest, run_protocol, run_seed, run_study_with_jobs, ScenarioConfig,
+};
+use rdsim_operator::SubjectProfile;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Timed samples per worker count (median reported).
+const SAMPLES: usize = 3;
+/// Subjects in the sharded matrix (× {golden, faulty} runs each).
+const SUBJECTS: [&str; 4] = ["B1", "B2", "B3", "B4"];
+
+fn matrix() -> Vec<(usize, RunKind)> {
+    (0..SUBJECTS.len())
+        .flat_map(|i| [RunKind::Golden, RunKind::Faulty].map(|k| (i, k)))
+        .collect()
+}
+
+fn bench_config() -> ScenarioConfig {
+    ScenarioConfig {
+        progress_target: Some(200.0),
+        ..ScenarioConfig::quick()
+    }
+}
+
+/// Runs the matrix once on `jobs` workers; returns (wall secs, digests).
+fn run_matrix(jobs: usize) -> (f64, Vec<u64>) {
+    let config = bench_config();
+    let start = Instant::now();
+    let digests = execute_ordered(matrix(), jobs, |(subject, kind)| {
+        let profile = SubjectProfile::typical(SUBJECTS[subject]);
+        let seed = run_seed(31337, &profile.id, kind);
+        run_digest(&run_protocol(&profile, kind, seed, &config))
+    });
+    (start.elapsed().as_secs_f64(), digests)
+}
+
+/// Median wall seconds over `SAMPLES` matrix executions.
+fn time_jobs(jobs: usize, reference: &[u64]) -> f64 {
+    let mut times = Vec::with_capacity(SAMPLES);
+    for _ in 0..SAMPLES {
+        let (secs, digests) = run_matrix(jobs);
+        assert_eq!(
+            digests, reference,
+            "digest drift at {jobs} jobs — the executor changed results"
+        );
+        times.push(secs);
+    }
+    times.sort_by(|a, b| a.total_cmp(b));
+    times[times.len() / 2]
+}
+
+fn main() {
+    let _ = std::env::args();
+
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    // Warm-up run also produces the reference digests every timed run is
+    // checked against.
+    let (warm, reference) = run_matrix(1);
+    eprintln!("warm-up: {warm:.3} s for {} runs (serial)", reference.len());
+
+    let serial = time_jobs(1, &reference);
+    let two = time_jobs(2, &reference);
+    let four = time_jobs(4, &reference);
+    let speedup = |secs: f64| serial / secs;
+
+    println!(
+        "== campaign executor ({} runs × {} samples, {} core(s)) ==",
+        reference.len(),
+        SAMPLES,
+        cores
+    );
+    for (name, secs) in [("jobs=1", serial), ("jobs=2", two), ("jobs=4", four)] {
+        println!("{name}: {secs:.3} s  ({:.2}× vs serial)", speedup(secs));
+    }
+
+    let mut json = String::new();
+    let _ = write!(
+        json,
+        "{{\n  \"bench\": \"campaign_parallel\",\n  \"runs\": {},\n  \"samples\": {SAMPLES},\n  \"available_parallelism\": {cores},\n",
+        reference.len()
+    );
+    let _ = writeln!(
+        json,
+        "  \"median_secs\": {{\"jobs_1\": {serial:.6}, \"jobs_2\": {two:.6}, \"jobs_4\": {four:.6}}},"
+    );
+    let _ = write!(
+        json,
+        "  \"speedup_vs_serial\": {{\"jobs_2\": {:.3}, \"jobs_4\": {:.3}}},\n  \"digest_match\": true",
+        speedup(two),
+        speedup(four)
+    );
+
+    if std::env::var("RDSIM_BENCH_FULL").is_ok_and(|v| v == "1") {
+        eprintln!("full mode: timing quick studies at 1 and 4 workers …");
+        let start = Instant::now();
+        let a = run_study_with_jobs(424242, &ScenarioConfig::quick(), 1);
+        let study_serial = start.elapsed().as_secs_f64();
+        let start = Instant::now();
+        let b = run_study_with_jobs(424242, &ScenarioConfig::quick(), 4);
+        let study_four = start.elapsed().as_secs_f64();
+        assert_eq!(a.records.len(), b.records.len());
+        println!(
+            "quick study jobs=1: {study_serial:.2} s\nquick study jobs=4: {study_four:.2} s ({:.2}×)",
+            study_serial / study_four
+        );
+        let _ = write!(
+            json,
+            ",\n  \"quick_study_secs\": {{\"jobs_1\": {study_serial:.3}, \"jobs_4\": {study_four:.3}, \"speedup\": {:.3}}}",
+            study_serial / study_four
+        );
+    }
+    json.push_str("\n}\n");
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_campaign.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => eprintln!("wrote {path}"),
+        Err(err) => eprintln!("could not write {path}: {err}"),
+    }
+}

@@ -1,0 +1,394 @@
+//! Deterministic digests over run data — the substrate of the
+//! determinism-equivalence harness.
+//!
+//! [`Digestible`] folds a value into a [`StableHasher`] field by field, in
+//! declaration order, using only simulation-visible state: positions,
+//! velocities, control inputs, collision/lane events, fault-injection
+//! decisions and incident marks. Wall-clock quantities never enter a
+//! digest — two runs of the same seed on machines of different speed must
+//! digest identically.
+//!
+//! Digests are **specified**, not incidental: they are compared across
+//! serial and parallel campaign execution, across `--jobs` values, and
+//! against golden files checked into the repository, so every impl here
+//! must write an unambiguous, framed encoding (length prefixes for
+//! sequences, presence bytes for options, tag bytes for enums).
+
+use crate::runlog::{EgoSample, IncidentKind, IncidentMark, LeadObservation, OtherSample};
+use crate::{RunKind, RunLog, RunRecord, ScheduledFault};
+use rdsim_math::StableHasher;
+use rdsim_netem::{
+    DelayConfig, Direction, InjectionAction, InjectionEvent, InjectionWindow, LossConfig,
+    NetemConfig, ReorderConfig,
+};
+use rdsim_simulator::{CollisionEvent, LaneInvasionEvent};
+
+/// A value with a stable, platform-independent digest.
+pub trait Digestible {
+    /// Folds this value into `h`.
+    fn digest_into(&self, h: &mut StableHasher);
+
+    /// The value's digest as a standalone 64-bit hash.
+    fn digest(&self) -> u64 {
+        let mut h = StableHasher::new();
+        self.digest_into(&mut h);
+        h.finish()
+    }
+}
+
+impl<T: Digestible> Digestible for [T] {
+    fn digest_into(&self, h: &mut StableHasher) {
+        h.write_usize(self.len());
+        for item in self {
+            item.digest_into(h);
+        }
+    }
+}
+
+impl<T: Digestible> Digestible for Vec<T> {
+    fn digest_into(&self, h: &mut StableHasher) {
+        self.as_slice().digest_into(h);
+    }
+}
+
+impl<T: Digestible> Digestible for Option<T> {
+    fn digest_into(&self, h: &mut StableHasher) {
+        match self {
+            Some(value) => {
+                h.write_bool(true);
+                value.digest_into(h);
+            }
+            None => h.write_bool(false),
+        }
+    }
+}
+
+impl Digestible for LeadObservation {
+    fn digest_into(&self, h: &mut StableHasher) {
+        h.write_u32(self.actor.0);
+        h.write_f64(self.gap.get());
+        h.write_f64(self.closing_speed.get());
+    }
+}
+
+impl Digestible for EgoSample {
+    fn digest_into(&self, h: &mut StableHasher) {
+        h.write_u64(self.t.as_micros());
+        h.write_u64(self.frame);
+        h.write_f64(self.position.x);
+        h.write_f64(self.position.y);
+        h.write_f64(self.velocity.x);
+        h.write_f64(self.velocity.y);
+        h.write_f64(self.speed.get());
+        h.write_f64(self.accel.get());
+        h.write_f64(self.throttle);
+        h.write_f64(self.steer);
+        h.write_f64(self.brake);
+        self.lead.digest_into(h);
+    }
+}
+
+impl Digestible for OtherSample {
+    fn digest_into(&self, h: &mut StableHasher) {
+        h.write_u32(self.actor.0);
+        h.write_u64(self.t.as_micros());
+        h.write_u64(self.frame);
+        h.write_f64(self.distance_from_ego.get());
+        h.write_f64(self.position.x);
+        h.write_f64(self.position.y);
+        h.write_f64(self.speed.get());
+    }
+}
+
+impl Digestible for CollisionEvent {
+    fn digest_into(&self, h: &mut StableHasher) {
+        h.write_u64(self.time.as_micros());
+        h.write_u64(self.frame_id);
+        h.write_u32(self.ego.0);
+        h.write_u32(self.other.0);
+        h.write_f64(self.relative_speed.get());
+    }
+}
+
+impl Digestible for LaneInvasionEvent {
+    fn digest_into(&self, h: &mut StableHasher) {
+        h.write_u64(self.time.as_micros());
+        h.write_u64(self.frame_id);
+        h.write_u32(self.actor.0);
+        h.write_u32(self.lane.0);
+        h.write_f64(self.lateral.get());
+    }
+}
+
+impl Digestible for DelayConfig {
+    fn digest_into(&self, h: &mut StableHasher) {
+        h.write_f64(self.base.get());
+        h.write_f64(self.jitter.get());
+        h.write_f64(self.correlation.get());
+    }
+}
+
+impl Digestible for LossConfig {
+    fn digest_into(&self, h: &mut StableHasher) {
+        match *self {
+            LossConfig::Random {
+                probability,
+                correlation,
+            } => {
+                h.write_u32(0);
+                h.write_f64(probability.get());
+                h.write_f64(correlation.get());
+            }
+            LossConfig::GilbertElliott {
+                p,
+                r,
+                loss_in_bad,
+                loss_in_good,
+            } => {
+                h.write_u32(1);
+                h.write_f64(p.get());
+                h.write_f64(r.get());
+                h.write_f64(loss_in_bad.get());
+                h.write_f64(loss_in_good.get());
+            }
+        }
+    }
+}
+
+impl Digestible for ReorderConfig {
+    fn digest_into(&self, h: &mut StableHasher) {
+        h.write_f64(self.probability.get());
+        h.write_f64(self.correlation.get());
+        h.write_u32(self.gap);
+    }
+}
+
+impl Digestible for NetemConfig {
+    fn digest_into(&self, h: &mut StableHasher) {
+        self.delay.digest_into(h);
+        self.loss.digest_into(h);
+        match self.duplicate {
+            Some(r) => {
+                h.write_bool(true);
+                h.write_f64(r.get());
+            }
+            None => h.write_bool(false),
+        }
+        match self.corrupt {
+            Some(r) => {
+                h.write_bool(true);
+                h.write_f64(r.get());
+            }
+            None => h.write_bool(false),
+        }
+        self.reorder.digest_into(h);
+        match self.rate {
+            Some(r) => {
+                h.write_bool(true);
+                h.write_u64(r.bits_per_second);
+            }
+            None => h.write_bool(false),
+        }
+    }
+}
+
+impl Digestible for Direction {
+    fn digest_into(&self, h: &mut StableHasher) {
+        h.write_u32(match self {
+            Direction::Both => 0,
+            Direction::Uplink => 1,
+            Direction::Downlink => 2,
+        });
+    }
+}
+
+impl Digestible for InjectionAction {
+    fn digest_into(&self, h: &mut StableHasher) {
+        h.write_u32(match self {
+            InjectionAction::Added => 0,
+            InjectionAction::Deleted => 1,
+        });
+    }
+}
+
+impl Digestible for InjectionEvent {
+    fn digest_into(&self, h: &mut StableHasher) {
+        h.write_u64(self.time.as_micros());
+        self.config.digest_into(h);
+        self.action.digest_into(h);
+        self.direction.digest_into(h);
+    }
+}
+
+impl Digestible for InjectionWindow {
+    fn digest_into(&self, h: &mut StableHasher) {
+        h.write_u64(self.start.as_micros());
+        h.write_u64(self.duration.as_micros());
+        self.config.digest_into(h);
+    }
+}
+
+impl Digestible for IncidentKind {
+    fn digest_into(&self, h: &mut StableHasher) {
+        h.write_str(self.label());
+    }
+}
+
+impl Digestible for IncidentMark {
+    fn digest_into(&self, h: &mut StableHasher) {
+        self.kind.digest_into(h);
+        h.write_u64(self.time.as_micros());
+    }
+}
+
+impl Digestible for RunKind {
+    fn digest_into(&self, h: &mut StableHasher) {
+        h.write_u32(match self {
+            RunKind::Training => 0,
+            RunKind::Golden => 1,
+            RunKind::Faulty => 2,
+        });
+    }
+}
+
+impl Digestible for ScheduledFault {
+    fn digest_into(&self, h: &mut StableHasher) {
+        h.write_str(self.fault.label());
+        self.window.digest_into(h);
+    }
+}
+
+impl Digestible for RunLog {
+    fn digest_into(&self, h: &mut StableHasher) {
+        self.ego_samples().digest_into(h);
+        self.other_samples().digest_into(h);
+        self.collisions().digest_into(h);
+        self.lane_invasions().digest_into(h);
+        self.fault_events().digest_into(h);
+        self.incidents().digest_into(h);
+        h.write_u64(self.duration().as_micros());
+    }
+}
+
+impl Digestible for RunRecord {
+    fn digest_into(&self, h: &mut StableHasher) {
+        h.write_str(&self.subject);
+        self.kind.digest_into(h);
+        self.log.digest_into(h);
+        self.schedule.digest_into(h);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdsim_math::Vec2;
+    use rdsim_simulator::ActorId;
+    use rdsim_units::{Meters, MetersPerSecond, MetersPerSecond2, SimDuration, SimTime};
+
+    fn ego(t_ms: u64, steer: f64) -> EgoSample {
+        EgoSample {
+            t: SimTime::from_millis(t_ms),
+            frame: t_ms / 40,
+            position: Vec2::new(t_ms as f64 * 0.2, 1.5),
+            velocity: Vec2::new(10.0, 0.0),
+            speed: MetersPerSecond::new(10.0),
+            accel: MetersPerSecond2::ZERO,
+            throttle: 0.4,
+            steer,
+            brake: 0.0,
+            lead: Some(LeadObservation {
+                actor: ActorId(2),
+                gap: Meters::new(42.0),
+                closing_speed: MetersPerSecond::new(0.5),
+            }),
+        }
+    }
+
+    fn log() -> RunLog {
+        RunLog::from_parts(
+            vec![ego(0, 0.1), ego(20, -0.05)],
+            Vec::new(),
+            Vec::new(),
+            Vec::new(),
+            Vec::new(),
+            SimDuration::from_millis(40),
+        )
+    }
+
+    #[test]
+    fn digest_is_deterministic() {
+        assert_eq!(log().digest(), log().digest());
+    }
+
+    #[test]
+    fn digest_sees_every_logged_field() {
+        let base = log().digest();
+
+        let mut steer_changed = log();
+        steer_changed.redact_steering();
+        assert_ne!(base, steer_changed.digest(), "steer must enter the digest");
+
+        let mut lead_dropped = log();
+        lead_dropped.redact_lead_observations();
+        assert_ne!(base, lead_dropped.digest(), "lead must enter the digest");
+    }
+
+    #[test]
+    fn record_digest_covers_subject_kind_and_schedule() {
+        let record =
+            |subject: &str, kind: RunKind| RunRecord::new(subject, kind, log(), Vec::new());
+        let base = record("T1", RunKind::Golden).digest();
+        assert_ne!(base, record("T2", RunKind::Golden).digest());
+        assert_ne!(base, record("T1", RunKind::Faulty).digest());
+
+        let scheduled = RunRecord::new(
+            "T1",
+            RunKind::Golden,
+            log(),
+            vec![ScheduledFault {
+                fault: crate::PaperFault::Delay25ms,
+                window: InjectionWindow::new(
+                    SimTime::from_secs(10),
+                    SimDuration::from_secs(10),
+                    crate::PaperFault::Delay25ms.config(),
+                ),
+            }],
+        );
+        assert_ne!(base, scheduled.digest());
+    }
+
+    #[test]
+    fn netem_config_digest_distinguishes_paper_faults() {
+        let digests: Vec<u64> = crate::PaperFault::ALL
+            .iter()
+            .map(|f| f.config().digest())
+            .collect();
+        let mut unique = digests.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(
+            unique.len(),
+            digests.len(),
+            "fault configs must not collide"
+        );
+    }
+
+    #[test]
+    fn option_framing_is_unambiguous() {
+        // None followed by Some must not alias Some followed by None.
+        let a = {
+            let mut h = StableHasher::new();
+            Option::<LossConfig>::None.digest_into(&mut h);
+            Some(LossConfig::random(rdsim_units::Ratio::new(0.02))).digest_into(&mut h);
+            h.finish()
+        };
+        let b = {
+            let mut h = StableHasher::new();
+            Some(LossConfig::random(rdsim_units::Ratio::new(0.02))).digest_into(&mut h);
+            Option::<LossConfig>::None.digest_into(&mut h);
+            h.finish()
+        };
+        assert_ne!(a, b);
+    }
+}

@@ -43,6 +43,7 @@
 #![warn(missing_docs)]
 
 pub mod campaign;
+pub mod digest;
 pub mod fault;
 mod infrastructure;
 mod protocol;
@@ -52,6 +53,7 @@ mod session;
 mod station;
 
 pub use campaign::{random_schedule, RunKind, RunRecord, ScheduledFault};
+pub use digest::Digestible;
 pub use fault::{FaultKind, FaultSpec, PaperFault};
 pub use infrastructure::{InfrastructureSubsystem, RoadsideUnit};
 pub use protocol::{decode_command, encode_command, CommandCodecError, COMMAND_PACKET_BYTES};

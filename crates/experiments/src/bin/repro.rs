@@ -2,13 +2,17 @@
 //!
 //! ```text
 //! repro [all|table1|table2|table3|table4|fig4|collisions|questionnaire|
-//!        validity|model-vehicle] [--seed N] [--quick] [--telemetry]
-//!       [--trace-out DIR]
+//!        validity|model-vehicle] [--seed N] [--quick] [--jobs N]
+//!       [--telemetry] [--trace-out DIR]
 //! ```
 //!
 //! `--quick` shortens the runs (for smoke testing); the full study drives
 //! two laps of the course per run, as the experiments in `EXPERIMENTS.md`
-//! were recorded. `--telemetry` records pipeline telemetry during the
+//! were recorded. `--jobs N` runs the campaign's 36 runs on N
+//! work-stealing worker threads (default: available parallelism); results
+//! are bit-identical for every N — the printed campaign digest is the
+//! proof, and the CI `parallel-equivalence` job holds it. `--telemetry`
+//! records pipeline telemetry during the
 //! study runs and appends a campaign report (frame/command age quantiles,
 //! per-fault-window packet accounting, stage timings, steps/sec).
 //! `--trace-out DIR` retains each study run's flight-recorder snapshot
@@ -20,9 +24,9 @@
 
 use rdsim_core::{IncidentKind, RunKind};
 use rdsim_experiments::{
-    collision_summary, figure4, model_vehicle_sweep, questionnaire_summary, run_study, table2,
-    table3, table4, validity_sweep, ScenarioConfig, StationSpec, StudyResults, SweepReport,
-    TextTable,
+    campaign_digest, collision_summary, default_jobs, figure4, model_vehicle_sweep,
+    questionnaire_summary, run_study_with_jobs, table2, table3, table4, validity_sweep,
+    ScenarioConfig, StationSpec, StudyResults, SweepReport, TextTable,
 };
 use rdsim_metrics::{SrrConfig, TtcConfig, TtcStats};
 use std::path::{Path, PathBuf};
@@ -33,6 +37,7 @@ fn main() -> ExitCode {
     let mut command = "all".to_owned();
     let mut seed = 424242u64;
     let mut quick = false;
+    let mut jobs = default_jobs();
     let mut telemetry = false;
     let mut trace_out: Option<PathBuf> = None;
     let mut iter = args.iter();
@@ -42,6 +47,13 @@ fn main() -> ExitCode {
                 Some(s) => seed = s,
                 None => {
                     eprintln!("--seed needs an integer");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--jobs" => match iter.next().and_then(|s| s.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => jobs = n,
+                _ => {
+                    eprintln!("--jobs needs an integer >= 1");
                     return ExitCode::FAILURE;
                 }
             },
@@ -75,10 +87,10 @@ fn main() -> ExitCode {
     );
     let study = if needs_study {
         eprintln!(
-            "running the study (seed {seed}, {} mode) …",
+            "running the study (seed {seed}, {} mode, {jobs} job(s)) …",
             if quick { "quick" } else { "full" }
         );
-        Some(run_study(seed, &config))
+        Some(run_study_with_jobs(seed, &config, jobs))
     } else {
         None
     };
@@ -109,6 +121,14 @@ fn main() -> ExitCode {
             eprintln!("unknown command '{other}'");
             return ExitCode::FAILURE;
         }
+    }
+    if let Some(study) = &study {
+        // Scheduling-independent: identical for every --jobs value. The
+        // CI parallel-equivalence job diffs this line between runs.
+        println!(
+            "campaign digest: {:016x} (seed {seed})",
+            campaign_digest(study)
+        );
     }
     if telemetry {
         match &study {

@@ -1,0 +1,167 @@
+//! Work-stealing parallel job executor.
+//!
+//! [`execute_ordered`] runs a batch of independent jobs across worker
+//! threads and returns results **in job order**, regardless of which
+//! worker finished which job when. Combined with the pure per-run seed
+//! derivation in [`crate::seeds`], this makes parallel campaign execution
+//! bit-identical to serial: job *inputs* don't depend on scheduling, and
+//! job *outputs* are re-ordered back to the deterministic submission order
+//! before anything aggregates them.
+//!
+//! Scheduling is the classic crossbeam-deque topology: a global FIFO
+//! [`Injector`] seeded with every job, one local [`Worker`] queue per
+//! thread, and [`Stealer`] handles so idle workers first drain the
+//! injector in batches and then steal from busy siblings. A worker retires
+//! when its own queue, the injector and every sibling queue are empty.
+
+use crossbeam::deque::{Injector, Steal, Stealer, Worker};
+
+/// The default worker count: the machine's available parallelism
+/// (`repro --jobs` overrides it).
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Runs every job on `workers` threads and returns the results in the
+/// order the jobs were given.
+///
+/// `workers` is clamped to `1..=jobs.len()`; with one worker the jobs run
+/// serially on the calling thread (no spawn overhead, same results).
+///
+/// # Panics
+///
+/// Panics if a job panics (the panic is propagated after all workers have
+/// been joined).
+pub fn execute_ordered<J, R, F>(jobs: Vec<J>, workers: usize, run: F) -> Vec<R>
+where
+    J: Send,
+    R: Send,
+    F: Fn(J) -> R + Sync,
+{
+    let n = jobs.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = workers.clamp(1, n);
+    if workers == 1 {
+        return jobs.into_iter().map(run).collect();
+    }
+
+    let injector: Injector<(usize, J)> = Injector::new();
+    for job in jobs.into_iter().enumerate() {
+        injector.push(job);
+    }
+    let locals: Vec<Worker<(usize, J)>> = (0..workers).map(|_| Worker::new_fifo()).collect();
+    let stealers: Vec<Stealer<(usize, J)>> = locals.iter().map(Worker::stealer).collect();
+
+    let mut indexed: Vec<(usize, R)> = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = locals
+            .into_iter()
+            .enumerate()
+            .map(|(me, local)| {
+                let injector = &injector;
+                let stealers = stealers.as_slice();
+                let run = &run;
+                scope.spawn(move |_| {
+                    let mut done: Vec<(usize, R)> = Vec::new();
+                    while let Some((index, job)) = find_task(&local, injector, stealers, me) {
+                        done.push((index, run(job)));
+                    }
+                    done
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("executor worker panicked"))
+            .collect()
+    })
+    .expect("executor scope");
+
+    debug_assert_eq!(indexed.len(), n, "every job must produce a result");
+    indexed.sort_unstable_by_key(|(index, _)| *index);
+    indexed.into_iter().map(|(_, result)| result).collect()
+}
+
+/// One scheduling round: local queue first, then a batch from the global
+/// injector, then a steal from any sibling. `None` means no work was
+/// visible anywhere — the worker retires (jobs still *executing* on other
+/// workers produce their own results).
+fn find_task<T>(
+    local: &Worker<T>,
+    injector: &Injector<T>,
+    stealers: &[Stealer<T>],
+    me: usize,
+) -> Option<T> {
+    local.pop().or_else(|| {
+        std::iter::repeat_with(|| {
+            injector.steal_batch_and_pop(local).or_else(|| {
+                stealers
+                    .iter()
+                    .enumerate()
+                    .filter(|(other, _)| *other != me)
+                    .map(|(_, stealer)| stealer.steal())
+                    .collect::<Steal<T>>()
+            })
+        })
+        .find(|attempt| !attempt.is_retry())
+        .and_then(Steal::success)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn results_come_back_in_job_order() {
+        let jobs: Vec<u64> = (0..100).collect();
+        for workers in [1, 2, 4, 7] {
+            let results = execute_ordered(jobs.clone(), workers, |j| j * 3);
+            assert_eq!(
+                results,
+                (0..100).map(|j| j * 3).collect::<Vec<u64>>(),
+                "order broken at {workers} workers"
+            );
+        }
+    }
+
+    #[test]
+    fn every_job_runs_exactly_once() {
+        let counter = AtomicUsize::new(0);
+        let results = execute_ordered((0..257).collect::<Vec<usize>>(), 4, |j| {
+            counter.fetch_add(1, Ordering::Relaxed);
+            j
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 257);
+        assert_eq!(results.len(), 257);
+    }
+
+    #[test]
+    fn uneven_job_costs_still_produce_ordered_results() {
+        // Early jobs sleep so late jobs finish first: completion order is
+        // roughly reversed, output order must not be.
+        let results = execute_ordered((0..16u64).collect::<Vec<_>>(), 4, |j| {
+            if j < 4 {
+                std::thread::sleep(std::time::Duration::from_millis(20));
+            }
+            j * j
+        });
+        assert_eq!(results, (0..16u64).map(|j| j * j).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_and_single_job_edge_cases() {
+        let none: Vec<u32> = execute_ordered(Vec::<u32>::new(), 8, |j| j);
+        assert!(none.is_empty());
+        assert_eq!(execute_ordered(vec![5u32], 8, |j| j + 1), vec![6]);
+    }
+
+    #[test]
+    fn worker_count_defaults_are_sane() {
+        assert!(default_jobs() >= 1);
+    }
+}

@@ -20,23 +20,29 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod digest;
+pub mod executor;
 mod figures;
 mod roster;
 mod runner;
 mod scenario;
+pub mod seeds;
 mod station;
 mod study;
 mod tables;
 mod validity;
 
+pub use digest::{campaign_digest, record_digest, run_digest};
+pub use executor::{default_jobs, execute_ordered};
 pub use figures::{figure4, Figure4};
 pub use roster::{paper_roster, RosterEntry};
 pub use runner::{run_protocol, RunOutput, ScenarioConfig};
 pub use scenario::{CourseMap, FaultPoint, ScenarioPlan};
+pub use seeds::run_seed;
 pub use station::StationSpec;
 pub use study::{
-    collision_summary, questionnaire_summary, run_study, table2, table3, table4, RunTrace,
-    StudyResults, Table2Row, Table3Row, Table4Row,
+    collision_summary, questionnaire_summary, run_study, run_study_with_jobs, table2, table3,
+    table4, RunTrace, StudyResults, Table2Row, Table3Row, Table4Row,
 };
 pub use tables::TextTable;
 pub use validity::{model_vehicle_sweep, validity_sweep, Drivability, SweepPoint, SweepReport};

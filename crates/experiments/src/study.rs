@@ -1,6 +1,8 @@
 //! The full study: 12 subjects × (training, golden, faulty), with the
 //! paper's exclusions and recording artifacts, plus the table generators.
 
+use crate::executor::{default_jobs, execute_ordered};
+use crate::seeds::run_seed;
 use crate::{paper_roster, run_protocol, RosterEntry, RunOutput, ScenarioConfig};
 use rdsim_core::{IncidentMark, PaperFault, RunKind, RunRecord};
 use rdsim_math::RngStream;
@@ -81,58 +83,67 @@ impl StudyResults {
     }
 }
 
-/// Runs the whole study. Subjects run in parallel (they are independent);
-/// all randomness derives from `seed`, so results are reproducible.
+/// The protocol's run kinds in execution order; one campaign job per
+/// subject × kind.
+const PROTOCOL_KINDS: [RunKind; 3] = [RunKind::Training, RunKind::Golden, RunKind::Faulty];
+
+/// Runs the whole study with the default worker count (the machine's
+/// available parallelism). All randomness derives from `seed`, so results
+/// are reproducible — and identical for any worker count (see
+/// [`run_study_with_jobs`]).
 pub fn run_study(seed: u64, config: &ScenarioConfig) -> StudyResults {
+    run_study_with_jobs(seed, config, default_jobs())
+}
+
+/// Runs the whole study on `jobs` worker threads.
+///
+/// The roster × kind matrix is sharded into one job per run (12 subjects ×
+/// {training, golden, faulty} = 36 jobs) and dispatched through the
+/// work-stealing executor. Two properties make the result independent of
+/// `jobs` and of scheduling order, bit for bit:
+///
+/// * every run's seed is a pure function of the campaign seed, subject id
+///   and kind ([`crate::seeds::run_seed`]) — no run's randomness can see
+///   another run or the scheduler;
+/// * the executor returns outputs in job order, and aggregation folds them
+///   in that (roster) order — completion order never reaches the fold.
+///
+/// The equivalence is asserted by `tests/parallel_equivalence.rs` and the
+/// CI `parallel-equivalence` job.
+pub fn run_study_with_jobs(seed: u64, config: &ScenarioConfig, jobs: usize) -> StudyResults {
     let roster = paper_roster();
-    let outputs: Vec<(RunOutput, RunOutput)> = crossbeam::thread::scope(|scope| {
-        let handles: Vec<_> = roster
-            .iter()
-            .map(|entry| {
-                let config = config.clone();
-                scope.spawn(move |_| {
-                    let subject_seed = RngStream::from_seed(seed)
-                        .substream(&entry.profile.id)
-                        .seed();
-                    // Training happens (and matters for realism) but is
-                    // not analysed; a short free drive suffices.
-                    let mut training_cfg = config.clone();
-                    training_cfg.progress_target = Some(250.0);
-                    let _training = run_protocol(
-                        &entry.profile,
-                        RunKind::Training,
-                        subject_seed ^ 0x7261,
-                        &training_cfg,
-                    );
-                    let golden = run_protocol(
-                        &entry.profile,
-                        RunKind::Golden,
-                        subject_seed ^ 0x676F,
-                        &config,
-                    );
-                    let faulty = run_protocol(
-                        &entry.profile,
-                        RunKind::Faulty,
-                        subject_seed ^ 0x6661,
-                        &config,
-                    );
-                    (golden, faulty)
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("subject run panicked"))
-            .collect()
-    })
-    .expect("study scope");
+    let job_list: Vec<(usize, RunKind)> = (0..roster.len())
+        .flat_map(|subject| PROTOCOL_KINDS.iter().map(move |&kind| (subject, kind)))
+        .collect();
+    // Training happens (and matters for realism) but is not analysed; a
+    // short free drive suffices.
+    let mut training_cfg = config.clone();
+    training_cfg.progress_target = Some(250.0);
+    let outputs: Vec<RunOutput> = execute_ordered(job_list, jobs, |(subject, kind)| {
+        let entry = &roster[subject];
+        let cfg = if kind == RunKind::Training {
+            &training_cfg
+        } else {
+            config
+        };
+        run_protocol(
+            &entry.profile,
+            kind,
+            run_seed(seed, &entry.profile.id, kind),
+            cfg,
+        )
+    });
 
     let mut records = Vec::with_capacity(roster.len() * 2);
     let mut questionnaires = Vec::new();
     let mut telemetry = RunTelemetry::default();
     let mut traces = Vec::new();
     let q_rng = RngStream::from_seed(seed).substream("questionnaire");
-    for (entry, (mut golden, mut faulty)) in roster.iter().zip(outputs) {
+    let mut outputs = outputs.into_iter();
+    for entry in &roster {
+        let _training = outputs.next().expect("training output");
+        let mut golden = outputs.next().expect("golden output");
+        let mut faulty = outputs.next().expect("faulty output");
         telemetry.merge(&golden.telemetry);
         telemetry.merge(&faulty.telemetry);
         if config.trace {

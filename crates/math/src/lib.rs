@@ -13,7 +13,9 @@
 //!   metric tables;
 //! * [`SplitMix64`] / [`Xoshiro256StarStar`] / [`RngStream`] — deterministic,
 //!   stream-splittable randomness so that every experiment is reproducible
-//!   bit-for-bit from a single campaign seed.
+//!   bit-for-bit from a single campaign seed;
+//! * [`StableHasher`] — a specified, platform-independent 64-bit digest used
+//!   by the determinism-equivalence harness (`run_digest()` golden files).
 //!
 //! # Examples
 //!
@@ -31,12 +33,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod digest;
 mod filter;
 mod geometry;
 mod interp;
 mod rng;
 mod stats;
 
+pub use digest::{stable_digest, StableHasher};
 pub use filter::{ButterworthLowPass, MovingAverage, RateLimiter};
 pub use geometry::{Pose2, Vec2};
 pub use interp::{lerp, resample_uniform, unlerp, Sample};

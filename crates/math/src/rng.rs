@@ -4,6 +4,33 @@
 //! traffic behaviour, packet-loss draws — must be reproducible from a single
 //! campaign seed. [`RngStream`] provides named substreams so that adding a
 //! new consumer of randomness never perturbs the draws of existing ones.
+//!
+//! # Determinism audit
+//!
+//! The campaign digests (`rdsim-experiments`) and the golden seed-matrix
+//! file under `tests/golden/` pin the outputs of this module, so its
+//! stability guarantees are spelled out:
+//!
+//! * **Bit-stable everywhere:** the integer pipeline (SplitMix64,
+//!   xoshiro256**, substream label hashing) is pure wrapping integer
+//!   arithmetic; [`RngStream::uniform`] uses one multiply of an exactly
+//!   representable 53-bit integer, and `uniform_range` / `uniform_usize` /
+//!   `bernoulli` / `choose` / `shuffle` build on it with IEEE-exact
+//!   operations only. These produce identical bits on every platform.
+//! * **Per-target-stable only:** [`RngStream::standard_normal`] and
+//!   [`RngStream::exponential`] call `ln`/`sqrt`/`sin`/`cos`, whose last
+//!   ULP may differ between libm implementations. On any one
+//!   platform+toolchain they are deterministic (which is what the
+//!   equivalence harness asserts); golden digests are therefore
+//!   per-platform artifacts, regenerated with `RDSIM_BLESS=1`.
+//! * **Frozen constants:** the substream-derivation mixers (the
+//!   `0xA076_1D64_78BD_642F` label salt, the FNV-style fold, and the
+//!   `substream_index` scramble) are load-bearing for every recorded
+//!   digest — changing them is a breaking change to all golden files.
+//! * **Serialization caveat:** `spare_normal` (the cached Box–Muller
+//!   deviate) is `#[serde(skip)]`, so a serialize/deserialize round-trip
+//!   mid-run can drop one pending normal draw. Campaign code never
+//!   snapshots streams mid-run; keep it that way.
 
 use rand::RngCore;
 use serde::{Deserialize, Serialize};

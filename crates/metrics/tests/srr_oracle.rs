@@ -1,0 +1,215 @@
+//! Reference oracle for the SAE J2944 steering-reversal rate (Table IV).
+//!
+//! The production path ([`steering_reversal_rate`]) first collapses the
+//! filtered signal to its stationary points and then runs the θ_min
+//! hysteresis automaton over that (much shorter) extrema list. The
+//! riskiest part of that pipeline is the extrema extraction: a dropped or
+//! duplicated stationary point silently changes the count. The oracle
+//! here skips that step entirely and runs the definitional scan over
+//! *every* filtered sample — on a piecewise-monotone signal the two are
+//! provably equivalent, and the property tests below assert exact
+//! agreement (reversal count, duration and rate, bit for bit) on
+//! proptest-generated noise and smooth multi-sine steering traces.
+//!
+//! A constructed slow zigzag additionally pins the absolute count —
+//! `legs − 1` reversals for well-separated, over-threshold swings — so
+//! both implementations agreeing on a wrong number would still fail.
+
+use proptest::prelude::*;
+use rdsim_math::{ButterworthLowPass, Sample};
+use rdsim_metrics::{steering_reversal_rate, SrrConfig};
+use rdsim_units::{Hertz, Seconds};
+
+/// Literal J2944 reversal count over the *full* filtered signal: no
+/// stationary-point extraction, just the hysteresis definition applied to
+/// every sample. Gates and filter mirror the production code so the
+/// comparison isolates the counting logic.
+fn oracle_srr(signal: &[Sample], config: &SrrConfig) -> Option<(usize, f64, f64)> {
+    if signal.len() < 3 || signal.iter().any(|s| !s.value.is_finite()) {
+        return None;
+    }
+    let duration = signal[signal.len() - 1].t - signal[0].t;
+    if duration < 1.0 {
+        return None;
+    }
+    let dt = duration / (signal.len() - 1) as f64;
+    if dt <= 0.0 {
+        return None;
+    }
+    let nyquist = 0.5 / dt;
+    let cutoff = if config.cutoff.get() >= nyquist {
+        Hertz::new(nyquist * 0.45)
+    } else {
+        config.cutoff
+    };
+    let raw: Vec<f64> = signal.iter().map(|s| s.value).collect();
+    let filtered = ButterworthLowPass::filter_signal(cutoff, Seconds::new(dt), &raw);
+
+    let theta = config.theta_min;
+    let mut reversals = 0usize;
+    let mut direction = 0i8; // 0 = undecided, +1 = rising, -1 = falling
+    let mut extreme = filtered[0]; // running extreme of the current excursion
+    let mut seen_lo = filtered[0];
+    let mut seen_hi = filtered[0];
+    for &v in &filtered[1..] {
+        match direction {
+            0 => {
+                seen_hi = seen_hi.max(v);
+                seen_lo = seen_lo.min(v);
+                if seen_hi - v >= theta {
+                    direction = -1;
+                    extreme = v;
+                } else if v - seen_lo >= theta {
+                    direction = 1;
+                    extreme = v;
+                }
+            }
+            1 => {
+                if v > extreme {
+                    extreme = v;
+                } else if extreme - v >= theta {
+                    reversals += 1;
+                    direction = -1;
+                    extreme = v;
+                }
+            }
+            _ => {
+                if v < extreme {
+                    extreme = v;
+                } else if v - extreme >= theta {
+                    reversals += 1;
+                    direction = 1;
+                    extreme = v;
+                }
+            }
+        }
+    }
+    Some((reversals, duration, reversals as f64 / duration * 60.0))
+}
+
+fn assert_matches_oracle(signal: &[Sample], config: &SrrConfig) {
+    let got = steering_reversal_rate(signal, config);
+    let want = oracle_srr(signal, config);
+    match (got, want) {
+        (None, None) => {}
+        (Some(g), Some((reversals, duration, rate))) => {
+            assert_eq!(g.reversals, reversals, "reversal counts diverge");
+            assert_eq!(g.duration.get(), duration, "duration must be exact");
+            assert_eq!(g.rate_per_min, rate, "rate must be exact");
+        }
+        (g, w) => panic!("presence mismatch: production {g:?} vs oracle {w:?}"),
+    }
+}
+
+fn series(t0: f64, dt: f64, values: &[f64]) -> Vec<Sample> {
+    values
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| Sample::new(t0 + i as f64 * dt, v))
+        .collect()
+}
+
+proptest! {
+    #[test]
+    fn noise_signals_match_oracle(
+        values in proptest::collection::vec(-1.0f64..1.0, 3..240),
+        dt in 0.02f64..0.2,
+        t0 in 0.0f64..5.0,
+    ) {
+        // Short vectors at small dt legitimately gate out (< 1 s): the
+        // oracle must agree on the None too.
+        assert_matches_oracle(&series(t0, dt, &values), &SrrConfig::default());
+    }
+
+    #[test]
+    fn smooth_steering_traces_match_oracle(
+        a1 in 0.0f64..0.8,
+        f1 in 0.05f64..2.0,
+        p1 in 0.0f64..std::f64::consts::TAU,
+        a2 in 0.0f64..0.4,
+        f2 in 0.05f64..2.0,
+        n in 50usize..300,
+        dt in 0.02f64..0.1,
+    ) {
+        let values: Vec<f64> = (0..n)
+            .map(|i| {
+                let t = i as f64 * dt;
+                a1 * (std::f64::consts::TAU * f1 * t + p1).sin()
+                    + a2 * (std::f64::consts::TAU * f2 * t).sin()
+            })
+            .collect();
+        assert_matches_oracle(&series(0.0, dt, &values), &SrrConfig::default());
+    }
+
+    #[test]
+    fn theta_sweep_matches_oracle(
+        values in proptest::collection::vec(-0.5f64..0.5, 40..160),
+        theta in 0.01f64..0.3,
+    ) {
+        let config = SrrConfig { theta_min: theta, ..SrrConfig::default() };
+        assert_matches_oracle(&series(0.0, 0.05, &values), &config);
+    }
+}
+
+#[test]
+fn slow_zigzag_counts_legs_minus_one() {
+    // 6 alternating ramps, 4 s per leg at 20 Hz, swinging ±0.5 — far above
+    // θ_min = 0.05 and well inside the 0.6 Hz pass band, so the filtered
+    // signal keeps every direction change: 5 reversals... minus the first
+    // direction change, which only *establishes* the direction. J2944
+    // counts a reversal per change after the first, hence legs − 1 = 5.
+    let dt = 0.05;
+    let legs = 6usize;
+    let leg_samples = 80usize; // 4 s per leg
+    let mut values = Vec::new();
+    for leg in 0..legs {
+        for i in 0..leg_samples {
+            let frac = i as f64 / leg_samples as f64;
+            let ramp = -0.5 + frac; // rises 0..1 scaled below
+            let v = if leg % 2 == 0 { ramp } else { -ramp };
+            values.push(v);
+        }
+    }
+    let signal = series(0.0, dt, &values);
+    let config = SrrConfig::default();
+    let got = steering_reversal_rate(&signal, &config).expect("24 s signal");
+    assert_eq!(
+        got.reversals,
+        legs - 1,
+        "one reversal per direction change after the first"
+    );
+    assert_matches_oracle(&signal, &config);
+}
+
+#[test]
+fn gates_reject_degenerate_signals() {
+    let config = SrrConfig::default();
+    // Too short.
+    assert!(steering_reversal_rate(&series(0.0, 0.5, &[0.0, 1.0]), &config).is_none());
+    // Under one second.
+    assert!(steering_reversal_rate(&series(0.0, 0.1, &[0.0, 0.3, 0.0]), &config).is_none());
+    // Redacted (NaN) values.
+    let redacted = series(0.0, 0.5, &[0.0, f64::NAN, 0.2, 0.4, 0.1]);
+    assert!(steering_reversal_rate(&redacted, &config).is_none());
+    // The oracle agrees on every rejection.
+    for sig in [
+        series(0.0, 0.5, &[0.0, 1.0]),
+        series(0.0, 0.1, &[0.0, 0.3, 0.0]),
+        series(0.0, 0.5, &[0.0, f64::NAN, 0.2, 0.4, 0.1]),
+    ] {
+        assert_matches_oracle(&sig, &config);
+    }
+}
+
+#[test]
+fn sub_threshold_wiggle_counts_nothing() {
+    // A 0.02-amplitude sine never exceeds θ_min = 0.05: zero reversals.
+    let values: Vec<f64> = (0..200)
+        .map(|i| 0.02 * (i as f64 * 0.05 * std::f64::consts::TAU * 0.25).sin())
+        .collect();
+    let signal = series(0.0, 0.05, &values);
+    let got = steering_reversal_rate(&signal, &SrrConfig::default()).expect("10 s signal");
+    assert_eq!(got.reversals, 0);
+    assert_eq!(got.rate_per_min, 0.0);
+    assert_matches_oracle(&signal, &SrrConfig::default());
+}

@@ -1,0 +1,209 @@
+//! Brute-force oracle for the TTC pipeline (§VI.C / Table III).
+//!
+//! The production path ([`ttc_series`] + [`TtcStats::from_samples`]) gates
+//! lead observations and folds them through `RunningStats`. The oracle
+//! here re-derives everything with the most literal loop possible —
+//! "include the sample iff gap ≤ 100 m and closing ≥ 1 m/s, TTC =
+//! gap/closing, violation iff 0 < TTC < 6 s" — and the property tests
+//! assert the two agree on proptest-generated logs. Min/max/violations/
+//! sample counts must match exactly; the mean is compared with a
+//! tolerance because `RunningStats` uses Welford's update rather than a
+//! naive sum.
+
+use proptest::prelude::*;
+use rdsim_core::{EgoSample, LeadObservation, RunLog};
+use rdsim_math::Vec2;
+use rdsim_metrics::{ttc_series, TtcConfig, TtcStats};
+use rdsim_simulator::ActorId;
+use rdsim_units::{Meters, MetersPerSecond, MetersPerSecond2, SimDuration, SimTime};
+
+/// (gap, closing_speed) per sample; `None` = no lead observed.
+type LeadSpec = Vec<Option<(f64, f64)>>;
+
+const DT: f64 = 0.1;
+
+fn log_from_leads(leads: &[Option<(f64, f64)>]) -> RunLog {
+    let ego = leads
+        .iter()
+        .enumerate()
+        .map(|(i, lead)| EgoSample {
+            t: SimTime::from_secs_f64(i as f64 * DT),
+            frame: i as u64,
+            position: Vec2::new(8.0 * i as f64 * DT, 0.0),
+            velocity: Vec2::new(8.0, 0.0),
+            speed: MetersPerSecond::new(8.0),
+            accel: MetersPerSecond2::new(0.0),
+            throttle: 0.3,
+            steer: 0.0,
+            brake: 0.0,
+            lead: lead.map(|(gap, closing)| LeadObservation {
+                actor: ActorId(7),
+                gap: Meters::new(gap),
+                closing_speed: MetersPerSecond::new(closing),
+            }),
+        })
+        .collect();
+    RunLog::from_parts(
+        ego,
+        Vec::new(),
+        Vec::new(),
+        Vec::new(),
+        Vec::new(),
+        SimDuration::from_secs_f64(leads.len() as f64 * DT),
+    )
+}
+
+/// The oracle series: a literal transcription of the paper's rule.
+fn oracle_series(log: &RunLog, config: &TtcConfig) -> Vec<(f64, f64)> {
+    let mut out = Vec::new();
+    for s in log.ego_samples() {
+        let Some(lead) = s.lead else { continue };
+        let gap = lead.gap.get();
+        let closing = lead.closing_speed.get();
+        if gap <= config.max_gap.get() && closing >= config.min_closing.get() {
+            out.push((s.t.as_secs_f64(), gap / closing));
+        }
+    }
+    out
+}
+
+struct OracleStats {
+    max: f64,
+    min: f64,
+    mean: f64,
+    violations: usize,
+    samples: usize,
+}
+
+/// The oracle stats: naive sum and running min/max over the oracle series.
+fn oracle_stats(series: &[(f64, f64)], config: &TtcConfig) -> Option<OracleStats> {
+    if series.is_empty() {
+        return None;
+    }
+    let mut max = f64::NEG_INFINITY;
+    let mut min = f64::INFINITY;
+    let mut sum = 0.0;
+    let mut violations = 0;
+    for &(_, ttc) in series {
+        max = max.max(ttc);
+        min = min.min(ttc);
+        sum += ttc;
+        if ttc > 0.0 && ttc < config.threshold.get() {
+            violations += 1;
+        }
+    }
+    Some(OracleStats {
+        max,
+        min,
+        mean: sum / series.len() as f64,
+        violations,
+        samples: series.len(),
+    })
+}
+
+fn assert_matches_oracle(leads: &LeadSpec, config: &TtcConfig) {
+    let log = log_from_leads(leads);
+    let series = ttc_series(&log, config);
+    let expected = oracle_series(&log, config);
+
+    let got: Vec<(f64, f64)> = series.iter().map(|s| (s.t, s.ttc.get())).collect();
+    assert_eq!(
+        got, expected,
+        "ttc_series disagrees with the brute-force oracle"
+    );
+
+    let stats = TtcStats::from_samples(&series, config);
+    let want = oracle_stats(&expected, config);
+    match (stats, want) {
+        (None, None) => {}
+        (Some(s), Some(w)) => {
+            assert_eq!(s.max.get(), w.max, "max must match exactly");
+            assert_eq!(s.min.get(), w.min, "min must match exactly");
+            assert_eq!(
+                s.violations, w.violations,
+                "violation count must match exactly"
+            );
+            assert_eq!(s.samples, w.samples, "sample count must match exactly");
+            let tol = 1e-9 * w.mean.abs().max(1.0);
+            assert!(
+                (s.avg.get() - w.mean).abs() <= tol,
+                "mean {} drifted from naive mean {}",
+                s.avg.get(),
+                w.mean
+            );
+        }
+        (s, w) => panic!(
+            "presence mismatch: production {:?} vs oracle {:?}",
+            s.map(|s| s.samples),
+            w.map(|w| w.samples)
+        ),
+    }
+}
+
+proptest! {
+    #[test]
+    fn series_and_stats_match_oracle(
+        leads in proptest::collection::vec(
+            proptest::option::of((0.0f64..150.0, -5.0f64..10.0)),
+            0..60,
+        ),
+    ) {
+        assert_matches_oracle(&leads, &TtcConfig::default());
+    }
+
+    #[test]
+    fn oracle_holds_under_nondefault_gates(
+        leads in proptest::collection::vec(
+            proptest::option::of((0.0f64..90.0, 0.0f64..6.0)),
+            1..40,
+        ),
+        max_gap in 10.0f64..120.0,
+        min_closing in 0.1f64..3.0,
+        threshold in 2.0f64..10.0,
+    ) {
+        let config = TtcConfig {
+            max_gap: Meters::new(max_gap),
+            min_closing: MetersPerSecond::new(min_closing),
+            threshold: rdsim_units::Seconds::new(threshold),
+        };
+        assert_matches_oracle(&leads, &config);
+    }
+}
+
+#[test]
+fn gate_boundaries_are_inclusive_per_the_paper() {
+    // "relative distance ≤ 100 m" — the boundary sample is *included*;
+    // closing exactly at min_closing is likewise included, just below is not.
+    let config = TtcConfig::default();
+    let leads = vec![
+        Some((100.0, 2.0)),        // gap exactly at the gate: kept
+        Some((100.0 + 1e-9, 2.0)), // just over: dropped
+        Some((50.0, 1.0)),         // closing exactly at the gate: kept
+        Some((50.0, 1.0 - 1e-9)),  // just under: dropped
+        None,                      // no lead: dropped
+    ];
+    let log = log_from_leads(&leads);
+    let series = ttc_series(&log, &config);
+    assert_eq!(series.len(), 2);
+    assert_eq!(series[0].ttc.get(), 50.0);
+    assert_eq!(series[1].ttc.get(), 50.0);
+    // Both retained samples sit at TTC = 50 s ≫ 6 s: no violations.
+    let stats = TtcStats::from_samples(&series, &config).expect("two samples");
+    assert_eq!(stats.violations, 0);
+    assert_matches_oracle(&leads, &config);
+}
+
+#[test]
+fn violation_requires_strictly_positive_ttc() {
+    // A zero gap gives TTC = 0, which the paper's "0 < TTC < 6 s" band
+    // excludes (the collision itself is counted elsewhere, §VI.E).
+    let config = TtcConfig::default();
+    let leads = vec![Some((0.0, 2.0)), Some((6.0, 2.0))];
+    let log = log_from_leads(&leads);
+    let series = ttc_series(&log, &config);
+    let stats = TtcStats::from_samples(&series, &config).expect("two samples");
+    assert_eq!(stats.samples, 2);
+    assert_eq!(stats.violations, 1, "only the 3 s sample violates");
+    assert_eq!(stats.min.get(), 0.0);
+    assert_matches_oracle(&leads, &config);
+}

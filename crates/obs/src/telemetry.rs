@@ -77,6 +77,54 @@ impl RunTelemetry {
         self.wall_elapsed_ns += other.wall_elapsed_ns;
     }
 
+    /// A stable 64-bit fingerprint over the *deterministic* telemetry
+    /// content: counters, gauges, histograms and events — excluding every
+    /// wall-clock field (`wall_elapsed_ns`, per-event `wall_ns`), which
+    /// vary run to run on real hardware.
+    ///
+    /// Hand-rolled FNV-1a-64 with a SplitMix64 finalizer (the same
+    /// construction as `rdsim_math::StableHasher`, duplicated here because
+    /// this crate is dependency-free by design). Two runs of the same seed
+    /// must fingerprint identically whether they executed serially or on a
+    /// parallel worker; the campaign digest folds this value in.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = Fnv::new();
+        h.u64(self.counters.len() as u64);
+        for (name, value) in &self.counters {
+            h.str(name);
+            h.u64(*value);
+        }
+        h.u64(self.gauges.len() as u64);
+        for (name, value) in &self.gauges {
+            h.str(name);
+            h.u64(value.to_bits());
+        }
+        h.u64(self.histograms.len() as u64);
+        for (name, snapshot) in &self.histograms {
+            h.str(name);
+            h.u64(snapshot.count);
+            h.u64(snapshot.sum);
+            h.u64(snapshot.min);
+            h.u64(snapshot.max);
+            // Sparse: only non-empty buckets, framed as (index, count).
+            for (i, &n) in snapshot.buckets.iter().enumerate() {
+                if n > 0 {
+                    h.u64(i as u64);
+                    h.u64(n);
+                }
+            }
+            h.u64(u64::MAX); // bucket-list terminator
+        }
+        h.u64(self.events.len() as u64);
+        for event in &self.events {
+            h.str(&event.name);
+            h.u64(event.sim_us);
+            h.str(&event.note);
+        }
+        h.u64(self.events_dropped);
+        h.finish()
+    }
+
     /// Serializes to a self-contained JSON document. Hand-rolled because
     /// this crate is dependency-free; output is deterministic (sorted keys,
     /// fixed field order).
@@ -185,6 +233,40 @@ impl RunTelemetry {
     }
 }
 
+/// Minimal stable hasher backing [`RunTelemetry::fingerprint`]: FNV-1a 64
+/// over little-endian bytes with length-prefixed strings, diffused through
+/// one SplitMix64 round at the end.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xCBF2_9CE4_8422_2325)
+    }
+
+    fn raw(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.raw(&v.to_le_bytes());
+    }
+
+    fn str(&mut self, s: &str) {
+        self.u64(s.len() as u64);
+        self.raw(s.as_bytes());
+    }
+
+    fn finish(&self) -> u64 {
+        let mut z = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
 fn push_entries<'a, V: 'a>(
     out: &mut String,
     entries: impl Iterator<Item = (&'a String, V)>,
@@ -275,6 +357,29 @@ mod tests {
         assert_eq!(a.counter("steps"), 20);
         assert_eq!(a.histogram("lat_us").unwrap().count, 4);
         assert_eq!(a.events.len(), 2);
+    }
+
+    #[test]
+    fn fingerprint_ignores_wall_clock_but_sees_content() {
+        let a = sample();
+        let mut b = sample();
+        b.wall_elapsed_ns = a.wall_elapsed_ns.wrapping_add(123_456);
+        for event in &mut b.events {
+            event.wall_ns = event.wall_ns.wrapping_add(999);
+        }
+        assert_eq!(
+            a.fingerprint(),
+            b.fingerprint(),
+            "wall-clock fields must not affect the fingerprint"
+        );
+
+        let mut c = sample();
+        c.counters.insert("steps".to_owned(), 11);
+        assert_ne!(a.fingerprint(), c.fingerprint());
+
+        let mut d = sample();
+        d.events[0].note = "loss=11%".to_owned();
+        assert_ne!(a.fingerprint(), d.fingerprint());
     }
 
     #[test]

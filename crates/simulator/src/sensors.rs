@@ -90,9 +90,15 @@ pub fn obb_overlap(
 /// Tracks contact state so each collision is reported once per contact
 /// episode (contact must break before the same pair can fire again) —
 /// matching how CARLA's collision sensor emits discrete events.
+///
+/// A `BTreeSet` rather than a `HashSet`: nothing here iterates today
+/// (membership queries are order-free), but the determinism doctrine is
+/// that no randomized-order container sits anywhere on the logged-output
+/// path, so Debug dumps and any future iteration are ordered by
+/// construction rather than by `RandomState`.
 #[derive(Debug, Default)]
 pub(crate) struct CollisionTracker {
-    in_contact: std::collections::HashSet<(ActorId, ActorId)>,
+    in_contact: std::collections::BTreeSet<(ActorId, ActorId)>,
 }
 
 impl CollisionTracker {

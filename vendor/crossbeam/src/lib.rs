@@ -1,7 +1,11 @@
-//! Offline-vendored subset of `crossbeam`: only `thread::scope`, shimmed
-//! over `std::thread::scope` (stable since Rust 1.63). The workspace uses
-//! scoped threads to fan subjects/sweep points out across cores; std's
-//! scoped threads provide identical join/panic semantics.
+//! Offline-vendored subset of `crossbeam`: `thread::scope` (shimmed over
+//! `std::thread::scope`, stable since Rust 1.63) plus the `deque`
+//! work-stealing primitives (`Injector` / `Worker` / `Stealer` / `Steal`)
+//! the campaign executor schedules run jobs with. The deque subset keeps
+//! the real crate's API and stealing semantics (global FIFO injector,
+//! per-worker FIFO queues, batch steals that move about half the source)
+//! but is built on `Mutex<VecDeque>` instead of the lock-free Chase–Lev
+//! buffers — swap in the real crate and nothing at the call sites changes.
 
 /// Scoped threads, API-compatible with `crossbeam::thread` as used here.
 pub mod thread {
@@ -54,8 +58,208 @@ pub mod thread {
     }
 }
 
+/// Work-stealing deques, API-compatible with `crossbeam::deque` as used
+/// by the campaign executor.
+pub mod deque {
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Mutex};
+
+    /// The outcome of one steal attempt.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum Steal<T> {
+        /// The source was empty.
+        Empty,
+        /// One task was stolen.
+        Success(T),
+        /// The attempt lost a race and should be retried.
+        Retry,
+    }
+
+    impl<T> Steal<T> {
+        /// `true` if the attempt should be retried.
+        pub fn is_retry(&self) -> bool {
+            matches!(self, Steal::Retry)
+        }
+
+        /// `true` if nothing was available.
+        pub fn is_empty(&self) -> bool {
+            matches!(self, Steal::Empty)
+        }
+
+        /// The stolen task, if any.
+        pub fn success(self) -> Option<T> {
+            match self {
+                Steal::Success(task) => Some(task),
+                _ => None,
+            }
+        }
+
+        /// Chains attempts: a success short-circuits, a retry taints an
+        /// empty outcome (so callers keep looping), empty falls through.
+        pub fn or_else<F: FnOnce() -> Steal<T>>(self, f: F) -> Steal<T> {
+            match self {
+                Steal::Success(task) => Steal::Success(task),
+                Steal::Retry => match f() {
+                    Steal::Success(task) => Steal::Success(task),
+                    _ => Steal::Retry,
+                },
+                Steal::Empty => f(),
+            }
+        }
+    }
+
+    impl<T> FromIterator<Steal<T>> for Steal<T> {
+        /// Folds attempts like the real crate: first success wins; any
+        /// retry makes an otherwise-empty outcome a retry.
+        fn from_iter<I: IntoIterator<Item = Steal<T>>>(iter: I) -> Steal<T> {
+            let mut retry = false;
+            for attempt in iter {
+                match attempt {
+                    Steal::Success(task) => return Steal::Success(task),
+                    Steal::Retry => retry = true,
+                    Steal::Empty => {}
+                }
+            }
+            if retry {
+                Steal::Retry
+            } else {
+                Steal::Empty
+            }
+        }
+    }
+
+    /// A global FIFO queue every worker can push to and steal from.
+    #[derive(Debug)]
+    pub struct Injector<T> {
+        queue: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> Default for Injector<T> {
+        fn default() -> Self {
+            Injector::new()
+        }
+    }
+
+    impl<T> Injector<T> {
+        /// Creates an empty injector.
+        pub fn new() -> Self {
+            Injector {
+                queue: Mutex::new(VecDeque::new()),
+            }
+        }
+
+        /// Enqueues a task at the back.
+        pub fn push(&self, task: T) {
+            self.queue
+                .lock()
+                .expect("injector poisoned")
+                .push_back(task);
+        }
+
+        /// Steals one task from the front.
+        pub fn steal(&self) -> Steal<T> {
+            match self.queue.lock().expect("injector poisoned").pop_front() {
+                Some(task) => Steal::Success(task),
+                None => Steal::Empty,
+            }
+        }
+
+        /// Steals a batch (about half the queue) into `dest`, returning
+        /// one of the stolen tasks directly.
+        pub fn steal_batch_and_pop(&self, dest: &Worker<T>) -> Steal<T> {
+            let mut queue = self.queue.lock().expect("injector poisoned");
+            let Some(first) = queue.pop_front() else {
+                return Steal::Empty;
+            };
+            let extra = queue.len().div_ceil(2);
+            let mut dest_queue = dest.queue.lock().expect("worker poisoned");
+            for _ in 0..extra {
+                match queue.pop_front() {
+                    Some(task) => dest_queue.push_back(task),
+                    None => break,
+                }
+            }
+            Steal::Success(first)
+        }
+
+        /// `true` when no tasks are queued.
+        pub fn is_empty(&self) -> bool {
+            self.queue.lock().expect("injector poisoned").is_empty()
+        }
+    }
+
+    /// A worker's own queue; its [`Stealer`]s let other workers take from
+    /// the opposite end.
+    #[derive(Debug)]
+    pub struct Worker<T> {
+        queue: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Worker<T> {
+        /// Creates an empty FIFO worker queue.
+        pub fn new_fifo() -> Self {
+            Worker {
+                queue: Arc::new(Mutex::new(VecDeque::new())),
+            }
+        }
+
+        /// Enqueues a task.
+        pub fn push(&self, task: T) {
+            self.queue.lock().expect("worker poisoned").push_back(task);
+        }
+
+        /// Dequeues the worker's next task.
+        pub fn pop(&self) -> Option<T> {
+            self.queue.lock().expect("worker poisoned").pop_front()
+        }
+
+        /// `true` when the queue is empty.
+        pub fn is_empty(&self) -> bool {
+            self.queue.lock().expect("worker poisoned").is_empty()
+        }
+
+        /// Creates a handle other workers can steal through.
+        pub fn stealer(&self) -> Stealer<T> {
+            Stealer {
+                queue: Arc::clone(&self.queue),
+            }
+        }
+    }
+
+    /// A stealing handle onto some worker's queue.
+    #[derive(Debug)]
+    pub struct Stealer<T> {
+        queue: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Clone for Stealer<T> {
+        fn clone(&self) -> Self {
+            Stealer {
+                queue: Arc::clone(&self.queue),
+            }
+        }
+    }
+
+    impl<T> Stealer<T> {
+        /// Steals one task from the back of the victim's queue.
+        pub fn steal(&self) -> Steal<T> {
+            match self.queue.lock().expect("worker poisoned").pop_back() {
+                Some(task) => Steal::Success(task),
+                None => Steal::Empty,
+            }
+        }
+
+        /// `true` when the victim's queue is empty.
+        pub fn is_empty(&self) -> bool {
+            self.queue.lock().expect("worker poisoned").is_empty()
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
+    use super::deque::{Injector, Steal, Worker};
+
     #[test]
     fn scope_joins_and_collects() {
         let data = [1, 2, 3];
@@ -65,5 +269,91 @@ mod tests {
         })
         .unwrap();
         assert_eq!(sum, 12);
+    }
+
+    #[test]
+    fn injector_is_fifo() {
+        let injector: Injector<u32> = Injector::new();
+        for v in 0..4 {
+            injector.push(v);
+        }
+        assert_eq!(injector.steal(), Steal::Success(0));
+        assert_eq!(injector.steal(), Steal::Success(1));
+        assert!(!injector.is_empty());
+    }
+
+    #[test]
+    fn batch_steal_moves_about_half() {
+        let injector: Injector<u32> = Injector::new();
+        for v in 0..9 {
+            injector.push(v);
+        }
+        let worker = Worker::new_fifo();
+        assert_eq!(injector.steal_batch_and_pop(&worker), Steal::Success(0));
+        // 8 left after the pop; half (4) moved to the worker.
+        let mut moved = Vec::new();
+        while let Some(v) = worker.pop() {
+            moved.push(v);
+        }
+        assert_eq!(moved, vec![1, 2, 3, 4]);
+        assert_eq!(injector.steal(), Steal::Success(5));
+    }
+
+    #[test]
+    fn stealers_take_from_the_back() {
+        let worker = Worker::new_fifo();
+        let stealer = worker.stealer();
+        worker.push(1);
+        worker.push(2);
+        worker.push(3);
+        assert_eq!(stealer.steal(), Steal::Success(3));
+        assert_eq!(worker.pop(), Some(1));
+        assert_eq!(stealer.steal(), Steal::Success(2));
+        assert_eq!(stealer.steal(), Steal::Empty);
+        assert!(worker.is_empty() && stealer.is_empty());
+    }
+
+    #[test]
+    fn steal_collect_folds_attempts() {
+        let outcome: Steal<u32> = [Steal::Empty, Steal::Retry, Steal::Empty]
+            .into_iter()
+            .collect();
+        assert!(outcome.is_retry());
+        let outcome: Steal<u32> = [Steal::Empty, Steal::Success(7)].into_iter().collect();
+        assert_eq!(outcome.success(), Some(7));
+        let outcome: Steal<u32> = std::iter::empty().collect();
+        assert!(outcome.is_empty());
+    }
+
+    #[test]
+    fn workers_drain_a_shared_injector_exactly_once() {
+        let injector: Injector<u64> = Injector::new();
+        for v in 0..500 {
+            injector.push(v);
+        }
+        let sum: u64 = super::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let injector = &injector;
+                    scope.spawn(move |_| {
+                        let worker = Worker::new_fifo();
+                        let mut sum = 0u64;
+                        loop {
+                            let task = worker
+                                .pop()
+                                .or_else(|| injector.steal_batch_and_pop(&worker).success());
+                            match task {
+                                Some(v) => sum += v,
+                                None => break,
+                            }
+                        }
+                        sum
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        })
+        .unwrap();
+        assert_eq!(sum, (0..500).sum::<u64>());
     }
 }
