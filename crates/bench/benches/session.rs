@@ -1,0 +1,144 @@
+//! Session-pipeline bench: per-session vs batched stepping throughput.
+//!
+//! Not a criterion bench — a custom harness that steps the same 8
+//! sessions to completion at lockstep batch sizes 1, 4 and 8
+//! ([`rdsim_core::SessionBatch`]), prints steps/sec, re-checks that every
+//! batch size reproduces the serial run-log digests bit for bit, and
+//! writes a machine-readable `BENCH_session.json` at the workspace root.
+//! Batch 1 is the per-session baseline (one `SessionBatch` per session —
+//! the exact `run_protocol` path). The recorded numbers are honest
+//! medians on whatever hardware ran the bench; `available_parallelism`
+//! is recorded next to them because batching amortizes per-run overhead
+//! and cache misses, not cores — on any machine the digests must match,
+//! which is the check that matters.
+
+use rdsim_core::{
+    Digestible, FixedRun, PaperFault, RdsSession, RdsSessionConfig, ScriptedOperator, SessionBatch,
+};
+use rdsim_netem::InjectionWindow;
+use rdsim_roadnet::town05;
+use rdsim_simulator::{CameraConfig, World};
+use rdsim_units::{Hertz, SimDuration, SimTime};
+use rdsim_vehicle::{ControlInput, VehicleSpec};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Timed samples per batch size (median reported).
+const SAMPLES: usize = 3;
+/// Sessions stepped per sample.
+const SESSIONS: usize = 8;
+/// Steps per session (20 s of sim time at 50 Hz).
+const STEPS: u64 = 1_000;
+
+fn session(i: usize) -> RdsSession {
+    let seed = 1_000 + i as u64;
+    let mut world = World::new(town05(), seed);
+    world.spawn_ego_at("ego-start", VehicleSpec::passenger_car());
+    let config = RdsSessionConfig {
+        camera: CameraConfig::fixed(Hertz::new(25.0), 2_000),
+        ..RdsSessionConfig::default()
+    };
+    let mut s = RdsSession::new(world, config, seed);
+    // Exercise the netem stages: a real fault window mid-run.
+    s.schedule_fault(InjectionWindow::new(
+        SimTime::from_secs(5),
+        SimDuration::from_secs(5),
+        PaperFault::ALL[i % PaperFault::ALL.len()].config(),
+    ))
+    .expect("non-overlapping");
+    s
+}
+
+fn operator(i: usize) -> ScriptedOperator {
+    ScriptedOperator::constant(ControlInput::new(0.25 + (i % 4) as f64 * 0.05, 0.0, 0.0))
+}
+
+/// Steps all `SESSIONS` sessions to completion in lockstep groups of
+/// `batch`; returns (wall secs, per-session run-log digests).
+fn run_batched(batch: usize) -> (f64, Vec<u64>) {
+    let start = Instant::now();
+    let mut digests = Vec::with_capacity(SESSIONS);
+    let mut i = 0;
+    while i < SESSIONS {
+        let group = batch.min(SESSIONS - i);
+        let mut b = SessionBatch::new();
+        for j in i..i + group {
+            b.push(session(j), FixedRun::new(operator(j), STEPS));
+        }
+        b.run_to_completion();
+        digests.extend(b.finish().into_iter().map(|(s, _)| s.into_log().digest()));
+        i += group;
+    }
+    (start.elapsed().as_secs_f64(), digests)
+}
+
+/// Median wall seconds over `SAMPLES` executions at `batch`.
+fn time_batch(batch: usize, reference: &[u64]) -> f64 {
+    let mut times = Vec::with_capacity(SAMPLES);
+    for _ in 0..SAMPLES {
+        let (secs, digests) = run_batched(batch);
+        assert_eq!(
+            digests, reference,
+            "digest drift at batch {batch} — lockstep changed results"
+        );
+        times.push(secs);
+    }
+    times.sort_by(|a, b| a.total_cmp(b));
+    times[times.len() / 2]
+}
+
+fn main() {
+    let _ = std::env::args();
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let total_steps = SESSIONS as u64 * STEPS;
+
+    // Warm-up also produces the serial reference digests every timed run
+    // is checked against.
+    let (warm, reference) = run_batched(1);
+    eprintln!("warm-up: {warm:.3} s for {SESSIONS} sessions × {STEPS} steps (batch 1)");
+
+    let b1 = time_batch(1, &reference);
+    let b4 = time_batch(4, &reference);
+    let b8 = time_batch(8, &reference);
+    let rate = |secs: f64| total_steps as f64 / secs;
+
+    println!(
+        "== session pipeline ({SESSIONS} sessions × {STEPS} steps × {SAMPLES} samples, {cores} core(s)) =="
+    );
+    for (name, secs) in [("batch=1", b1), ("batch=4", b4), ("batch=8", b8)] {
+        println!(
+            "{name}: {secs:.3} s  ({:.0} steps/sec, {:.2}× vs per-session)",
+            rate(secs),
+            b1 / secs
+        );
+    }
+
+    let mut json = String::new();
+    let _ = write!(
+        json,
+        "{{\n  \"bench\": \"session_batched\",\n  \"sessions\": {SESSIONS},\n  \"steps_per_session\": {STEPS},\n  \"samples\": {SAMPLES},\n  \"available_parallelism\": {cores},\n"
+    );
+    let _ = writeln!(
+        json,
+        "  \"median_secs\": {{\"batch_1\": {b1:.6}, \"batch_4\": {b4:.6}, \"batch_8\": {b8:.6}}},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"steps_per_sec\": {{\"batch_1\": {:.0}, \"batch_4\": {:.0}, \"batch_8\": {:.0}}},",
+        rate(b1),
+        rate(b4),
+        rate(b8)
+    );
+    let _ = write!(
+        json,
+        "  \"speedup_vs_per_session\": {{\"batch_4\": {:.3}, \"batch_8\": {:.3}}},\n  \"digest_match\": true\n}}\n",
+        b1 / b4,
+        b1 / b8
+    );
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_session.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => eprintln!("wrote {path}"),
+        Err(err) => eprintln!("could not write {path}: {err}"),
+    }
+}

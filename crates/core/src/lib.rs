@@ -42,21 +42,25 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod batch;
 pub mod campaign;
 pub mod digest;
 pub mod fault;
 mod infrastructure;
+pub mod pipeline;
 mod protocol;
 mod runlog;
 pub mod safety;
 mod session;
 mod station;
 
+pub use batch::{FixedRun, SessionBatch, SessionController};
 pub use campaign::{random_schedule, RunKind, RunRecord, ScheduledFault};
 pub use digest::Digestible;
 pub use fault::{FaultKind, FaultSpec, PaperFault};
 pub use infrastructure::{InfrastructureSubsystem, RoadsideUnit};
+pub use pipeline::{Stage, StageContext, StepScratch};
 pub use protocol::{decode_command, encode_command, CommandCodecError, COMMAND_PACKET_BYTES};
 pub use runlog::{EgoSample, IncidentKind, IncidentMark, LeadObservation, OtherSample, RunLog};
 pub use session::{RdsSession, RdsSessionConfig, SessionStats};
-pub use station::{OperatorSubsystem, ReceivedFrame, ScriptedOperator};
+pub use station::{OperatorSubsystem, ReceivedFrame, ScriptedOperator, StationSpec};

@@ -1,14 +1,22 @@
 //! The HIL session: vehicle ↔ network ↔ operator in simulated time.
+//!
+//! Since the pipeline refactor, [`RdsSession`] is a thin composition: it
+//! owns the shared session state ([`SessionCore`], crate-private), the
+//! clock and the run log, and advances by running an explicit list of
+//! [`Stage`]s in order (see [`crate::pipeline`] for the stage catalog and
+//! [`RdsSession::default_stages`] for the default order).
 
+use crate::pipeline::{
+    ActuateStage, CaptureStage, DisplayStage, DownlinkStage, FaultWindowStage, LoggingStage,
+    OperatorStage, SafetyStage, Stage, StageContext, StepScratch, UplinkStage, VehicleStage,
+};
 use crate::{
-    decode_command, encode_command, EgoSample, IncidentKind, IncidentMark, InfrastructureSubsystem,
-    LeadObservation, OperatorSubsystem, OtherSample, ReceivedFrame, RunLog,
+    EgoSample, IncidentKind, IncidentMark, InfrastructureSubsystem, LeadObservation,
+    OperatorSubsystem, OtherSample, RunLog,
 };
-use rdsim_netem::{
-    DuplexLink, FaultInjector, InjectionAction, InjectionWindow, NetemConfig, Packet, PacketKind,
-};
+use rdsim_netem::{DuplexLink, FaultInjector, InjectionAction, InjectionWindow, NetemConfig};
 use rdsim_obs::{Counter, Histogram, Recorder, TraceId, TraceStage, Tracer};
-use rdsim_simulator::{decode_frame_recorded, ActorKind, CameraConfig, SimulatorServer, World};
+use rdsim_simulator::{ActorKind, CameraConfig, SimulatorServer, World};
 use rdsim_units::{Meters, SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 
@@ -78,14 +86,14 @@ pub struct SessionStats {
 /// they are detached (cheap atomics nobody else sees), with a live one they
 /// appear in the run's `RunTelemetry` under the same names.
 #[derive(Debug)]
-struct SessionObs {
-    frames_sent: Counter,
-    frames_delivered: Counter,
-    frames_corrupted: Counter,
-    commands_sent: Counter,
-    commands_delivered: Counter,
-    commands_corrupted: Counter,
-    steps: Counter,
+pub(crate) struct SessionObs {
+    pub(crate) frames_sent: Counter,
+    pub(crate) frames_delivered: Counter,
+    pub(crate) frames_corrupted: Counter,
+    pub(crate) commands_sent: Counter,
+    pub(crate) commands_delivered: Counter,
+    pub(crate) commands_corrupted: Counter,
+    pub(crate) steps: Counter,
     /// Packet accounting split by whether a fault rule was active when the
     /// packet was offered / delivered / dropped / rejected.
     win_in_sent: Counter,
@@ -99,9 +107,9 @@ struct SessionObs {
     /// Glass-to-glass frame age at display (capture → decode), µs.
     /// Handles held only while a live recorder is attached, so the
     /// disabled path records nothing.
-    frame_age_us: Option<std::sync::Arc<Histogram>>,
+    pub(crate) frame_age_us: Option<std::sync::Arc<Histogram>>,
     /// Command age at application (station send → vehicle apply), µs.
-    command_age_us: Option<std::sync::Arc<Histogram>>,
+    pub(crate) command_age_us: Option<std::sync::Arc<Histogram>>,
 }
 
 impl SessionObs {
@@ -133,7 +141,7 @@ impl SessionObs {
 
     /// The `(sent, delivered, dropped, corrupted)` counters for the given
     /// fault-window side.
-    fn window(&self, inside: bool) -> (&Counter, &Counter, &Counter, &Counter) {
+    pub(crate) fn window(&self, inside: bool) -> (&Counter, &Counter, &Counter, &Counter) {
         if inside {
             (
                 &self.win_in_sent,
@@ -152,94 +160,52 @@ impl SessionObs {
     }
 }
 
-/// A human-in-the-loop RDS test session (Fig. 3 of the paper): the
-/// simulator server streams frames through the emulated network to the
-/// operator; the operator's commands stream back through the same faults.
+/// The shared session state every [`Stage`] advances: plant, links, fault
+/// injector, telemetry, tracing, QoS estimation and the run log.
+///
+/// Crate-private on purpose — external stages go through
+/// [`StageContext`]'s accessors, which keeps the invariants (sequence
+/// counters, incident bookkeeping) inside this module.
 #[derive(Debug)]
-pub struct RdsSession {
-    server: SimulatorServer,
-    link: DuplexLink,
-    injector: FaultInjector,
-    dt: SimDuration,
-    lead_log_horizon: Meters,
-    infrastructure: Option<InfrastructureSubsystem>,
-    log: RunLog,
-    recorder: Recorder,
-    tracer: Tracer,
-    obs: SessionObs,
+pub(crate) struct SessionCore {
+    pub(crate) server: SimulatorServer,
+    pub(crate) link: DuplexLink,
+    pub(crate) injector: FaultInjector,
+    pub(crate) dt: SimDuration,
+    pub(crate) lead_log_horizon: Meters,
+    pub(crate) infrastructure: Option<InfrastructureSubsystem>,
+    pub(crate) log: RunLog,
+    pub(crate) recorder: Recorder,
+    pub(crate) tracer: Tracer,
+    pub(crate) obs: SessionObs,
     /// Injection-log entries already mirrored as recorder events.
-    fault_events_seen: usize,
-    frame_seq: u64,
-    cmd_seq: u64,
+    pub(crate) fault_events_seen: usize,
+    pub(crate) frame_seq: u64,
+    pub(crate) cmd_seq: u64,
     /// Incident marks emitted so far (moved into the log on completion).
-    incidents: Vec<IncidentMark>,
+    pub(crate) incidents: Vec<IncidentMark>,
     /// Sequence for incident trace ids.
-    incident_seq: u64,
+    pub(crate) incident_seq: u64,
     /// Whether the previous sample was inside a TTC breach (edge detector).
-    ttc_breached: bool,
+    pub(crate) ttc_breached: bool,
     /// Sequence number of the newest frame shown to the operator — the
     /// causal antecedent stamped onto every emitted command.
-    last_displayed_frame: Option<u64>,
-    safety: Option<crate::safety::SafetyStack>,
-    last_cmd_received_at: Option<SimTime>,
-    highest_cmd_seq: Option<u64>,
+    pub(crate) last_displayed_frame: Option<u64>,
+    pub(crate) safety: Option<crate::safety::SafetyStack>,
+    pub(crate) last_cmd_received_at: Option<SimTime>,
+    pub(crate) highest_cmd_seq: Option<u64>,
     /// Sliding delivery/miss window for the vehicle-side loss estimate.
-    cmd_window: std::collections::VecDeque<bool>,
+    pub(crate) cmd_window: std::collections::VecDeque<bool>,
 }
 
-impl RdsSession {
-    /// Creates a session around a world with a spawned ego vehicle.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the world has no ego vehicle.
-    pub fn new(world: World, config: RdsSessionConfig, seed: u64) -> Self {
-        let recorder = config.recorder;
-        let tracer = config.tracer;
-        let mut server = SimulatorServer::new(world, config.camera, seed);
-        server.set_recorder(recorder.clone());
-        let mut link = DuplexLink::new(seed ^ 0x6E65_7431);
-        link.attach_recorder(&recorder);
-        link.attach_tracer(&tracer);
-        let obs = SessionObs::new(&recorder);
-        RdsSession {
-            server,
-            link,
-            injector: FaultInjector::new(),
-            dt: config.dt,
-            lead_log_horizon: config.lead_log_horizon,
-            infrastructure: config.infrastructure,
-            log: RunLog::new(),
-            recorder,
-            tracer,
-            obs,
-            fault_events_seen: 0,
-            frame_seq: 0,
-            cmd_seq: 0,
-            incidents: Vec::new(),
-            incident_seq: 0,
-            ttc_breached: false,
-            last_displayed_frame: None,
-            safety: None,
-            last_cmd_received_at: None,
-            highest_cmd_seq: None,
-            cmd_window: std::collections::VecDeque::new(),
-        }
-    }
-
-    /// Installs a vehicle-side safety stack (the paper's test setup runs
-    /// without one; this is the hook its methodology exists to evaluate).
-    pub fn set_safety_stack(&mut self, stack: crate::safety::SafetyStack) {
-        self.safety = Some(stack);
-    }
-
-    /// The installed safety stack, if any.
-    pub fn safety_stack(&self) -> Option<&crate::safety::SafetyStack> {
-        self.safety.as_ref()
+impl SessionCore {
+    /// Current simulation time.
+    pub(crate) fn time(&self) -> SimTime {
+        self.server.world().time()
     }
 
     /// The vehicle-side link-quality estimate.
-    pub fn qos_estimate(&self) -> crate::safety::QosEstimate {
+    pub(crate) fn qos_estimate(&self) -> crate::safety::QosEstimate {
         let misses = self.cmd_window.iter().filter(|&&m| m).count();
         let loss = if self.cmd_window.is_empty() {
             0.0
@@ -255,7 +221,7 @@ impl RdsSession {
         }
     }
 
-    fn note_cmd_delivery(&mut self, seq: u64) {
+    pub(crate) fn note_cmd_delivery(&mut self, seq: u64) {
         const WINDOW: usize = 100;
         if let Some(prev) = self.highest_cmd_seq {
             if seq > prev {
@@ -271,56 +237,13 @@ impl RdsSession {
         self.highest_cmd_seq = Some(self.highest_cmd_seq.map_or(seq, |p| p.max(seq)));
     }
 
-    /// The simulated world (read access).
-    pub fn world(&self) -> &World {
-        self.server.world()
-    }
-
-    /// Mutable world access for scenario setup between runs.
-    pub fn world_mut(&mut self) -> &mut World {
-        self.server.world_mut()
-    }
-
-    /// The vehicle-subsystem server.
-    pub fn server(&self) -> &SimulatorServer {
-        &self.server
-    }
-
-    /// Mutable access to the server (e.g. to enable the neutral-fallback
-    /// safety hook).
-    pub fn server_mut(&mut self) -> &mut SimulatorServer {
-        &mut self.server
-    }
-
-    /// Transport statistics so far (a read-out of the live counters).
-    pub fn stats(&self) -> SessionStats {
-        SessionStats {
-            frames_sent: self.obs.frames_sent.get(),
-            frames_delivered: self.obs.frames_delivered.get(),
-            frames_corrupted: self.obs.frames_corrupted.get(),
-            commands_sent: self.obs.commands_sent.get(),
-            commands_delivered: self.obs.commands_delivered.get(),
-            commands_corrupted: self.obs.commands_corrupted.get(),
-        }
-    }
-
-    /// The session's telemetry recorder (null unless one was configured).
-    pub fn recorder(&self) -> &Recorder {
-        &self.recorder
-    }
-
-    /// The session's causal tracer (the always-on flight recorder unless
-    /// a null tracer was configured).
-    pub fn tracer(&self) -> &Tracer {
-        &self.tracer
-    }
-
-    /// Safety-incident marks emitted so far.
-    pub fn incidents(&self) -> &[IncidentMark] {
-        &self.incidents
-    }
-
-    fn mark_incident(&mut self, kind: IncidentKind, time: SimTime, stage: TraceStage, arg: u64) {
+    pub(crate) fn mark_incident(
+        &mut self,
+        kind: IncidentKind,
+        time: SimTime,
+        stage: TraceStage,
+        arg: u64,
+    ) {
         let n = self.incident_seq;
         self.incident_seq += 1;
         self.tracer
@@ -328,53 +251,10 @@ impl RdsSession {
         self.incidents.push(IncidentMark { kind, time });
     }
 
-    /// Current simulation time.
-    pub fn time(&self) -> SimTime {
-        self.server.world().time()
-    }
-
-    /// The session step.
-    pub fn dt(&self) -> SimDuration {
-        self.dt
-    }
-
-    /// Schedules a fault window.
-    ///
-    /// # Errors
-    ///
-    /// Returns the conflicting window on overlap.
-    #[allow(clippy::result_large_err)] // mirrors FaultInjector::schedule
-    pub fn schedule_fault(&mut self, window: InjectionWindow) -> Result<(), InjectionWindow> {
-        self.injector.schedule(window)
-    }
-
-    /// Injects a rule immediately (test-leader style ad-hoc injection).
-    pub fn inject_now(&mut self, config: NetemConfig) {
-        let now = self.time();
-        self.injector.inject_now(&mut self.link, config, now);
-        self.sync_fault_events();
-    }
-
-    /// Injects a rule on one direction only — the unidirectional variants
-    /// of the related 4G/5G evaluation work.
-    pub fn inject_now_on(&mut self, direction: rdsim_netem::Direction, config: NetemConfig) {
-        let now = self.time();
-        self.injector
-            .inject_now_on(&mut self.link, direction, config, now);
-        self.sync_fault_events();
-    }
-
-    /// Clears the active rule immediately.
-    pub fn clear_fault_now(&mut self) {
-        let now = self.time();
-        self.injector.clear_now(&mut self.link, now);
-        self.sync_fault_events();
-    }
-
     /// Mirrors injection-log entries not yet seen as structured recorder
     /// events (`session.fault`) and fault-edge incident marks, stamped
     /// with the transition's sim-time.
-    fn sync_fault_events(&mut self) {
+    pub(crate) fn sync_fault_events(&mut self) {
         let log = self.injector.log();
         let new: Vec<(SimTime, bool, String)> = log[self.fault_events_seen..]
             .iter()
@@ -402,222 +282,7 @@ impl RdsSession {
         }
     }
 
-    /// Advances one step: faults, plant, uplink, operator, downlink, log.
-    ///
-    /// With a live recorder attached, the step's stages are timed into
-    /// `session.stage.*_ns` histograms. The link-transfer and operator
-    /// stages each record two samples per step (uplink/frame leg and
-    /// downlink/command leg), so their histogram counts are 2× the step
-    /// count; sums and quantiles remain meaningful per leg.
-    pub fn step(&mut self, operator: &mut dyn OperatorSubsystem) {
-        self.obs.steps.inc();
-
-        // 1. Fault windows open/close on the pre-step clock.
-        let t_pre = self.time();
-        self.injector.advance(&mut self.link, t_pre);
-        self.sync_fault_events();
-        // The window state is constant for the rest of the step (rules
-        // only change in stage 1 or between steps), so one flag attributes
-        // the whole step's packet accounting.
-        let in_window = self.injector.fault_active();
-        let (w_sent, w_delivered, w_dropped, w_corrupted) = {
-            let (s, d, dr, c) = self.obs.window(in_window);
-            (s.clone(), d.clone(), dr.clone(), c.clone())
-        };
-        let dropped_before = self.link.uplink.stats().dropped + self.link.downlink.stats().dropped;
-
-        // 2. Plant advances and may capture frames.
-        let span = self.recorder.span("session.stage.vehicle_tick_ns");
-        let frames = self.server.tick(self.dt);
-        span.finish();
-        let now = self.time();
-
-        // 3. Frames enter the uplink (vehicle → operator).
-        let span = self.recorder.span("session.stage.link_transfer_ns");
-        for frame in frames {
-            self.obs.frames_sent.inc();
-            w_sent.inc();
-            let seq = self.frame_seq;
-            self.frame_seq += 1;
-            let id = TraceId::frame(seq);
-            let captured_us = frame.captured_at.as_micros();
-            self.tracer
-                .record(id, TraceStage::Capture, captured_us, frame.frame_id);
-            self.tracer.record(
-                id,
-                TraceStage::Encode,
-                captured_us,
-                frame.payload.len() as u64,
-            );
-            self.link
-                .uplink
-                .send(Packet::new(seq, PacketKind::Video, frame.payload), now);
-        }
-        let arrived_frames = self.link.uplink.receive(now);
-        span.finish();
-
-        // 4. Delivered frames reach the station display.
-        let span = self.recorder.span("session.stage.operator_ns");
-        for pkt in arrived_frames {
-            let id = pkt.trace_id();
-            let decoded = decode_frame_recorded(&pkt.payload, &self.recorder);
-            match decoded {
-                Ok(snapshot) => {
-                    self.obs.frames_delivered.inc();
-                    w_delivered.inc();
-                    self.tracer
-                        .record(id, TraceStage::Decode, now.as_micros(), pkt.len() as u64);
-                    let snapshot = match &self.infrastructure {
-                        Some(infra) => infra.augment(&snapshot),
-                        None => snapshot,
-                    };
-                    let captured_at = snapshot.time;
-                    let age_us = now.saturating_since(captured_at).as_micros();
-                    if let Some(h) = &self.obs.frame_age_us {
-                        h.record(age_us);
-                    }
-                    self.tracer
-                        .record(id, TraceStage::Display, now.as_micros(), age_us);
-                    self.last_displayed_frame = Some(pkt.seq);
-                    operator.on_frame(ReceivedFrame {
-                        snapshot,
-                        captured_at,
-                        received_at: now,
-                    });
-                }
-                Err(_) => {
-                    self.obs.frames_corrupted.inc();
-                    w_corrupted.inc();
-                    self.tracer.record(
-                        id,
-                        TraceStage::DecodeFailed,
-                        now.as_micros(),
-                        pkt.len() as u64,
-                    );
-                    operator.on_bad_frame(now);
-                }
-            }
-        }
-        span.finish();
-
-        // 5. The station samples the operator and sends a command.
-        let span = self.recorder.span("session.stage.operator_ns");
-        let control = operator.command(now);
-        span.finish();
-        let seq = self.cmd_seq;
-        self.cmd_seq += 1;
-        self.obs.commands_sent.inc();
-        w_sent.inc();
-        // The operator reacted to whatever frame was displayed last, so
-        // the command's emit event carries that frame's sequence number —
-        // the frame → reaction → command causal link.
-        self.tracer.record(
-            TraceId::command(seq),
-            TraceStage::CommandEmit,
-            now.as_micros(),
-            self.last_displayed_frame.unwrap_or(u64::MAX),
-        );
-        let span = self.recorder.span("session.stage.link_transfer_ns");
-        self.link.downlink.send(
-            Packet::new(seq, PacketKind::Command, encode_command(seq, &control)),
-            now,
-        );
-        let arrived_cmds = self.link.downlink.receive(now);
-        span.finish();
-
-        // 6. Delivered commands are applied by the vehicle subsystem.
-        for pkt in arrived_cmds {
-            let id = pkt.trace_id();
-            match decode_command(&pkt.payload) {
-                Ok((cmd_seq, ctrl)) => {
-                    self.obs.commands_delivered.inc();
-                    w_delivered.inc();
-                    let age_us = now.saturating_since(pkt.sent_at).as_micros();
-                    if let Some(h) = &self.obs.command_age_us {
-                        h.record(age_us);
-                    }
-                    self.tracer
-                        .record(id, TraceStage::Actuate, now.as_micros(), age_us);
-                    self.note_cmd_delivery(cmd_seq);
-                    self.last_cmd_received_at = Some(now);
-                    self.server.apply_command(ctrl);
-                }
-                Err(_) => {
-                    self.obs.commands_corrupted.inc();
-                    w_corrupted.inc();
-                    self.tracer.record(
-                        id,
-                        TraceStage::DecodeFailed,
-                        now.as_micros(),
-                        pkt.len() as u64,
-                    );
-                }
-            }
-        }
-
-        // Drops happen inside `send`, so the step's delta is attributable
-        // to the window state chosen above.
-        let dropped_after = self.link.uplink.stats().dropped + self.link.downlink.stats().dropped;
-        w_dropped.add(dropped_after - dropped_before);
-
-        // 6b. The safety stack may override the active command based on
-        // the vehicle-side QoS estimate — every step, not only when a
-        // command arrives (watchdogs act precisely when nothing arrives).
-        if self.safety.is_some() {
-            let qos = self.qos_estimate();
-            let speed = {
-                let world = self.server.world();
-                world
-                    .ego_id()
-                    .map(|id| world.actor(id).state().speed)
-                    .unwrap_or_default()
-            };
-            let active = self.server.active_command();
-            let Some(stack) = self.safety.as_mut() else {
-                unreachable!("checked above")
-            };
-            let effective = stack.apply(now, &qos, active, speed);
-            if effective != active {
-                self.server.apply_command(effective);
-            }
-        }
-
-        // 7. Log one sample.
-        let span = self.recorder.span("session.stage.logging_ns");
-        self.sample(now);
-        span.finish();
-    }
-
-    /// Runs for a duration (rounded down to whole steps).
-    pub fn run(&mut self, operator: &mut dyn OperatorSubsystem, duration: SimDuration) {
-        for _ in 0..duration.div_steps(self.dt) {
-            self.step(operator);
-        }
-    }
-
-    /// Consumes the session, returning the completed run log.
-    pub fn into_log(mut self) -> RunLog {
-        self.sync_fault_events();
-        self.log.set_faults(self.injector.log().to_vec());
-        self.log
-            .set_duration(self.time().saturating_since(SimTime::ZERO));
-        // Surface flight-recorder accounting in the run's telemetry so
-        // campaign reports can aggregate it next to `events_dropped`.
-        if self.recorder.enabled() && self.tracer.enabled() {
-            let overwritten = self.tracer.overwritten();
-            self.recorder
-                .counter("session.trace.recorded")
-                .add(self.tracer.len() as u64 + overwritten);
-            self.recorder
-                .counter("session.trace.overwritten")
-                .add(overwritten);
-        }
-        let incidents = std::mem::take(&mut self.incidents);
-        self.log.set_incidents(incidents);
-        self.log
-    }
-
-    fn sample(&mut self, now: SimTime) {
+    pub(crate) fn sample(&mut self, now: SimTime) {
         let world = self.server.world();
         let Some(ego_id) = world.ego_id() else { return };
         let ego = world.actor(ego_id);
@@ -695,6 +360,280 @@ impl RdsSession {
     }
 }
 
+/// A human-in-the-loop RDS test session (Fig. 3 of the paper): the
+/// simulator server streams frames through the emulated network to the
+/// operator; the operator's commands stream back through the same faults.
+///
+/// The session is a thin composition — shared state plus an ordered
+/// [`Stage`] list ([`default_stages`](Self::default_stages)); one
+/// [`step`](Self::step) runs the list once. The stage list can be
+/// inspected and customised ([`stage_names`](Self::stage_names),
+/// [`replace_stage`](Self::replace_stage),
+/// [`insert_stage_after`](Self::insert_stage_after)) to slot in new
+/// link, codec or operator variants without touching the core loop.
+#[derive(Debug)]
+pub struct RdsSession {
+    core: SessionCore,
+    stages: Vec<Box<dyn Stage>>,
+    scratch: StepScratch,
+}
+
+impl RdsSession {
+    /// Creates a session around a world with a spawned ego vehicle,
+    /// running the default stage pipeline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the world has no ego vehicle.
+    pub fn new(world: World, config: RdsSessionConfig, seed: u64) -> Self {
+        let recorder = config.recorder;
+        let tracer = config.tracer;
+        let mut server = SimulatorServer::new(world, config.camera, seed);
+        server.set_recorder(recorder.clone());
+        let mut link = DuplexLink::new(seed ^ 0x6E65_7431);
+        link.attach_recorder(&recorder);
+        link.attach_tracer(&tracer);
+        let obs = SessionObs::new(&recorder);
+        RdsSession {
+            core: SessionCore {
+                server,
+                link,
+                injector: FaultInjector::new(),
+                dt: config.dt,
+                lead_log_horizon: config.lead_log_horizon,
+                infrastructure: config.infrastructure,
+                log: RunLog::new(),
+                recorder,
+                tracer,
+                obs,
+                fault_events_seen: 0,
+                frame_seq: 0,
+                cmd_seq: 0,
+                incidents: Vec::new(),
+                incident_seq: 0,
+                ttc_breached: false,
+                last_displayed_frame: None,
+                safety: None,
+                last_cmd_received_at: None,
+                highest_cmd_seq: None,
+                cmd_window: std::collections::VecDeque::new(),
+            },
+            stages: Self::default_stages(),
+            scratch: StepScratch::default(),
+        }
+    }
+
+    /// The default stage pipeline, in execution order: fault clock,
+    /// vehicle physics, sensing/capture, uplink, display, operator,
+    /// downlink, actuation, safety stack, logging.
+    pub fn default_stages() -> Vec<Box<dyn Stage>> {
+        vec![
+            Box::new(FaultWindowStage),
+            Box::new(VehicleStage),
+            Box::new(CaptureStage),
+            Box::new(UplinkStage),
+            Box::new(DisplayStage),
+            Box::new(OperatorStage),
+            Box::new(DownlinkStage),
+            Box::new(ActuateStage),
+            Box::new(SafetyStage),
+            Box::new(LoggingStage),
+        ]
+    }
+
+    /// The pipeline's stage names, in execution order.
+    pub fn stage_names(&self) -> Vec<&'static str> {
+        self.stages.iter().map(|s| s.name()).collect()
+    }
+
+    /// Replaces the stage called `name` with `stage`, returning `true` if
+    /// a stage by that name existed.
+    pub fn replace_stage(&mut self, name: &str, stage: Box<dyn Stage>) -> bool {
+        match self.stages.iter().position(|s| s.name() == name) {
+            Some(i) => {
+                self.stages[i] = stage;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Inserts `stage` immediately after the stage called `name`,
+    /// returning `true` if a stage by that name existed.
+    pub fn insert_stage_after(&mut self, name: &str, stage: Box<dyn Stage>) -> bool {
+        match self.stages.iter().position(|s| s.name() == name) {
+            Some(i) => {
+                self.stages.insert(i + 1, stage);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Installs a vehicle-side safety stack (the paper's test setup runs
+    /// without one; this is the hook its methodology exists to evaluate).
+    pub fn set_safety_stack(&mut self, stack: crate::safety::SafetyStack) {
+        self.core.safety = Some(stack);
+    }
+
+    /// The installed safety stack, if any.
+    pub fn safety_stack(&self) -> Option<&crate::safety::SafetyStack> {
+        self.core.safety.as_ref()
+    }
+
+    /// The vehicle-side link-quality estimate.
+    pub fn qos_estimate(&self) -> crate::safety::QosEstimate {
+        self.core.qos_estimate()
+    }
+
+    /// The simulated world (read access).
+    pub fn world(&self) -> &World {
+        self.core.server.world()
+    }
+
+    /// Mutable world access for scenario setup between runs.
+    pub fn world_mut(&mut self) -> &mut World {
+        self.core.server.world_mut()
+    }
+
+    /// The vehicle-subsystem server.
+    pub fn server(&self) -> &SimulatorServer {
+        &self.core.server
+    }
+
+    /// Mutable access to the server (e.g. to enable the neutral-fallback
+    /// safety hook).
+    pub fn server_mut(&mut self) -> &mut SimulatorServer {
+        &mut self.core.server
+    }
+
+    /// Transport statistics so far (a read-out of the live counters).
+    pub fn stats(&self) -> SessionStats {
+        SessionStats {
+            frames_sent: self.core.obs.frames_sent.get(),
+            frames_delivered: self.core.obs.frames_delivered.get(),
+            frames_corrupted: self.core.obs.frames_corrupted.get(),
+            commands_sent: self.core.obs.commands_sent.get(),
+            commands_delivered: self.core.obs.commands_delivered.get(),
+            commands_corrupted: self.core.obs.commands_corrupted.get(),
+        }
+    }
+
+    /// The session's telemetry recorder (null unless one was configured).
+    pub fn recorder(&self) -> &Recorder {
+        &self.core.recorder
+    }
+
+    /// The session's causal tracer (the always-on flight recorder unless
+    /// a null tracer was configured).
+    pub fn tracer(&self) -> &Tracer {
+        &self.core.tracer
+    }
+
+    /// Safety-incident marks emitted so far.
+    pub fn incidents(&self) -> &[IncidentMark] {
+        &self.core.incidents
+    }
+
+    /// Current simulation time.
+    pub fn time(&self) -> SimTime {
+        self.core.time()
+    }
+
+    /// The session step.
+    pub fn dt(&self) -> SimDuration {
+        self.core.dt
+    }
+
+    /// Schedules a fault window.
+    ///
+    /// # Errors
+    ///
+    /// Returns the conflicting window on overlap.
+    #[allow(clippy::result_large_err)] // mirrors FaultInjector::schedule
+    pub fn schedule_fault(&mut self, window: InjectionWindow) -> Result<(), InjectionWindow> {
+        self.core.injector.schedule(window)
+    }
+
+    /// Injects a rule immediately (test-leader style ad-hoc injection).
+    pub fn inject_now(&mut self, config: NetemConfig) {
+        let now = self.time();
+        self.core
+            .injector
+            .inject_now(&mut self.core.link, config, now);
+        self.core.sync_fault_events();
+    }
+
+    /// Injects a rule on one direction only — the unidirectional variants
+    /// of the related 4G/5G evaluation work.
+    pub fn inject_now_on(&mut self, direction: rdsim_netem::Direction, config: NetemConfig) {
+        let now = self.time();
+        self.core
+            .injector
+            .inject_now_on(&mut self.core.link, direction, config, now);
+        self.core.sync_fault_events();
+    }
+
+    /// Clears the active rule immediately.
+    pub fn clear_fault_now(&mut self) {
+        let now = self.time();
+        self.core.injector.clear_now(&mut self.core.link, now);
+        self.core.sync_fault_events();
+    }
+
+    /// Advances one tick by running every pipeline stage in order.
+    ///
+    /// With a live recorder attached, each stage's wall time is recorded
+    /// into its own `session.stage.<name>_ns` histogram — one sample per
+    /// stage per step.
+    pub fn step(&mut self, operator: &mut dyn OperatorSubsystem) {
+        self.core.obs.steps.inc();
+        self.scratch.reset();
+        for stage in &mut self.stages {
+            let span = self.core.recorder.span(stage.span_name());
+            let mut ctx = StageContext {
+                core: &mut self.core,
+                operator,
+                scratch: &mut self.scratch,
+            };
+            stage.advance(&mut ctx);
+            span.finish();
+        }
+    }
+
+    /// Runs for a duration (rounded down to whole steps).
+    pub fn run(&mut self, operator: &mut dyn OperatorSubsystem, duration: SimDuration) {
+        for _ in 0..duration.div_steps(self.core.dt) {
+            self.step(operator);
+        }
+    }
+
+    /// Consumes the session, returning the completed run log.
+    pub fn into_log(mut self) -> RunLog {
+        self.core.sync_fault_events();
+        self.core.log.set_faults(self.core.injector.log().to_vec());
+        self.core
+            .log
+            .set_duration(self.time().saturating_since(SimTime::ZERO));
+        // Surface flight-recorder accounting in the run's telemetry so
+        // campaign reports can aggregate it next to `events_dropped`.
+        if self.core.recorder.enabled() && self.core.tracer.enabled() {
+            let overwritten = self.core.tracer.overwritten();
+            self.core
+                .recorder
+                .counter("session.trace.recorded")
+                .add(self.core.tracer.len() as u64 + overwritten);
+            self.core
+                .recorder
+                .counter("session.trace.overwritten")
+                .add(overwritten);
+        }
+        let incidents = std::mem::take(&mut self.core.incidents);
+        self.core.log.set_incidents(incidents);
+        self.core.log
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -721,6 +660,70 @@ mod tests {
             ..RdsSessionConfig::default()
         };
         RdsSession::new(world, config, seed)
+    }
+
+    #[test]
+    fn default_pipeline_has_the_documented_order() {
+        let s = session_with_lead(1);
+        assert_eq!(
+            s.stage_names(),
+            vec![
+                "fault_window",
+                "vehicle",
+                "capture",
+                "uplink",
+                "display",
+                "operator",
+                "downlink",
+                "actuate",
+                "safety",
+                "logging",
+            ]
+        );
+    }
+
+    #[test]
+    fn replace_and_insert_address_stages_by_name() {
+        /// A stage that counts its invocations (used to prove insertion).
+        #[derive(Debug, Default)]
+        struct ProbeStage {
+            ticks: std::sync::Arc<std::sync::atomic::AtomicU64>,
+        }
+        impl Stage for ProbeStage {
+            fn name(&self) -> &'static str {
+                "probe"
+            }
+            fn span_name(&self) -> &'static str {
+                "session.stage.probe_ns"
+            }
+            fn advance(&mut self, ctx: &mut StageContext<'_>) {
+                // Exercise the public accessors available to external stages.
+                assert!(ctx.time() >= SimTime::ZERO);
+                assert!(ctx.dt() > SimDuration::ZERO);
+                let _ = ctx.world().time();
+                self.ticks
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            }
+        }
+
+        let mut s = session_with_lead(2);
+        let ticks = std::sync::Arc::new(std::sync::atomic::AtomicU64::new(0));
+        assert!(!s.insert_stage_after("nope", Box::new(ProbeStage::default())));
+        assert!(s.insert_stage_after(
+            "display",
+            Box::new(ProbeStage {
+                ticks: ticks.clone()
+            })
+        ));
+        assert_eq!(s.stage_names()[5], "probe");
+        let mut op = ScriptedOperator::constant(ControlInput::COAST);
+        s.run(&mut op, SimDuration::from_secs(1));
+        assert_eq!(ticks.load(std::sync::atomic::Ordering::Relaxed), 50);
+        // Replacing swaps in place without changing the pipeline length.
+        let len = s.stage_names().len();
+        assert!(s.replace_stage("probe", Box::new(ProbeStage::default())));
+        assert_eq!(s.stage_names().len(), len);
+        assert!(!s.replace_stage("gone", Box::new(ProbeStage::default())));
     }
 
     #[test]
@@ -838,7 +841,7 @@ mod tests {
 
     #[test]
     fn infrastructure_augments_operator_view() {
-        use crate::{InfrastructureSubsystem, RoadsideUnit};
+        use crate::{InfrastructureSubsystem, ReceivedFrame, RoadsideUnit};
         use rdsim_math::Vec2;
 
         // Vehicle camera limited to 50 m; the parked van 230 m ahead is
@@ -917,6 +920,10 @@ mod tests {
         let mut op = ScriptedOperator::constant(ControlInput::new(0.4, 0.0, 0.0));
         s.run(&mut op, SimDuration::from_secs(4));
         let stats = s.stats();
+        let stage_spans: Vec<&'static str> = RdsSession::default_stages()
+            .iter()
+            .map(|stage| stage.span_name())
+            .collect();
         let t = registry.snapshot();
 
         // SessionStats is a read-out of the same counters the registry sees.
@@ -958,17 +965,13 @@ mod tests {
         assert_eq!(faults[0].sim_us, 0);
         assert!(faults[0].note.starts_with("added both"));
 
-        // Stage timings cover every step (2 samples/step for the legged
-        // stages, as documented on `step`).
+        // Stage timings: every pipeline stage records exactly one sample
+        // per step under its own histogram.
         let steps = t.counter("session.steps");
-        for (name, per_step) in [
-            ("session.stage.vehicle_tick_ns", 1),
-            ("session.stage.link_transfer_ns", 2),
-            ("session.stage.operator_ns", 2),
-            ("session.stage.logging_ns", 1),
-        ] {
+        assert_eq!(stage_spans.len(), 10);
+        for name in stage_spans {
             let h = t.histogram(name).expect(name);
-            assert_eq!(h.count, steps * per_step, "{name}");
+            assert_eq!(h.count, steps, "{name}");
         }
 
         // The codec hooks fired for every encode/decode.

@@ -1,8 +1,15 @@
 //! The operator subsystem: the driving station plus whoever sits at it.
+//!
+//! This is the single home of both station abstractions: the behavioural
+//! [`OperatorSubsystem`] trait (who sits at the station) and the
+//! [`StationSpec`] rig inventory (what the station is built from,
+//! Table I of the paper).
 
-use rdsim_simulator::WorldSnapshot;
-use rdsim_units::{SimDuration, SimTime};
+use rdsim_simulator::{CameraConfig, WorldSnapshot};
+use rdsim_units::{Hertz, SimDuration, SimTime};
 use rdsim_vehicle::ControlInput;
+use serde::{Deserialize, Serialize};
+use std::fmt;
 
 /// A frame as delivered to the driving station.
 #[derive(Debug, Clone, PartialEq)]
@@ -127,6 +134,72 @@ impl OperatorSubsystem for ScriptedOperator {
     }
 }
 
+/// Technical specification of a driving station, as Table I inventories
+/// the paper's rig. Behaviourally, only the video frame-rate band enters
+/// the simulation; the rest is faithfully recorded configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StationSpec {
+    /// CPU and memory.
+    pub cpu_and_ram: String,
+    /// Display.
+    pub monitor: String,
+    /// Input devices.
+    pub input_device: String,
+    /// Graphics card.
+    pub gpu: String,
+    /// Operating system.
+    pub operating_system: String,
+    /// GPU driver version.
+    pub gpu_driver: String,
+    /// Video frame-rate band of the simulator feed.
+    pub min_fps: Hertz,
+    /// Upper end of the frame-rate band.
+    pub max_fps: Hertz,
+}
+
+impl StationSpec {
+    /// The paper's driving station (Table I) with its observed 25–30 fps
+    /// simulator feed.
+    pub fn paper_station() -> Self {
+        StationSpec {
+            cpu_and_ram: "Intel Core i7-12700K (12-core), 16 GB RAM".to_owned(),
+            monitor: "34\" Samsung WQHD (3440x1440) curved".to_owned(),
+            input_device: "Logitech G27 steering wheel and pedals".to_owned(),
+            gpu: "NVIDIA GeForce RTX 3080, 10 GB".to_owned(),
+            operating_system: "Ubuntu 18.04".to_owned(),
+            gpu_driver: "470.103.01".to_owned(),
+            min_fps: Hertz::new(25.0),
+            max_fps: Hertz::new(30.0),
+        }
+    }
+
+    /// The camera configuration this station produces.
+    pub fn camera_config(&self) -> CameraConfig {
+        CameraConfig {
+            min_fps: self.min_fps,
+            max_fps: self.max_fps,
+            ..CameraConfig::default()
+        }
+    }
+}
+
+impl fmt::Display for StationSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "CPU and RAM      {}", self.cpu_and_ram)?;
+        writeln!(f, "Monitor          {}", self.monitor)?;
+        writeln!(f, "Input device     {}", self.input_device)?;
+        writeln!(f, "GPU              {}", self.gpu)?;
+        writeln!(f, "Operating system {}", self.operating_system)?;
+        writeln!(f, "NVIDIA driver    {}", self.gpu_driver)?;
+        write!(
+            f,
+            "Video feed       {:.0}-{:.0} fps",
+            self.min_fps.get(),
+            self.max_fps.get()
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -194,5 +267,40 @@ mod tests {
         assert_eq!(op.last_frame_id(), Some(5));
         op.on_bad_frame(SimTime::from_millis(12));
         assert_eq!(op.bad_frames(), 1);
+    }
+
+    #[test]
+    fn paper_station_matches_table1() {
+        let s = StationSpec::paper_station();
+        assert!(s.cpu_and_ram.contains("i7-12700K"));
+        assert!(s.monitor.contains("3440x1440"));
+        assert!(s.input_device.contains("G27"));
+        assert!(s.gpu.contains("RTX 3080"));
+        assert_eq!(s.operating_system, "Ubuntu 18.04");
+        assert_eq!(s.min_fps, Hertz::new(25.0));
+        assert_eq!(s.max_fps, Hertz::new(30.0));
+    }
+
+    #[test]
+    fn camera_config_uses_band() {
+        let c = StationSpec::paper_station().camera_config();
+        assert_eq!(c.min_fps, Hertz::new(25.0));
+        assert_eq!(c.max_fps, Hertz::new(30.0));
+    }
+
+    #[test]
+    fn station_display_renders_all_rows() {
+        let text = StationSpec::paper_station().to_string();
+        for key in [
+            "CPU",
+            "Monitor",
+            "Input",
+            "GPU",
+            "Operating",
+            "driver",
+            "fps",
+        ] {
+            assert!(text.contains(key), "missing {key}");
+        }
     }
 }

@@ -3,16 +3,18 @@
 //! ```text
 //! repro [all|table1|table2|table3|table4|fig4|collisions|questionnaire|
 //!        validity|model-vehicle] [--seed N] [--quick] [--jobs N]
-//!       [--telemetry] [--trace-out DIR]
+//!       [--batch N] [--telemetry] [--trace-out DIR]
 //! ```
 //!
 //! `--quick` shortens the runs (for smoke testing); the full study drives
 //! two laps of the course per run, as the experiments in `EXPERIMENTS.md`
 //! were recorded. `--jobs N` runs the campaign's 36 runs on N
-//! work-stealing worker threads (default: available parallelism); results
-//! are bit-identical for every N — the printed campaign digest is the
-//! proof, and the CI `parallel-equivalence` job holds it. `--telemetry`
-//! records pipeline telemetry during the
+//! work-stealing worker threads (default: available parallelism);
+//! `--batch N` makes each worker step up to N runs in lockstep (default
+//! 1; the batch clamps to the jobs remaining). Results are bit-identical
+//! for every jobs × batch combination — the printed campaign digest is
+//! the proof, and the CI `parallel-equivalence` job holds it for both
+//! knobs. `--telemetry` records pipeline telemetry during the
 //! study runs and appends a campaign report (frame/command age quantiles,
 //! per-fault-window packet accounting, stage timings, steps/sec).
 //! `--trace-out DIR` retains each study run's flight-recorder snapshot
@@ -25,7 +27,7 @@
 use rdsim_core::{IncidentKind, RunKind};
 use rdsim_experiments::{
     campaign_digest, collision_summary, default_jobs, figure4, model_vehicle_sweep,
-    questionnaire_summary, run_study_with_jobs, table2, table3, table4, validity_sweep,
+    questionnaire_summary, run_study_with_exec, table2, table3, table4, validity_sweep,
     ScenarioConfig, StationSpec, StudyResults, SweepReport, TextTable,
 };
 use rdsim_metrics::{SrrConfig, TtcConfig, TtcStats};
@@ -38,6 +40,7 @@ fn main() -> ExitCode {
     let mut seed = 424242u64;
     let mut quick = false;
     let mut jobs = default_jobs();
+    let mut batch = 1usize;
     let mut telemetry = false;
     let mut trace_out: Option<PathBuf> = None;
     let mut iter = args.iter();
@@ -54,6 +57,13 @@ fn main() -> ExitCode {
                 Some(n) if n >= 1 => jobs = n,
                 _ => {
                     eprintln!("--jobs needs an integer >= 1");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--batch" => match iter.next().and_then(|s| s.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => batch = n,
+                _ => {
+                    eprintln!("--batch needs an integer >= 1");
                     return ExitCode::FAILURE;
                 }
             },
@@ -87,10 +97,10 @@ fn main() -> ExitCode {
     );
     let study = if needs_study {
         eprintln!(
-            "running the study (seed {seed}, {} mode, {jobs} job(s)) …",
+            "running the study (seed {seed}, {} mode, {jobs} job(s), batch {batch}) …",
             if quick { "quick" } else { "full" }
         );
-        Some(run_study_with_jobs(seed, &config, jobs))
+        Some(run_study_with_exec(seed, &config, jobs, batch))
     } else {
         None
     };
@@ -123,10 +133,11 @@ fn main() -> ExitCode {
         }
     }
     if let Some(study) = &study {
-        // Scheduling-independent: identical for every --jobs value. The
-        // CI parallel-equivalence job diffs this line between runs.
+        // The digest is scheduling-independent: identical for every
+        // --jobs and --batch value. The CI equivalence checks diff this
+        // line between runs after normalising the knob report.
         println!(
-            "campaign digest: {:016x} (seed {seed})",
+            "campaign digest: {:016x} (seed {seed}, jobs {jobs}, batch {batch})",
             campaign_digest(study)
         );
     }

@@ -85,6 +85,51 @@ where
     indexed.into_iter().map(|(_, result)| result).collect()
 }
 
+/// Runs jobs in lockstep batches of `batch` across `workers` threads and
+/// returns results in job order.
+///
+/// Jobs are chunked in submission order into groups of at most `batch`
+/// (the tail chunk — and therefore the batch size — clamps to the jobs
+/// remaining), each chunk becomes one executor task, and `run_batch` maps
+/// a chunk to its results, one per job, in chunk order. With `batch <= 1`
+/// this degenerates to [`execute_ordered`] semantics: one job per task.
+///
+/// # Panics
+///
+/// Panics if `run_batch` returns a different number of results than jobs
+/// it was given.
+pub fn execute_ordered_batched<J, R, F>(
+    jobs: Vec<J>,
+    workers: usize,
+    batch: usize,
+    run_batch: F,
+) -> Vec<R>
+where
+    J: Send,
+    R: Send,
+    F: Fn(Vec<J>) -> Vec<R> + Sync,
+{
+    let batch = batch.max(1);
+    let mut chunks: Vec<Vec<J>> = Vec::new();
+    let mut jobs = jobs.into_iter();
+    loop {
+        let chunk: Vec<J> = jobs.by_ref().take(batch).collect();
+        if chunk.is_empty() {
+            break;
+        }
+        chunks.push(chunk);
+    }
+    execute_ordered(chunks, workers, |chunk| {
+        let n = chunk.len();
+        let results = run_batch(chunk);
+        assert_eq!(results.len(), n, "run_batch must return one result per job");
+        results
+    })
+    .into_iter()
+    .flatten()
+    .collect()
+}
+
 /// One scheduling round: local queue first, then a batch from the global
 /// injector, then a steal from any sibling. `None` means no work was
 /// visible anywhere — the worker retires (jobs still *executing* on other
@@ -163,5 +208,47 @@ mod tests {
     #[test]
     fn worker_count_defaults_are_sane() {
         assert!(default_jobs() >= 1);
+    }
+
+    #[test]
+    fn batched_results_keep_job_order_for_any_shape() {
+        let jobs: Vec<u64> = (0..37).collect();
+        let expect: Vec<u64> = jobs.iter().map(|j| j * 7).collect();
+        // Batch sizes that divide, don't divide, exceed, and degenerate.
+        for batch in [0, 1, 2, 4, 5, 37, 100] {
+            for workers in [1, 3] {
+                let got = execute_ordered_batched(jobs.clone(), workers, batch, |chunk| {
+                    chunk.into_iter().map(|j| j * 7).collect()
+                });
+                assert_eq!(got, expect, "batch {batch}, workers {workers}");
+            }
+        }
+    }
+
+    #[test]
+    fn batch_clamps_to_remaining_jobs() {
+        // 5 jobs at batch 4 → chunks of 4 and 1; at batch 100 → one chunk
+        // of all 5. The chunk shapes are observable through run_batch.
+        let shapes = std::sync::Mutex::new(Vec::new());
+        let _ = execute_ordered_batched((0..5).collect::<Vec<u32>>(), 1, 4, |chunk| {
+            shapes.lock().unwrap().push(chunk.len());
+            chunk
+        });
+        assert_eq!(*shapes.lock().unwrap(), vec![4, 1]);
+        let shapes = std::sync::Mutex::new(Vec::new());
+        let _ = execute_ordered_batched((0..5).collect::<Vec<u32>>(), 1, 100, |chunk| {
+            shapes.lock().unwrap().push(chunk.len());
+            chunk
+        });
+        assert_eq!(*shapes.lock().unwrap(), vec![5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "one result per job")]
+    fn short_batch_results_panic() {
+        let _ = execute_ordered_batched(vec![1u32, 2, 3], 1, 2, |mut chunk| {
+            chunk.pop();
+            chunk
+        });
     }
 }

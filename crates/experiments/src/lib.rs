@@ -27,22 +27,24 @@ mod roster;
 mod runner;
 mod scenario;
 pub mod seeds;
-mod station;
 mod study;
 mod tables;
 mod validity;
 
 pub use digest::{campaign_digest, record_digest, run_digest};
-pub use executor::{default_jobs, execute_ordered};
+pub use executor::{default_jobs, execute_ordered, execute_ordered_batched};
 pub use figures::{figure4, Figure4};
 pub use roster::{paper_roster, RosterEntry};
-pub use runner::{run_protocol, RunOutput, ScenarioConfig};
+pub use runner::{run_protocol, run_protocol_batch, ProtocolJob, RunOutput, ScenarioConfig};
 pub use scenario::{CourseMap, FaultPoint, ScenarioPlan};
 pub use seeds::run_seed;
-pub use station::StationSpec;
+// The station rig spec lives with the operator abstraction in rdsim-core
+// (one home for both station abstractions); re-exported here because the
+// Table I generator is an experiments-layer artifact.
+pub use rdsim_core::StationSpec;
 pub use study::{
-    collision_summary, questionnaire_summary, run_study, run_study_with_jobs, table2, table3,
-    table4, RunTrace, StudyResults, Table2Row, Table3Row, Table4Row,
+    collision_summary, questionnaire_summary, run_study, run_study_with_exec, run_study_with_jobs,
+    table2, table3, table4, RunTrace, StudyResults, Table2Row, Table3Row, Table4Row,
 };
 pub use tables::TextTable;
 pub use validity::{model_vehicle_sweep, validity_sweep, Drivability, SweepPoint, SweepReport};

@@ -1,7 +1,20 @@
-//! Runs one protocol run (training / golden / faulty) for one subject.
+//! Runs protocol runs (training / golden / faulty) for subjects.
+//!
+//! A run is expressed as a [`rdsim_core::SessionController`] (the
+//! private `ProtocolDriver`): the per-tick scenario direction — progress
+//! accounting, the test leader's instructions, lead-vehicle phase
+//! scripting and point-of-interest fault injection — happens in its
+//! `pre_step`, and the session pipeline does the rest. That makes one
+//! run and a batch of runs the *same code path*: [`run_protocol`] is a
+//! [`run_protocol_batch`] of one, and [`run_protocol_batch`] steps N
+//! independent runs in lockstep on one worker via
+//! [`rdsim_core::SessionBatch`].
 
 use crate::{CourseMap, ScenarioPlan};
-use rdsim_core::{PaperFault, RdsSession, RdsSessionConfig, RunKind, RunRecord, ScheduledFault};
+use rdsim_core::{
+    PaperFault, RdsSession, RdsSessionConfig, RunKind, RunRecord, ScheduledFault, SessionBatch,
+    SessionController,
+};
 use rdsim_math::RngStream;
 use rdsim_netem::InjectionWindow;
 use rdsim_obs::{Recorder, Registry, RunTelemetry, TraceLog, Tracer};
@@ -117,6 +130,21 @@ pub struct RunOutput {
     pub trace: TraceLog,
 }
 
+/// One protocol run awaiting execution (the unit [`run_protocol_batch`]
+/// consumes).
+#[derive(Debug, Clone)]
+pub struct ProtocolJob {
+    /// The subject driving the run.
+    pub profile: SubjectProfile,
+    /// Which protocol run this is.
+    pub kind: RunKind,
+    /// The run's seed (derive it with [`crate::seeds::run_seed`] for
+    /// campaign runs).
+    pub seed: u64,
+    /// The scenario configuration.
+    pub config: ScenarioConfig,
+}
+
 /// Runs one protocol run for a subject.
 ///
 /// Golden and faulty runs drive the full scenario course (lead vehicle,
@@ -124,12 +152,55 @@ pub struct RunOutput {
 /// driving in an empty town. Fault injection happens only in faulty runs,
 /// at the plan's points of interest, drawing a random fault per point per
 /// lap exactly as §V.C describes.
+///
+/// Equivalent to a [`run_protocol_batch`] of one job (it is exactly
+/// that), so serial and batched campaigns share one code path.
 pub fn run_protocol(
     profile: &SubjectProfile,
     kind: RunKind,
     seed: u64,
     config: &ScenarioConfig,
 ) -> RunOutput {
+    run_protocol_batch(vec![ProtocolJob {
+        profile: profile.clone(),
+        kind,
+        seed,
+        config: config.clone(),
+    }])
+    .pop()
+    .expect("one job in, one output out")
+}
+
+/// Runs a batch of independent protocol runs in lockstep on the calling
+/// thread, returning outputs in job order.
+///
+/// Each run owns its world, links, RNG streams and driver, so lockstep
+/// interleaving is bit-for-bit identical to running the jobs serially
+/// (the parallel-equivalence suite pins this); batching amortizes
+/// scheduling and keeps the stage code hot in cache across sessions.
+pub fn run_protocol_batch(jobs: Vec<ProtocolJob>) -> Vec<RunOutput> {
+    let mut batch = SessionBatch::new();
+    for job in &jobs {
+        let (session, driver) = build_run(job);
+        batch.push(session, driver);
+    }
+    batch.run_to_completion();
+    batch
+        .finish()
+        .into_iter()
+        .map(|(session, driver)| driver.finish(session))
+        .collect()
+}
+
+/// Builds one run's session and its scenario controller.
+fn build_run(job: &ProtocolJob) -> (RdsSession, ProtocolDriver) {
+    let ProtocolJob {
+        profile,
+        kind,
+        seed,
+        config,
+    } = job;
+    let (kind, seed) = (*kind, *seed);
     let net = town05();
     let course = CourseMap::new(&net);
     let plan = ScenarioPlan::town05();
@@ -224,36 +295,99 @@ pub fn run_protocol(
         .map(|_| plan.draw_faults(&mut fault_rng))
         .collect();
 
-    // --- Main loop.
+    // --- Controller state.
     let target = config
         .progress_target
         .unwrap_or(config.laps as f64 * course.lap_length() - 40.0);
-    let mut schedule: Vec<ScheduledFault> = Vec::new();
-    let mut active_fault: Option<(usize, SimTime, PaperFault)> = None;
-    let mut consumed = vec![vec![false; plan.fault_points.len()]; laps_planned as usize];
-    let mut progress = 0.0;
-    let mut lap = 0usize;
+    let consumed = vec![vec![false; plan.fault_points.len()]; laps_planned as usize];
     let ego = session.world().ego_id().expect("ego spawned");
-    let mut prev_s = course.chain_s(session.world().network(), ego_pos(&session, ego));
-    let mut stopping = false;
-
+    let prev_s = course.chain_s(session.world().network(), ego_pos(&session, ego));
     let max_steps = config.max_duration.div_steps(config.dt);
-    for _ in 0..max_steps {
-        let pos = ego_pos(&session, ego);
+
+    let controller = ProtocolDriver {
+        kind,
+        config: config.clone(),
+        profile_id: profile.id.clone(),
+        course,
+        plan,
+        driver,
+        registry,
+        lead,
+        ego,
+        draws,
+        consumed,
+        schedule: Vec::new(),
+        active_fault: None,
+        target,
+        progress: 0.0,
+        lap: 0,
+        laps_planned: laps_planned as usize,
+        prev_s,
+        stopping: false,
+        steps_left: max_steps,
+    };
+    (session, controller)
+}
+
+/// Scenario direction for one protocol run, batched via
+/// [`SessionController`]: the serial loop's per-tick preamble lives in
+/// [`pre_step`](SessionController::pre_step), its loop condition in the
+/// retirement checks at the top of it.
+#[derive(Debug)]
+struct ProtocolDriver {
+    kind: RunKind,
+    config: ScenarioConfig,
+    profile_id: String,
+    course: CourseMap,
+    plan: ScenarioPlan,
+    driver: HumanDriverModel,
+    registry: Option<Registry>,
+    lead: Option<ActorId>,
+    ego: ActorId,
+    /// Fault draws per lap per point of interest.
+    draws: Vec<Vec<PaperFault>>,
+    /// Whether `draws[lap][point]` has been injected already.
+    consumed: Vec<Vec<bool>>,
+    schedule: Vec<ScheduledFault>,
+    active_fault: Option<(usize, SimTime, PaperFault)>,
+    target: f64,
+    progress: f64,
+    lap: usize,
+    laps_planned: usize,
+    prev_s: f64,
+    stopping: bool,
+    steps_left: u64,
+}
+
+impl SessionController for ProtocolDriver {
+    fn pre_step(&mut self, session: &mut RdsSession) -> bool {
+        // Retirement: out of steps (the max-duration guard), or the stop
+        // instruction has brought the ego to rest after the previous step.
+        if self.steps_left == 0 {
+            return false;
+        }
+        if self.stopping && session.world().actor(self.ego).state().speed.get() < 0.3 {
+            return false;
+        }
+        self.steps_left -= 1;
+
+        let course = &self.course;
+        let plan = &self.plan;
+        let pos = ego_pos(session, self.ego);
         let s = {
             let world = session.world();
             course.chain_s(world.network(), pos)
         };
         // Unwrapped progress and lap counting.
-        let mut delta = s - prev_s;
+        let mut delta = s - self.prev_s;
         if delta < -course.lap_length() / 2.0 {
             delta += course.lap_length();
-            lap = (lap + 1).min(laps_planned as usize - 1);
+            self.lap = (self.lap + 1).min(self.laps_planned - 1);
         }
         if delta.abs() < 60.0 {
-            progress += delta.max(0.0);
+            self.progress += delta.max(0.0);
         }
-        prev_s = s;
+        self.prev_s = s;
 
         // Instructions (the test leader's directions).
         let in_slalom = course.within(s, plan.slalom.0, plan.slalom.1);
@@ -263,40 +397,40 @@ pub fn run_protocol(
             (
                 course.inner(),
                 if on_highway {
-                    config.highway_speed
+                    self.config.highway_speed
                 } else {
-                    config.urban_speed
+                    self.config.urban_speed
                 },
             )
         } else if on_highway {
-            (course.outer(), config.highway_speed)
+            (course.outer(), self.config.highway_speed)
         } else {
-            (course.outer(), config.urban_speed)
+            (course.outer(), self.config.urban_speed)
         };
         let lane = {
             let world = session.world();
             course.nearest_of(world.network(), chain, pos)
         };
-        if progress >= target {
-            stopping = true;
+        if self.progress >= self.target {
+            self.stopping = true;
         }
-        if stopping {
-            driver.set_instruction(Instruction::stop_in(lane));
+        if self.stopping {
+            self.driver.set_instruction(Instruction::stop_in(lane));
         } else {
-            driver.set_instruction(Instruction::drive(lane, speed));
+            self.driver.set_instruction(Instruction::drive(lane, speed));
         }
 
         // Lead-vehicle phase scripting: it clears the slalom zone via the
         // inner lane, like a cooperating road user.
-        if let Some(lead) = lead {
-            let lead_pos = ego_pos(&session, lead);
+        if let Some(lead) = self.lead {
+            let lead_pos = ego_pos(session, lead);
             let world = session.world();
             let lead_s = course.chain_s(world.network(), lead_pos);
             let lead_in_zone = course.within(lead_s, plan.slalom.0 - 25.0, plan.slalom.1 + 10.0);
             let (lead_chain, lead_speed) = if lead_in_zone {
                 (course.inner(), MetersPerSecond::new(13.0))
             } else {
-                (course.outer(), config.lead_speed)
+                (course.outer(), self.config.lead_speed)
             };
             let lead_lane = course.nearest_of(world.network(), lead_chain, lead_pos);
             let cfg = LaneFollowConfig::urban(lead_speed).with_lane(lead_lane);
@@ -306,13 +440,13 @@ pub fn run_protocol(
         }
 
         // Fault points (faulty runs only).
-        if kind == RunKind::Faulty && !stopping {
-            if let Some((idx, started, fault)) = active_fault {
+        if self.kind == RunKind::Faulty && !self.stopping {
+            if let Some((idx, started, fault)) = self.active_fault {
                 let point = plan.fault_points[idx];
                 if !course.within(s, point.from, point.to) {
                     let now = session.time();
                     session.clear_fault_now();
-                    schedule.push(ScheduledFault {
+                    self.schedule.push(ScheduledFault {
                         fault,
                         window: InjectionWindow::new(
                             started,
@@ -320,62 +454,67 @@ pub fn run_protocol(
                             fault.config(),
                         ),
                     });
-                    active_fault = None;
+                    self.active_fault = None;
                 }
             }
-            if active_fault.is_none() {
+            if self.active_fault.is_none() {
                 if let Some(idx) = plan
                     .fault_points
                     .iter()
                     .position(|p| course.within(s, p.from, p.to))
                 {
-                    if !consumed[lap][idx] {
-                        consumed[lap][idx] = true;
-                        let fault = draws[lap][idx];
+                    if !self.consumed[self.lap][idx] {
+                        self.consumed[self.lap][idx] = true;
+                        let fault = self.draws[self.lap][idx];
                         session.inject_now(fault.config());
-                        active_fault = Some((idx, session.time(), fault));
+                        self.active_fault = Some((idx, session.time(), fault));
                     }
                 }
             }
         }
+        true
+    }
 
-        session.step(&mut driver);
+    fn operator_mut(&mut self) -> &mut dyn rdsim_core::OperatorSubsystem {
+        &mut self.driver
+    }
+}
 
-        if stopping {
-            let world = session.world();
-            if world.actor(ego).state().speed.get() < 0.3 {
-                break;
-            }
+impl ProtocolDriver {
+    /// Finalises a retired run: closes any dangling fault window and
+    /// assembles the [`RunOutput`].
+    fn finish(mut self, mut session: RdsSession) -> RunOutput {
+        if let Some((_, started, fault)) = self.active_fault {
+            let now = session.time();
+            session.clear_fault_now();
+            self.schedule.push(ScheduledFault {
+                fault,
+                window: InjectionWindow::new(
+                    started,
+                    now.saturating_since(started),
+                    fault.config(),
+                ),
+            });
         }
-    }
 
-    // Close any dangling fault window.
-    if let Some((_, started, fault)) = active_fault {
-        let now = session.time();
-        session.clear_fault_now();
-        schedule.push(ScheduledFault {
-            fault,
-            window: InjectionWindow::new(started, now.saturating_since(started), fault.config()),
-        });
-    }
-
-    let stutter_time = driver.perception().stutter_time();
-    let worst_display_gap = driver.perception().worst_display_gap();
-    let frames_seen = driver.perception().frames_seen();
-    let trace = if config.trace {
-        session.tracer().log()
-    } else {
-        TraceLog::default()
-    };
-    let log = session.into_log();
-    RunOutput {
-        record: RunRecord::new(profile.id.clone(), kind, log, schedule),
-        stutter_time,
-        worst_display_gap,
-        frames_seen,
-        progress,
-        telemetry: registry.map(|r| r.snapshot()).unwrap_or_default(),
-        trace,
+        let stutter_time = self.driver.perception().stutter_time();
+        let worst_display_gap = self.driver.perception().worst_display_gap();
+        let frames_seen = self.driver.perception().frames_seen();
+        let trace = if self.config.trace {
+            session.tracer().log()
+        } else {
+            TraceLog::default()
+        };
+        let log = session.into_log();
+        RunOutput {
+            record: RunRecord::new(self.profile_id, self.kind, log, self.schedule),
+            stutter_time,
+            worst_display_gap,
+            frames_seen,
+            progress: self.progress,
+            telemetry: self.registry.map(|r| r.snapshot()).unwrap_or_default(),
+            trace,
+        }
     }
 }
 
@@ -514,6 +653,49 @@ mod tests {
         let faults_a: Vec<_> = a.record.schedule.iter().map(|s| s.fault).collect();
         let faults_b: Vec<_> = b.record.schedule.iter().map(|s| s.fault).collect();
         assert_eq!(faults_a, faults_b);
+    }
+
+    #[test]
+    fn batched_runs_match_serial_bit_for_bit() {
+        use rdsim_core::Digestible;
+        // Mixed kinds and subjects in one lockstep batch; compare
+        // run-log digests and scenario outputs against one-at-a-time.
+        let mut p2 = profile();
+        p2.id = "TZ".to_owned();
+        let cfg = ScenarioConfig::quick();
+        let jobs = vec![
+            ProtocolJob {
+                profile: profile(),
+                kind: RunKind::Golden,
+                seed: 101,
+                config: cfg.clone(),
+            },
+            ProtocolJob {
+                profile: p2,
+                kind: RunKind::Faulty,
+                seed: 102,
+                config: cfg.clone(),
+            },
+            ProtocolJob {
+                profile: profile(),
+                kind: RunKind::Training,
+                seed: 103,
+                config: cfg.clone(),
+            },
+        ];
+        let serial: Vec<RunOutput> = jobs
+            .iter()
+            .map(|j| run_protocol(&j.profile, j.kind, j.seed, &j.config))
+            .collect();
+        let batched = run_protocol_batch(jobs);
+        assert_eq!(serial.len(), batched.len());
+        for (s, b) in serial.iter().zip(&batched) {
+            assert_eq!(s.record.log.digest(), b.record.log.digest());
+            assert_eq!(s.record.schedule, b.record.schedule);
+            assert_eq!(s.progress, b.progress);
+            assert_eq!(s.frames_seen, b.frames_seen);
+            assert_eq!(s.stutter_time, b.stutter_time);
+        }
     }
 
     #[test]

@@ -1,9 +1,11 @@
 //! The full study: 12 subjects × (training, golden, faulty), with the
 //! paper's exclusions and recording artifacts, plus the table generators.
 
-use crate::executor::{default_jobs, execute_ordered};
+use crate::executor::{default_jobs, execute_ordered_batched};
 use crate::seeds::run_seed;
-use crate::{paper_roster, run_protocol, RosterEntry, RunOutput, ScenarioConfig};
+use crate::{
+    paper_roster, run_protocol_batch, ProtocolJob, RosterEntry, RunOutput, ScenarioConfig,
+};
 use rdsim_core::{IncidentMark, PaperFault, RunKind, RunRecord};
 use rdsim_math::RngStream;
 use rdsim_metrics::{
@@ -111,6 +113,22 @@ pub fn run_study(seed: u64, config: &ScenarioConfig) -> StudyResults {
 /// The equivalence is asserted by `tests/parallel_equivalence.rs` and the
 /// CI `parallel-equivalence` job.
 pub fn run_study_with_jobs(seed: u64, config: &ScenarioConfig, jobs: usize) -> StudyResults {
+    run_study_with_exec(seed, config, jobs, 1)
+}
+
+/// Runs the whole study on `jobs` worker threads, each worker stepping up
+/// to `batch` runs in lockstep ([`rdsim_core::SessionBatch`]).
+///
+/// Batching changes only how runs share a worker, never what any run
+/// computes: runs are fully independent, so results are bit-identical for
+/// every `(jobs, batch)` combination. The batch size clamps to the jobs
+/// remaining (a 36-run campaign at `batch 8` ends with a 4-run batch).
+pub fn run_study_with_exec(
+    seed: u64,
+    config: &ScenarioConfig,
+    jobs: usize,
+    batch: usize,
+) -> StudyResults {
     let roster = paper_roster();
     let job_list: Vec<(usize, RunKind)> = (0..roster.len())
         .flat_map(|subject| PROTOCOL_KINDS.iter().map(move |&kind| (subject, kind)))
@@ -119,18 +137,25 @@ pub fn run_study_with_jobs(seed: u64, config: &ScenarioConfig, jobs: usize) -> S
     // short free drive suffices.
     let mut training_cfg = config.clone();
     training_cfg.progress_target = Some(250.0);
-    let outputs: Vec<RunOutput> = execute_ordered(job_list, jobs, |(subject, kind)| {
-        let entry = &roster[subject];
-        let cfg = if kind == RunKind::Training {
-            &training_cfg
-        } else {
-            config
-        };
-        run_protocol(
-            &entry.profile,
-            kind,
-            run_seed(seed, &entry.profile.id, kind),
-            cfg,
+    let outputs: Vec<RunOutput> = execute_ordered_batched(job_list, jobs, batch, |chunk| {
+        run_protocol_batch(
+            chunk
+                .into_iter()
+                .map(|(subject, kind)| {
+                    let entry = &roster[subject];
+                    let cfg = if kind == RunKind::Training {
+                        &training_cfg
+                    } else {
+                        config
+                    };
+                    ProtocolJob {
+                        profile: entry.profile.clone(),
+                        kind,
+                        seed: run_seed(seed, &entry.profile.id, kind),
+                        config: cfg.clone(),
+                    }
+                })
+                .collect(),
         )
     });
 

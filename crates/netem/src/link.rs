@@ -139,6 +139,18 @@ impl Link {
         out
     }
 
+    /// Runs one pipeline-stage worth of traffic: offers `packets` to the
+    /// link in order, then drains everything whose delivery time has
+    /// arrived. Exactly equivalent to [`send`](Self::send)ing each packet
+    /// followed by one [`receive`](Self::receive) — the link direction as
+    /// a single stage of the session pipeline.
+    pub fn transfer(&mut self, packets: Vec<Packet>, now: SimTime) -> Vec<Packet> {
+        for packet in packets {
+            self.send(packet, now);
+        }
+        self.receive(now)
+    }
+
     /// Time of the next pending delivery, if any.
     pub fn next_delivery(&self) -> Option<SimTime> {
         self.qdisc.next_release()
@@ -330,6 +342,28 @@ mod tests {
             t.histogram("netem.downlink.latency_us").unwrap().is_empty(),
             "nothing sent downlink"
         );
+    }
+
+    #[test]
+    fn transfer_equals_send_then_receive() {
+        // Same seed, same offered traffic: the stage-shaped API must make
+        // identical per-packet decisions as the two-call form.
+        let cfg = NetemConfig::default()
+            .with_delay(Millis::new(10.0))
+            .with_loss(Ratio::from_percent(30.0));
+        let mut a = Link::with_config(cfg, 77);
+        let mut b = Link::with_config(cfg, 77);
+        let mut got_a = Vec::new();
+        let mut got_b = Vec::new();
+        for step in 0..200u64 {
+            let now = SimTime::from_millis(step * 20);
+            got_a.extend(a.transfer(vec![video(step)], now));
+            b.send(video(step), now);
+            got_b.extend(b.receive(now));
+        }
+        let seqs = |v: &[Packet]| v.iter().map(|p| p.seq).collect::<Vec<_>>();
+        assert_eq!(seqs(&got_a), seqs(&got_b));
+        assert_eq!(a.stats(), b.stats());
     }
 
     #[test]

@@ -96,9 +96,13 @@ impl SimulatorServer {
             .map(|t| self.world.time().saturating_since(t))
     }
 
-    /// Advances the simulation by `dt`, applying the active command to the
-    /// ego, and returns any video frames captured during the step.
-    pub fn tick(&mut self, dt: SimDuration) -> Vec<VideoFrame> {
+    /// Advances the physics plant by `dt`, applying the active command
+    /// (or the neutral fallback, when armed and expired) to the ego.
+    ///
+    /// This is the pure "vehicle physics" half of [`tick`](Self::tick);
+    /// the session pipeline runs it as its own stage so sensing can be
+    /// timed and swapped independently of plant integration.
+    pub fn advance_plant(&mut self, dt: SimDuration) {
         let ego = self.world.ego_id().expect("checked at construction");
         let mut command = self.last_command;
         if let (Some(timeout), Some(at)) = (self.neutral_fallback_after, self.last_command_at) {
@@ -108,6 +112,11 @@ impl SimulatorServer {
         }
         self.world.set_external_control(ego, command);
         self.world.step(dt);
+    }
+
+    /// Polls the camera sensor at the current world time and returns any
+    /// frames captured — the "sensing/capture" half of [`tick`](Self::tick).
+    pub fn capture(&mut self) -> Vec<VideoFrame> {
         let now = self.world.time();
         // Borrow dance: snapshot needs &world while camera is &mut self.
         let world = &self.world;
@@ -116,6 +125,16 @@ impl SimulatorServer {
             self.world.set_frame_hint(last.frame_id);
         }
         frames
+    }
+
+    /// Advances the simulation by `dt`, applying the active command to the
+    /// ego, and returns any video frames captured during the step.
+    ///
+    /// Equivalent to [`advance_plant`](Self::advance_plant) followed by
+    /// [`capture`](Self::capture).
+    pub fn tick(&mut self, dt: SimDuration) -> Vec<VideoFrame> {
+        self.advance_plant(dt);
+        self.capture()
     }
 }
 
