@@ -13,12 +13,12 @@
 //! Set `RDSIM_BENCH_FULL=1` to additionally time the full 12-subject
 //! `--quick` study at 1 vs 4 workers (the `repro --quick --jobs N` path).
 
+use rdsim_bench::report::{Group, Report};
 use rdsim_core::RunKind;
 use rdsim_experiments::{
     execute_ordered, run_digest, run_protocol, run_seed, run_study_with_jobs, ScenarioConfig,
 };
 use rdsim_operator::SubjectProfile;
-use std::fmt::Write as _;
 use std::time::Instant;
 
 /// Timed samples per worker count (median reported).
@@ -91,22 +91,25 @@ fn main() {
         println!("{name}: {secs:.3} s  ({:.2}× vs serial)", speedup(secs));
     }
 
-    let mut json = String::new();
-    let _ = write!(
-        json,
-        "{{\n  \"bench\": \"campaign_parallel\",\n  \"runs\": {},\n  \"samples\": {SAMPLES},\n  \"available_parallelism\": {cores},\n",
-        reference.len()
-    );
-    let _ = writeln!(
-        json,
-        "  \"median_secs\": {{\"jobs_1\": {serial:.6}, \"jobs_2\": {two:.6}, \"jobs_4\": {four:.6}}},"
-    );
-    let _ = write!(
-        json,
-        "  \"speedup_vs_serial\": {{\"jobs_2\": {:.3}, \"jobs_4\": {:.3}}},\n  \"digest_match\": true",
-        speedup(two),
-        speedup(four)
-    );
+    let mut report = Report::new("campaign_parallel");
+    report
+        .uint("runs", reference.len() as u64)
+        .uint("samples", SAMPLES as u64)
+        .uint("available_parallelism", cores as u64)
+        .group(
+            "median_secs",
+            Group::new()
+                .float("jobs_1", serial, 6)
+                .float("jobs_2", two, 6)
+                .float("jobs_4", four, 6),
+        )
+        .group(
+            "speedup_vs_serial",
+            Group::new()
+                .float("jobs_2", speedup(two), 3)
+                .float("jobs_4", speedup(four), 3),
+        )
+        .bool("digest_match", true);
 
     if std::env::var("RDSIM_BENCH_FULL").is_ok_and(|v| v == "1") {
         eprintln!("full mode: timing quick studies at 1 and 4 workers …");
@@ -121,17 +124,14 @@ fn main() {
             "quick study jobs=1: {study_serial:.2} s\nquick study jobs=4: {study_four:.2} s ({:.2}×)",
             study_serial / study_four
         );
-        let _ = write!(
-            json,
-            ",\n  \"quick_study_secs\": {{\"jobs_1\": {study_serial:.3}, \"jobs_4\": {study_four:.3}, \"speedup\": {:.3}}}",
-            study_serial / study_four
+        report.group(
+            "quick_study_secs",
+            Group::new()
+                .float("jobs_1", study_serial, 3)
+                .float("jobs_4", study_four, 3)
+                .float("speedup", study_serial / study_four, 3),
         );
     }
-    json.push_str("\n}\n");
 
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_campaign.json");
-    match std::fs::write(path, &json) {
-        Ok(()) => eprintln!("wrote {path}"),
-        Err(err) => eprintln!("could not write {path}: {err}"),
-    }
+    report.write("campaign");
 }

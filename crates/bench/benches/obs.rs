@@ -16,6 +16,7 @@
 //! — the acceptance check that the flight recorder stays within 5% of
 //! the telemetry-on baseline.
 
+use rdsim_bench::report::{Group, Report};
 use rdsim_core::{RdsSession, RdsSessionConfig};
 use rdsim_experiments::{run_study, ScenarioConfig};
 use rdsim_netem::NetemConfig;
@@ -24,7 +25,6 @@ use rdsim_roadnet::town05;
 use rdsim_simulator::{ActorKind, Behavior, CameraConfig, LaneFollowConfig, World};
 use rdsim_units::{Hertz, MetersPerSecond, Ratio};
 use rdsim_vehicle::{ControlInput, VehicleSpec};
-use std::fmt::Write as _;
 use std::time::Instant;
 
 /// Steps per timed session (60 s of sim time at 50 Hz).
@@ -124,30 +124,45 @@ fn main() {
         );
     }
 
-    let mut json = String::new();
-    let _ = write!(
-        json,
-        "{{\n  \"bench\": \"obs_overhead\",\n  \"steps\": {STEPS},\n  \"samples\": {SAMPLES},\n"
-    );
-    let _ = writeln!(
-        json,
-        "  \"median_secs\": {{\"null_null\": {null_null:.6}, \"null_trace\": {null_trace:.6}, \"telemetry_null\": {telemetry_null:.6}, \"telemetry_trace\": {telemetry_trace:.6}}},"
-    );
-    let _ = writeln!(
-        json,
-        "  \"steps_per_sec\": {{\"null_null\": {:.1}, \"null_trace\": {:.1}, \"telemetry_null\": {:.1}, \"telemetry_trace\": {:.1}}},",
-        steps_per_sec(null_null),
-        steps_per_sec(null_trace),
-        steps_per_sec(telemetry_null),
-        steps_per_sec(telemetry_trace)
-    );
-    let _ = write!(
-        json,
-        "  \"overhead_pct\": {{\"flight_recorder_vs_floor\": {:.3}, \"telemetry_vs_floor\": {:.3}, \"trace_on_top_of_telemetry\": {:.3}}}",
-        overhead_pct(null_null, null_trace),
-        overhead_pct(null_null, telemetry_null),
-        overhead_pct(telemetry_null, telemetry_trace)
-    );
+    let mut report = Report::new("obs_overhead");
+    report
+        .uint("steps", STEPS)
+        .uint("samples", SAMPLES as u64)
+        .group(
+            "median_secs",
+            Group::new()
+                .float("null_null", null_null, 6)
+                .float("null_trace", null_trace, 6)
+                .float("telemetry_null", telemetry_null, 6)
+                .float("telemetry_trace", telemetry_trace, 6),
+        )
+        .group(
+            "steps_per_sec",
+            Group::new()
+                .float("null_null", steps_per_sec(null_null), 1)
+                .float("null_trace", steps_per_sec(null_trace), 1)
+                .float("telemetry_null", steps_per_sec(telemetry_null), 1)
+                .float("telemetry_trace", steps_per_sec(telemetry_trace), 1),
+        )
+        .group(
+            "overhead_pct",
+            Group::new()
+                .float(
+                    "flight_recorder_vs_floor",
+                    overhead_pct(null_null, null_trace),
+                    3,
+                )
+                .float(
+                    "telemetry_vs_floor",
+                    overhead_pct(null_null, telemetry_null),
+                    3,
+                )
+                .float(
+                    "trace_on_top_of_telemetry",
+                    overhead_pct(telemetry_null, telemetry_trace),
+                    3,
+                ),
+        );
 
     if std::env::var("RDSIM_BENCH_FULL").is_ok_and(|v| v == "1") {
         eprintln!("full mode: timing quick studies (3× each, several minutes) …");
@@ -157,17 +172,14 @@ fn main() {
             "quick study, telemetry only : {base:.2} s\nquick study, telemetry+trace: {traced:.2} s ({:+.2}%)",
             overhead_pct(base, traced)
         );
-        let _ = write!(
-            json,
-            ",\n  \"quick_study_median_secs\": {{\"telemetry\": {base:.3}, \"telemetry_trace\": {traced:.3}, \"overhead_pct\": {:.3}}}",
-            overhead_pct(base, traced)
+        report.group(
+            "quick_study_median_secs",
+            Group::new()
+                .float("telemetry", base, 3)
+                .float("telemetry_trace", traced, 3)
+                .float("overhead_pct", overhead_pct(base, traced), 3),
         );
     }
-    json.push_str("\n}\n");
 
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_obs.json");
-    match std::fs::write(path, &json) {
-        Ok(()) => eprintln!("wrote {path}"),
-        Err(err) => eprintln!("could not write {path}: {err}"),
-    }
+    report.write("obs");
 }

@@ -12,6 +12,7 @@
 //! and cache misses, not cores — on any machine the digests must match,
 //! which is the check that matters.
 
+use rdsim_bench::report::{Group, Report};
 use rdsim_core::{
     Digestible, FixedRun, PaperFault, RdsSession, RdsSessionConfig, ScriptedOperator, SessionBatch,
 };
@@ -20,7 +21,6 @@ use rdsim_roadnet::town05;
 use rdsim_simulator::{CameraConfig, World};
 use rdsim_units::{Hertz, SimDuration, SimTime};
 use rdsim_vehicle::{ControlInput, VehicleSpec};
-use std::fmt::Write as _;
 use std::time::Instant;
 
 /// Timed samples per batch size (median reported).
@@ -113,32 +113,32 @@ fn main() {
         );
     }
 
-    let mut json = String::new();
-    let _ = write!(
-        json,
-        "{{\n  \"bench\": \"session_batched\",\n  \"sessions\": {SESSIONS},\n  \"steps_per_session\": {STEPS},\n  \"samples\": {SAMPLES},\n  \"available_parallelism\": {cores},\n"
-    );
-    let _ = writeln!(
-        json,
-        "  \"median_secs\": {{\"batch_1\": {b1:.6}, \"batch_4\": {b4:.6}, \"batch_8\": {b8:.6}}},"
-    );
-    let _ = writeln!(
-        json,
-        "  \"steps_per_sec\": {{\"batch_1\": {:.0}, \"batch_4\": {:.0}, \"batch_8\": {:.0}}},",
-        rate(b1),
-        rate(b4),
-        rate(b8)
-    );
-    let _ = write!(
-        json,
-        "  \"speedup_vs_per_session\": {{\"batch_4\": {:.3}, \"batch_8\": {:.3}}},\n  \"digest_match\": true\n}}\n",
-        b1 / b4,
-        b1 / b8
-    );
-
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_session.json");
-    match std::fs::write(path, &json) {
-        Ok(()) => eprintln!("wrote {path}"),
-        Err(err) => eprintln!("could not write {path}: {err}"),
-    }
+    let mut report = Report::new("session_batched");
+    report
+        .uint("sessions", SESSIONS as u64)
+        .uint("steps_per_session", STEPS)
+        .uint("samples", SAMPLES as u64)
+        .uint("available_parallelism", cores as u64)
+        .group(
+            "median_secs",
+            Group::new()
+                .float("batch_1", b1, 6)
+                .float("batch_4", b4, 6)
+                .float("batch_8", b8, 6),
+        )
+        .group(
+            "steps_per_sec",
+            Group::new()
+                .float("batch_1", rate(b1), 0)
+                .float("batch_4", rate(b4), 0)
+                .float("batch_8", rate(b8), 0),
+        )
+        .group(
+            "speedup_vs_per_session",
+            Group::new()
+                .float("batch_4", b1 / b4, 3)
+                .float("batch_8", b1 / b8, 3),
+        )
+        .bool("digest_match", true);
+    report.write("session");
 }

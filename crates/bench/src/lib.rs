@@ -15,6 +15,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod report;
+
 use rdsim_core::{RunKind, RunRecord};
 use rdsim_experiments::{run_protocol, RunOutput, ScenarioConfig};
 use rdsim_operator::SubjectProfile;

@@ -27,10 +27,12 @@
 //! ```
 
 use crate::session::SessionCore;
-use crate::{decode_command, encode_command, IncidentKind, OperatorSubsystem, ReceivedFrame};
+use crate::{
+    decode_command, encode_command_pooled, IncidentKind, OperatorSubsystem, ReceivedFrame,
+};
 use rdsim_netem::{Packet, PacketKind};
 use rdsim_obs::{Recorder, TraceId, TraceStage, Tracer};
-use rdsim_simulator::{decode_frame_recorded, VideoFrame, World};
+use rdsim_simulator::{decode_frame_recorded_into, VideoFrame, World, WorldSnapshot};
 use rdsim_units::{SimDuration, SimTime};
 
 /// Per-tick scratch state handed from stage to stage.
@@ -53,21 +55,33 @@ pub struct StepScratch {
     pub dropped_before: u64,
     /// Frames captured this tick (capture stage → uplink stage).
     pub frames: Vec<VideoFrame>,
+    /// Wire-packet staging buffer: the uplink stage fills it with this
+    /// tick's video packets and drains it into the link; the downlink
+    /// stage reuses the (then empty) buffer for the command packet.
+    pub packets: Vec<Packet>,
     /// Frames the uplink delivered this tick (uplink → display stage).
     pub arrived_frames: Vec<Packet>,
     /// The encoded command emitted this tick (operator → downlink stage).
     pub command: Option<Packet>,
     /// Commands the downlink delivered this tick (downlink → actuate).
     pub arrived_cmds: Vec<Packet>,
+    /// A reusable [`ReceivedFrame`] holder for the display stage. Unlike
+    /// the rest of the scratch it survives `reset`: it exists so decode
+    /// can reuse the previous snapshot's actor allocation when the
+    /// operator does not hand one back via
+    /// [`OperatorSubsystem::recycle_frame`].
+    pub spare_frame: Option<ReceivedFrame>,
 }
 
 impl StepScratch {
     /// Clears the per-tick state (the simulation clock stamp survives
-    /// until the vehicle stage overwrites it).
+    /// until the vehicle stage overwrites it, and the spare frame holder
+    /// persists so its allocation keeps being reused).
     pub fn reset(&mut self) {
         self.in_window = false;
         self.dropped_before = 0;
         self.frames.clear();
+        self.packets.clear();
         self.arrived_frames.clear();
         self.command = None;
         self.arrived_cmds.clear();
@@ -237,7 +251,7 @@ impl Stage for CaptureStage {
     }
 
     fn advance(&mut self, ctx: &mut StageContext<'_>) {
-        ctx.scratch.frames = ctx.core.server.capture();
+        ctx.core.server.capture_into(&mut ctx.scratch.frames);
     }
 }
 
@@ -260,12 +274,17 @@ impl Stage for UplinkStage {
 
     fn advance(&mut self, ctx: &mut StageContext<'_>) {
         let now = ctx.scratch.now;
-        let frames = std::mem::take(&mut ctx.scratch.frames);
+        let in_window = ctx.scratch.in_window;
         let core = &mut *ctx.core;
-        let mut packets = Vec::with_capacity(frames.len());
-        for frame in frames {
+        let StepScratch {
+            frames,
+            packets,
+            arrived_frames,
+            ..
+        } = &mut *ctx.scratch;
+        for frame in frames.drain(..) {
             core.obs.frames_sent.inc();
-            core.obs.window(ctx.scratch.in_window).0.inc();
+            core.obs.window(in_window).0.inc();
             let seq = core.frame_seq;
             core.frame_seq += 1;
             let id = TraceId::frame(seq);
@@ -280,7 +299,7 @@ impl Stage for UplinkStage {
             );
             packets.push(Packet::new(seq, PacketKind::Video, frame.payload));
         }
-        ctx.scratch.arrived_frames = core.link.uplink.transfer(packets, now);
+        core.link.uplink.transfer_into(packets, now, arrived_frames);
     }
 }
 
@@ -303,21 +322,42 @@ impl Stage for DisplayStage {
 
     fn advance(&mut self, ctx: &mut StageContext<'_>) {
         let now = ctx.scratch.now;
-        let arrived = std::mem::take(&mut ctx.scratch.arrived_frames);
-        for pkt in arrived {
+        let in_window = ctx.scratch.in_window;
+        let StepScratch {
+            arrived_frames,
+            spare_frame,
+            ..
+        } = &mut *ctx.scratch;
+        for pkt in arrived_frames.drain(..) {
             let core = &mut *ctx.core;
             let id = pkt.trace_id();
-            match decode_frame_recorded(&pkt.payload, &core.recorder) {
-                Ok(snapshot) => {
+            // Decode into a recycled holder: the operator's previous frame
+            // if it hands one back, else the pipeline's spare — so the
+            // snapshot's actor allocation is reused tick after tick.
+            let mut holder = ctx
+                .operator
+                .recycle_frame()
+                .or_else(|| spare_frame.take())
+                .unwrap_or_else(|| ReceivedFrame {
+                    snapshot: WorldSnapshot {
+                        time: SimTime::ZERO,
+                        frame_id: 0,
+                        ego: None,
+                        others: Vec::new(),
+                    },
+                    captured_at: SimTime::ZERO,
+                    received_at: SimTime::ZERO,
+                });
+            match decode_frame_recorded_into(&pkt.payload, &mut holder.snapshot, &core.recorder) {
+                Ok(()) => {
                     core.obs.frames_delivered.inc();
-                    core.obs.window(ctx.scratch.in_window).1.inc();
+                    core.obs.window(in_window).1.inc();
                     core.tracer
                         .record(id, TraceStage::Decode, now.as_micros(), pkt.len() as u64);
-                    let snapshot = match &core.infrastructure {
-                        Some(infra) => infra.augment(&snapshot),
-                        None => snapshot,
-                    };
-                    let captured_at = snapshot.time;
+                    if let Some(infra) = &core.infrastructure {
+                        holder.snapshot = infra.augment(&holder.snapshot);
+                    }
+                    let captured_at = holder.snapshot.time;
                     let age_us = now.saturating_since(captured_at).as_micros();
                     if let Some(h) = &core.obs.frame_age_us {
                         h.record(age_us);
@@ -325,21 +365,21 @@ impl Stage for DisplayStage {
                     core.tracer
                         .record(id, TraceStage::Display, now.as_micros(), age_us);
                     core.last_displayed_frame = Some(pkt.seq);
-                    ctx.operator.on_frame(ReceivedFrame {
-                        snapshot,
-                        captured_at,
-                        received_at: now,
-                    });
+                    holder.captured_at = captured_at;
+                    holder.received_at = now;
+                    ctx.operator.on_frame(holder);
                 }
                 Err(_) => {
                     core.obs.frames_corrupted.inc();
-                    core.obs.window(ctx.scratch.in_window).3.inc();
+                    core.obs.window(in_window).3.inc();
                     core.tracer.record(
                         id,
                         TraceStage::DecodeFailed,
                         now.as_micros(),
                         pkt.len() as u64,
                     );
+                    // Keep the holder for the next decode attempt.
+                    *spare_frame = Some(holder);
                     ctx.operator.on_bad_frame(now);
                 }
             }
@@ -382,7 +422,7 @@ impl Stage for OperatorStage {
         ctx.scratch.command = Some(Packet::new(
             seq,
             PacketKind::Command,
-            encode_command(seq, &control),
+            encode_command_pooled(seq, &control, &core.cmd_pool),
         ));
     }
 }
@@ -405,8 +445,19 @@ impl Stage for DownlinkStage {
 
     fn advance(&mut self, ctx: &mut StageContext<'_>) {
         let now = ctx.scratch.now;
-        let packets: Vec<Packet> = ctx.scratch.command.take().into_iter().collect();
-        ctx.scratch.arrived_cmds = ctx.core.link.downlink.transfer(packets, now);
+        let StepScratch {
+            command,
+            packets,
+            arrived_cmds,
+            ..
+        } = &mut *ctx.scratch;
+        // `packets` was drained by the uplink stage; restage it with the
+        // tick's command instead of collecting a fresh one-element vec.
+        packets.extend(command.take());
+        ctx.core
+            .link
+            .downlink
+            .transfer_into(packets, now, arrived_cmds);
     }
 }
 
@@ -429,14 +480,15 @@ impl Stage for ActuateStage {
 
     fn advance(&mut self, ctx: &mut StageContext<'_>) {
         let now = ctx.scratch.now;
-        let arrived = std::mem::take(&mut ctx.scratch.arrived_cmds);
+        let in_window = ctx.scratch.in_window;
+        let dropped_before = ctx.scratch.dropped_before;
         let core = &mut *ctx.core;
-        for pkt in arrived {
+        for pkt in ctx.scratch.arrived_cmds.drain(..) {
             let id = pkt.trace_id();
             match decode_command(&pkt.payload) {
                 Ok((cmd_seq, ctrl)) => {
                     core.obs.commands_delivered.inc();
-                    core.obs.window(ctx.scratch.in_window).1.inc();
+                    core.obs.window(in_window).1.inc();
                     let age_us = now.saturating_since(pkt.sent_at).as_micros();
                     if let Some(h) = &core.obs.command_age_us {
                         h.record(age_us);
@@ -449,7 +501,7 @@ impl Stage for ActuateStage {
                 }
                 Err(_) => {
                     core.obs.commands_corrupted.inc();
-                    core.obs.window(ctx.scratch.in_window).3.inc();
+                    core.obs.window(in_window).3.inc();
                     core.tracer.record(
                         id,
                         TraceStage::DecodeFailed,
@@ -463,9 +515,9 @@ impl Stage for ActuateStage {
         // attributable to the window state latched by the fault stage.
         let dropped_after = core.link.uplink.stats().dropped + core.link.downlink.stats().dropped;
         core.obs
-            .window(ctx.scratch.in_window)
+            .window(in_window)
             .2
-            .add(dropped_after - ctx.scratch.dropped_before);
+            .add(dropped_after - dropped_before);
     }
 }
 

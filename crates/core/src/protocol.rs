@@ -50,21 +50,38 @@ fn fnv1a(bytes: &[u8]) -> u32 {
 
 /// Encodes a command with its sequence number into a fixed-size packet.
 pub fn encode_command(seq: u64, control: &ControlInput) -> Bytes {
-    let mut body = Vec::with_capacity(COMMAND_PACKET_BYTES - 9);
-    body.extend_from_slice(&seq.to_le_bytes());
-    body.extend_from_slice(&control.throttle.get().to_bits().to_le_bytes());
-    body.extend_from_slice(&control.brake.get().to_bits().to_le_bytes());
-    body.extend_from_slice(&control.steer.to_bits().to_le_bytes());
-    body.push(u8::from(control.reverse));
-    body.push(u8::from(control.handbrake));
-    let check = fnv1a(&body);
     let mut out = Vec::with_capacity(COMMAND_PACKET_BYTES);
+    encode_command_into(seq, control, &mut out);
+    Bytes::from(out)
+}
+
+/// Encodes a command directly into `out` (cleared first), producing
+/// byte-for-byte the packet of [`encode_command`]. Allocation-free when
+/// `out` has [`COMMAND_PACKET_BYTES`] of capacity — the body is written
+/// once with a checksum placeholder that is patched afterwards.
+pub fn encode_command_into(seq: u64, control: &ControlInput, out: &mut Vec<u8>) {
+    out.clear();
     out.extend_from_slice(MAGIC);
     out.push(VERSION);
-    out.extend_from_slice(&check.to_le_bytes());
-    out.extend_from_slice(&body);
+    out.extend_from_slice(&[0u8; 4]); // checksum, patched below
+    let body_start = out.len();
+    out.extend_from_slice(&seq.to_le_bytes());
+    out.extend_from_slice(&control.throttle.get().to_bits().to_le_bytes());
+    out.extend_from_slice(&control.brake.get().to_bits().to_le_bytes());
+    out.extend_from_slice(&control.steer.to_bits().to_le_bytes());
+    out.push(u8::from(control.reverse));
+    out.push(u8::from(control.handbrake));
+    let check = fnv1a(&out[body_start..]);
+    out[body_start - 4..body_start].copy_from_slice(&check.to_le_bytes());
     out.resize(COMMAND_PACKET_BYTES, 0);
-    Bytes::from(out)
+}
+
+/// [`encode_command_into`] a buffer checked out of `pool`, frozen into a
+/// [`Bytes`] payload. Steady state this performs zero heap allocations.
+pub fn encode_command_pooled(seq: u64, control: &ControlInput, pool: &bytes::BufPool) -> Bytes {
+    let mut buf = pool.checkout();
+    encode_command_into(seq, control, buf.buf());
+    buf.freeze()
 }
 
 /// Decodes a command packet.

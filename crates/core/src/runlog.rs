@@ -138,6 +138,14 @@ impl RunLog {
         }
     }
 
+    /// Reserves room for `ego` more ego samples and `others` more
+    /// other-vehicle samples, so a run of known length logs without
+    /// growing mid-step.
+    pub fn reserve_samples(&mut self, ego: usize, others: usize) {
+        self.ego.reserve(ego);
+        self.others.reserve(others);
+    }
+
     pub(crate) fn push_ego(&mut self, sample: EgoSample) {
         self.ego.push(sample);
     }

@@ -192,6 +192,9 @@ pub(crate) struct SessionCore {
     /// causal antecedent stamped onto every emitted command.
     pub(crate) last_displayed_frame: Option<u64>,
     pub(crate) safety: Option<crate::safety::SafetyStack>,
+    /// Pool backing command-packet payloads, slot-sized to the fixed
+    /// command packet so steady-state emits never allocate.
+    pub(crate) cmd_pool: bytes::BufPool,
     pub(crate) last_cmd_received_at: Option<SimTime>,
     pub(crate) highest_cmd_seq: Option<u64>,
     /// Sliding delivery/miss window for the vehicle-side loss estimate.
@@ -294,7 +297,7 @@ impl SessionCore {
                 gap,
                 closing_speed: closing,
             });
-        let frame = world.snapshot().frame_id;
+        let frame = world.frame_hint();
         self.log.push_ego(EgoSample {
             t: now,
             frame,
@@ -308,23 +311,20 @@ impl SessionCore {
             lead,
         });
         let ego_pos = ego.state().position();
-        let others: Vec<OtherSample> = world
-            .actors()
-            .iter()
-            .filter(|a| {
-                a.id() != ego_id && a.kind() == ActorKind::Vehicle && !a.is_stationary_behavior()
-            })
-            .map(|a| OtherSample {
+        // Pushed straight into the log — `world` (self.server) and
+        // `self.log` are disjoint fields, so no intermediate collect.
+        for a in world.actors() {
+            if a.id() == ego_id || a.kind() != ActorKind::Vehicle || a.is_stationary_behavior() {
+                continue;
+            }
+            self.log.push_other(OtherSample {
                 actor: a.id(),
                 t: now,
                 frame,
                 distance_from_ego: ego_pos.distance_m(a.state().position()),
                 position: a.state().position(),
                 speed: a.state().speed,
-            })
-            .collect();
-        for o in others {
-            self.log.push_other(o);
+            });
         }
         // TTC breach-entry detection, mirroring the offline TTC metric's
         // defaults (gate 100 m, min closing 1 m/s, threshold 6 s). Only the
@@ -414,6 +414,7 @@ impl RdsSession {
                 ttc_breached: false,
                 last_displayed_frame: None,
                 safety: None,
+                cmd_pool: bytes::BufPool::with_slot_capacity(crate::COMMAND_PACKET_BYTES),
                 last_cmd_received_at: None,
                 highest_cmd_seq: None,
                 cmd_window: std::collections::VecDeque::new(),
@@ -579,6 +580,40 @@ impl RdsSession {
         let now = self.time();
         self.core.injector.clear_now(&mut self.core.link, now);
         self.core.sync_fault_events();
+    }
+
+    /// Pre-sizes the session's buffers for a run of (at least) `duration`:
+    /// run-log sample vectors from the step count and the current moving
+    /// vehicles, and the trace ring from the expected frame/command event
+    /// volume (clamped to its bound). Optional — purely an allocation
+    /// optimisation — but after calling it a steady-state
+    /// capture→…→actuate step performs zero heap allocations (see the
+    /// `alloc_regression` suite).
+    pub fn preallocate(&mut self, duration: SimDuration) {
+        let steps = duration.div_steps(self.core.dt) as usize;
+        let world = self.core.server.world();
+        let movers = world
+            .actors()
+            .iter()
+            .filter(|a| {
+                Some(a.id()) != world.ego_id()
+                    && a.kind() == ActorKind::Vehicle
+                    && !a.is_stationary_behavior()
+            })
+            .count();
+        self.core.log.reserve_samples(steps, steps * movers);
+        let frames = (duration.as_secs_f64() * self.core.server.camera_config().max_fps.get())
+            .ceil() as usize
+            + 1;
+        // Per frame: capture, encode, netem enqueue/deliver, decode,
+        // display (+ duplicates); per step: command emit, enqueue,
+        // deliver, actuate. Headroom of 2× covers duplication faults.
+        self.core.tracer.preallocate(2 * (frames * 6 + steps * 4));
+        // Delay-queue headroom: worst-case in-flight under the paper's
+        // fault matrix is a few packets per direction; 64 makes heap
+        // growth impossible at negligible cost (~4 KiB per direction).
+        self.core.link.uplink.reserve(64);
+        self.core.link.downlink.reserve(64);
     }
 
     /// Advances one tick by running every pipeline stage in order.

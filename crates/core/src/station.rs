@@ -47,6 +47,18 @@ pub trait OperatorSubsystem {
     /// Samples the operator's controls at time `now`. Called at the
     /// station's command rate (every session step).
     fn command(&mut self, now: SimTime) -> ControlInput;
+
+    /// Hands a no-longer-needed frame back to the pipeline so its
+    /// snapshot allocation can be reused for the next decode.
+    ///
+    /// Called once before each frame delivery. Operators that keep
+    /// frames (driver models buffering percepts) return `None` — the
+    /// default — and the pipeline allocates a fresh holder; operators
+    /// that consume frames immediately can return their previous one
+    /// and make steady-state display allocation-free.
+    fn recycle_frame(&mut self) -> Option<ReceivedFrame> {
+        None
+    }
 }
 
 /// A deterministic operator for tests and examples: plays a fixed control,
@@ -57,6 +69,9 @@ pub struct ScriptedOperator {
     frames_seen: u64,
     bad_frames: u64,
     last_frame_id: Option<u64>,
+    /// Most recent frame, kept only so `recycle_frame` can hand its
+    /// allocation back to the pipeline.
+    spare: Option<ReceivedFrame>,
 }
 
 impl ScriptedOperator {
@@ -67,6 +82,7 @@ impl ScriptedOperator {
             frames_seen: 0,
             bad_frames: 0,
             last_frame_id: None,
+            spare: None,
         }
     }
 
@@ -87,6 +103,7 @@ impl ScriptedOperator {
             frames_seen: 0,
             bad_frames: 0,
             last_frame_id: None,
+            spare: None,
         }
     }
 
@@ -115,6 +132,7 @@ impl OperatorSubsystem for ScriptedOperator {
         {
             self.last_frame_id = Some(frame.snapshot.frame_id);
         }
+        self.spare = Some(frame);
     }
 
     fn on_bad_frame(&mut self, _received_at: SimTime) {
@@ -131,6 +149,10 @@ impl OperatorSubsystem for ScriptedOperator {
             }
         }
         current
+    }
+
+    fn recycle_frame(&mut self) -> Option<ReceivedFrame> {
+        self.spare.take()
     }
 }
 

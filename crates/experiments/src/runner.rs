@@ -279,6 +279,9 @@ fn build_run(job: &ProtocolJob) -> (RdsSession, ProtocolDriver) {
         ..RdsSessionConfig::default()
     };
     let mut session = RdsSession::new(world, session_config, seed);
+    // Size the run log and trace ring for the longest possible run up
+    // front, so steady-state stepping never grows them.
+    session.preallocate(config.max_duration);
     if let Some(fault) = config.ambient_fault {
         session.inject_now(fault);
     }

@@ -43,11 +43,14 @@ mod injector;
 mod link;
 mod packet;
 mod parser;
+pub mod pool;
 mod qdisc;
 
+pub use bytes::Bytes;
 pub use config::{DelayConfig, LossConfig, NetemConfig, RateConfig, ReorderConfig};
 pub use injector::{Direction, FaultInjector, InjectionAction, InjectionEvent, InjectionWindow};
 pub use link::{DuplexLink, Link, LinkStats};
 pub use packet::{Packet, PacketKind};
 pub use parser::ParseRuleError;
+pub use pool::{BufPool, PooledBuf};
 pub use qdisc::{FifoQdisc, NetemQdisc, Qdisc};

@@ -106,6 +106,12 @@ impl Link {
         self.qdisc.set_config(config);
     }
 
+    /// Reserves qdisc capacity for at least `packets` in-flight packets
+    /// (see [`NetemQdisc::reserve`]).
+    pub fn reserve(&mut self, packets: usize) {
+        self.qdisc.reserve(packets);
+    }
+
     /// Sends a packet into the link at time `now`, stamping `sent_at`.
     pub fn send(&mut self, mut packet: Packet, now: SimTime) {
         packet.sent_at = now;
@@ -116,9 +122,22 @@ impl Link {
     }
 
     /// Receives every packet whose delivery time has arrived.
+    ///
+    /// Convenience wrapper over [`receive_into`](Self::receive_into); the
+    /// per-step datapath reuses a scratch buffer instead.
     pub fn receive(&mut self, now: SimTime) -> Vec<Packet> {
-        let out = self.qdisc.dequeue(now);
-        for p in &out {
+        let mut out = Vec::new();
+        self.receive_into(now, &mut out);
+        out
+    }
+
+    /// Appends every packet whose delivery time has arrived to `out`,
+    /// updating delivery statistics. Allocation-free when `out` has
+    /// spare capacity.
+    pub fn receive_into(&mut self, now: SimTime, out: &mut Vec<Packet>) {
+        let start = out.len();
+        self.qdisc.dequeue_into(now, out);
+        for p in &out[start..] {
             self.stats.delivered += 1;
             self.stats.bytes_delivered += p.len() as u64;
             if p.duplicate {
@@ -136,7 +155,6 @@ impl Link {
                 hist.record(lat.as_micros());
             }
         }
-        out
     }
 
     /// Runs one pipeline-stage worth of traffic: offers `packets` to the
@@ -149,6 +167,21 @@ impl Link {
             self.send(packet, now);
         }
         self.receive(now)
+    }
+
+    /// [`transfer`](Self::transfer) with caller-owned buffers: drains
+    /// `packets` into the link and appends the arrivals to `out`,
+    /// leaving both vectors' capacity in place for the next step.
+    pub fn transfer_into(
+        &mut self,
+        packets: &mut Vec<Packet>,
+        now: SimTime,
+        out: &mut Vec<Packet>,
+    ) {
+        for packet in packets.drain(..) {
+            self.send(packet, now);
+        }
+        self.receive_into(now, out);
     }
 
     /// Time of the next pending delivery, if any.

@@ -1,0 +1,26 @@
+//! Reusable payload buffers for the packet datapath.
+//!
+//! This module is the datapath-facing home of the buffer pool; the
+//! mechanism itself lives in the vendored `bytes` facade because only
+//! [`Bytes`](bytes::Bytes) can know about the pooled representation its
+//! clones and drops must maintain. See `vendor/bytes/src/lib.rs` for the
+//! lifecycle invariants (checkout → write → freeze → clones → recycle)
+//! and the upstream-migration note (`bytes::Bytes::from_owner` in
+//! `bytes` ≥ 1.9 is the real-crate equivalent).
+//!
+//! Sizing guidance for this workspace: under the paper's worst fault
+//! condition (400 ms delay plus duplication) roughly 25 video frames
+//! and 40 commands are in flight at once, so pools warm up to a few
+//! dozen slots and then stop allocating — the allocation-regression
+//! harness (`cargo bench -p rdsim-bench --bench alloc`) pins that at
+//! **zero** steady-state allocations per session step.
+//!
+//! * Frame payloads: one [`BufPool`] per [`SimulatorServer`] with slot
+//!   capacity `CameraConfig::min_frame_bytes` (the encoded size is
+//!   exactly `min_size` under padding).
+//! * Command payloads: one [`BufPool`] per session core with 64-byte
+//!   slots (`COMMAND_WIRE_SIZE`).
+//!
+//! [`SimulatorServer`]: ../../rdsim_simulator/struct.SimulatorServer.html
+
+pub use bytes::{BufPool, PooledBuf};

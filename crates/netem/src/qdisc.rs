@@ -19,7 +19,18 @@ pub trait Qdisc: std::fmt::Debug + Send {
 
     /// Removes and returns every packet whose release time is `<= now`,
     /// in release order.
-    fn dequeue(&mut self, now: SimTime) -> Vec<Packet>;
+    ///
+    /// Convenience wrapper over [`Qdisc::dequeue_into`]; the per-step
+    /// datapath calls the `_into` variant with a reused buffer instead.
+    fn dequeue(&mut self, now: SimTime) -> Vec<Packet> {
+        let mut out = Vec::new();
+        self.dequeue_into(now, &mut out);
+        out
+    }
+
+    /// Appends every packet whose release time is `<= now` to `out`, in
+    /// release order. Allocation-free when `out` has spare capacity.
+    fn dequeue_into(&mut self, now: SimTime, out: &mut Vec<Packet>);
 
     /// Number of packets currently queued.
     fn len(&self) -> usize;
@@ -106,8 +117,8 @@ impl Qdisc for FifoQdisc {
         1
     }
 
-    fn dequeue(&mut self, _now: SimTime) -> Vec<Packet> {
-        self.queue.drain(..).collect()
+    fn dequeue_into(&mut self, _now: SimTime, out: &mut Vec<Packet>) {
+        out.extend(self.queue.drain(..));
     }
 
     fn len(&self) -> usize {
@@ -218,6 +229,13 @@ impl NetemQdisc {
         self.tracer = tracer.clone();
     }
 
+    /// Reserves delay-queue capacity for at least `packets` in-flight
+    /// packets, so steady-state enqueues never grow the heap. Called by
+    /// session preallocation; a no-op once the capacity exists.
+    pub fn reserve(&mut self, packets: usize) {
+        self.heap.reserve(packets.saturating_sub(self.heap.len()));
+    }
+
     /// The active configuration.
     pub fn config(&self) -> &NetemConfig {
         &self.config
@@ -304,11 +322,20 @@ impl NetemQdisc {
     fn maybe_corrupt(&mut self, packet: &mut Packet, now: SimTime) {
         if let Some(p) = self.config.corrupt {
             if !packet.payload.is_empty() && self.rng.bernoulli(p.get()) {
-                let mut bytes = packet.payload.to_vec();
-                let byte = self.rng.uniform_usize(bytes.len());
+                let byte = self.rng.uniform_usize(packet.payload.len());
                 let bit = self.rng.uniform_usize(8);
-                bytes[byte] ^= 1 << bit;
-                packet.payload = bytes.into();
+                // Corruption runs before the duplicate clone is pushed,
+                // so the payload is normally unshared and the bit flips
+                // in place; a shared payload (clone held elsewhere)
+                // falls back to one copy. The RNG draw order is
+                // identical either way.
+                if let Some(bytes) = packet.payload.try_mut_slice() {
+                    bytes[byte] ^= 1 << bit;
+                } else {
+                    let mut bytes = packet.payload.to_vec();
+                    bytes[byte] ^= 1 << bit;
+                    packet.payload = bytes.into();
+                }
                 packet.corrupted = true;
                 self.corrupted += 1;
                 if let Some(obs) = &self.obs {
@@ -423,8 +450,8 @@ impl Qdisc for NetemQdisc {
         entries
     }
 
-    fn dequeue(&mut self, now: SimTime) -> Vec<Packet> {
-        let mut out = Vec::new();
+    fn dequeue_into(&mut self, now: SimTime, out: &mut Vec<Packet>) {
+        let start = out.len();
         while let Some(top) = self.heap.peek() {
             if top.release > now {
                 break;
@@ -432,10 +459,10 @@ impl Qdisc for NetemQdisc {
             out.push(self.heap.pop().expect("peeked").packet);
         }
         if let Some(obs) = &self.obs {
-            obs.dequeued.add(out.len() as u64);
+            obs.dequeued.add((out.len() - start) as u64);
         }
         if self.tracer.enabled() {
-            for p in &out {
+            for p in &out[start..] {
                 self.tracer.record(
                     p.trace_id(),
                     TraceStage::NetemDeliver,
@@ -444,7 +471,6 @@ impl Qdisc for NetemQdisc {
                 );
             }
         }
-        out
     }
 
     fn len(&self) -> usize {
@@ -613,7 +639,54 @@ mod tests {
             .map(|(a, b)| (a ^ b).count_ones())
             .sum();
         assert_eq!(diff_bits, 1);
+        assert_eq!(out[0].payload.len(), original.len());
         assert_eq!(q.corrupted(), 1);
+    }
+
+    #[test]
+    fn corruption_mutates_pooled_payload_in_place() {
+        let pool = crate::BufPool::new();
+        let mut q = NetemQdisc::with_config(NetemConfig::default().with_corrupt(Ratio::ONE), 5);
+        let original = vec![0xA5u8; 64];
+        let mut buf = pool.checkout();
+        buf.buf().extend_from_slice(&original);
+        q.enqueue(
+            Packet::new(0, PacketKind::Video, buf.freeze()),
+            SimTime::ZERO,
+        );
+        let out = drain_all(&mut q);
+        assert!(out[0].corrupted);
+        let diff_bits: u32 = out[0]
+            .payload
+            .iter()
+            .zip(&original)
+            .map(|(a, b)| (a ^ b).count_ones())
+            .sum();
+        assert_eq!(diff_bits, 1, "exactly one bit flips");
+        assert_eq!(out[0].payload.len(), original.len(), "length unchanged");
+        // In place means the same pool slot carried through: dropping the
+        // delivered packet recycles it instead of leaking a replacement.
+        drop(out);
+        assert_eq!(pool.available(), 1, "payload was corrupted in place");
+    }
+
+    #[test]
+    fn corruption_of_shared_payload_falls_back_to_copy() {
+        let mut q = NetemQdisc::with_config(NetemConfig::default().with_corrupt(Ratio::ONE), 5);
+        let payload = crate::Bytes::from(vec![0u8; 32]);
+        let held = payload.clone(); // forces the copy-on-write fallback
+        q.enqueue(Packet::new(0, PacketKind::Video, payload), SimTime::ZERO);
+        let out = drain_all(&mut q);
+        assert!(out[0].corrupted);
+        let diff_bits: u32 = out[0]
+            .payload
+            .iter()
+            .zip(held.iter())
+            .map(|(a, b)| (a ^ b).count_ones())
+            .sum();
+        assert_eq!(diff_bits, 1);
+        assert_eq!(out[0].payload.len(), held.len());
+        assert_eq!(held, vec![0u8; 32], "the held clone is untouched");
     }
 
     #[test]

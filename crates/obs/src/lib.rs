@@ -36,6 +36,8 @@
 //!   in `rdsim-units`, passed as a plain `u64` to keep this crate
 //!   dependency-free).
 
+#[cfg(feature = "alloc-count")]
+mod alloc_count;
 mod chrome;
 mod event;
 mod hist;
@@ -45,6 +47,8 @@ mod ring;
 mod telemetry;
 mod trace;
 
+#[cfg(feature = "alloc-count")]
+pub use alloc_count::{alloc_counts, AllocCounts, CountingAlloc};
 pub use chrome::chrome_trace_json;
 pub use event::Event;
 pub use hist::{bucket_bounds, bucket_index, Histogram, HistogramSnapshot, BUCKETS};

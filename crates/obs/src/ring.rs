@@ -60,6 +60,16 @@ impl TraceRing {
         }
     }
 
+    /// Grows the backing storage ahead of time for `additional` more
+    /// events (clamped to the ring bound), so a run of known length can
+    /// record into the ring without ever allocating mid-step.
+    pub fn reserve(&self, additional: usize) {
+        let mut ring = self.inner.lock().expect("trace ring poisoned");
+        let room = ring.capacity - ring.buf.len();
+        let want = additional.min(room);
+        ring.buf.reserve_exact(want);
+    }
+
     /// Events overwritten (lost to the bound) so far.
     pub fn overwritten(&self) -> u64 {
         self.overwritten.load(Ordering::Relaxed)

@@ -279,6 +279,15 @@ impl Tracer {
         self.len() == 0
     }
 
+    /// Pre-grows the ring's storage for `events` more events (clamped to
+    /// the ring bound). No-op on a null tracer. Sessions of known length
+    /// call this once up front so steady-state tracing never allocates.
+    pub fn preallocate(&self, events: usize) {
+        if let Some(ring) = &self.ring {
+            ring.reserve(events);
+        }
+    }
+
     /// Events overwritten by the bound so far (0 when null).
     pub fn overwritten(&self) -> u64 {
         self.ring.as_ref().map_or(0, |r| r.overwritten())

@@ -1,7 +1,7 @@
 //! The camera sensor: produces video frames at 25–30 fps.
 
-use crate::{codec::encode_frame_recorded, WorldSnapshot};
-use bytes::Bytes;
+use crate::{codec::encode_frame_pooled_recorded, WorldSnapshot};
+use bytes::{BufPool, Bytes};
 use rdsim_math::RngStream;
 use rdsim_obs::Recorder;
 use rdsim_units::{Hertz, SimDuration, SimTime};
@@ -122,14 +122,51 @@ impl CameraSensor {
         now: SimTime,
         mut snapshot_fn: impl FnMut() -> WorldSnapshot,
     ) -> Vec<VideoFrame> {
-        let mut frames = Vec::new();
+        let pool = BufPool::new();
+        let mut scratch = WorldSnapshot {
+            time: SimTime::ZERO,
+            frame_id: 0,
+            ego: None,
+            others: Vec::new(),
+        };
+        // Capacity from the polled span × the rate band's upper edge, so
+        // even a coarse catch-up poll fills without regrowing.
+        let mut frames = Vec::with_capacity(self.frames_due(now));
+        self.poll_into(
+            now,
+            |snap| *snap = snapshot_fn(),
+            &mut scratch,
+            &pool,
+            &mut frames,
+        );
+        frames
+    }
+
+    /// [`poll`](Self::poll) with caller-owned buffers: the scene is
+    /// written into `snapshot` (reusing its `others` allocation), the
+    /// payload is encoded into a buffer checked out of `pool`, and the
+    /// frames are appended to `out`. Steady state this captures without
+    /// heap allocation.
+    pub fn poll_into(
+        &mut self,
+        now: SimTime,
+        mut snapshot_fn: impl FnMut(&mut WorldSnapshot),
+        snapshot: &mut WorldSnapshot,
+        pool: &BufPool,
+        out: &mut Vec<VideoFrame>,
+    ) {
         while self.next_capture <= now {
             let captured_at = self.next_capture;
-            let mut snapshot = snapshot_fn();
+            snapshot_fn(snapshot);
             snapshot.time = captured_at;
             snapshot.frame_id = self.next_frame_id;
-            let payload = encode_frame_recorded(&snapshot, self.config.frame_bytes, &self.recorder);
-            frames.push(VideoFrame {
+            let payload = encode_frame_pooled_recorded(
+                snapshot,
+                self.config.frame_bytes,
+                pool,
+                &self.recorder,
+            );
+            out.push(VideoFrame {
                 frame_id: self.next_frame_id,
                 captured_at,
                 payload,
@@ -141,7 +178,17 @@ impl CameraSensor {
             let period = SimDuration::from_secs_f64(1.0 / fps.max(1e-3));
             self.next_capture += period.max(SimDuration::from_micros(1));
         }
-        frames
+    }
+
+    /// Upper bound on the frames one poll spanning up to `now` can
+    /// produce: the polled duration × the band's maximum rate, plus the
+    /// frame due exactly at `next_capture`.
+    pub fn frames_due(&self, now: SimTime) -> usize {
+        if self.next_capture > now {
+            return 0;
+        }
+        let span = (now - self.next_capture).as_secs_f64();
+        (span * self.config.max_fps.get()).ceil() as usize + 1
     }
 }
 
@@ -167,7 +214,8 @@ mod tests {
     fn captures_at_fixed_rate() {
         let mut cam = camera(CameraConfig::fixed(Hertz::new(25.0), 1000));
         // Step 1 s in 20 ms increments; expect 25 frames (t=0 inclusive).
-        let mut frames = Vec::new();
+        // Capacity = 1 s duration × 25 fps (+1 for the frame due at t=0).
+        let mut frames = Vec::with_capacity(25 + 1);
         for k in 0..=50 {
             let now = SimTime::from_millis(k * 20);
             frames.extend(cam.poll(now, empty_snapshot));
@@ -182,7 +230,8 @@ mod tests {
     #[test]
     fn frame_rate_band_respected() {
         let mut cam = camera(CameraConfig::default());
-        let mut times = Vec::new();
+        // Capacity = 50 s polled × the band's 30 fps upper edge.
+        let mut times = Vec::with_capacity(50 * 30);
         for k in 0..2500 {
             let now = SimTime::from_millis(k * 20);
             for f in cam.poll(now, empty_snapshot) {

@@ -24,7 +24,7 @@
 //! ```
 
 use crate::{ActorId, ActorKind, ActorSnapshot, WorldSnapshot};
-use bytes::Bytes;
+use bytes::{BufPool, Bytes};
 use rdsim_math::{Pose2, Vec2};
 use rdsim_obs::Recorder;
 use rdsim_units::{Meters, MetersPerSecond, Radians, SimTime};
@@ -107,27 +107,47 @@ fn write_actor(buf: &mut Vec<u8>, a: &ActorSnapshot) {
 /// Encodes a snapshot into a frame payload of at least `min_size` bytes
 /// (padded with zeros to emulate the size of a compressed video frame).
 pub fn encode_frame(snapshot: &WorldSnapshot, min_size: usize) -> Bytes {
-    let n = snapshot.actor_count();
-    let mut body: Vec<u8> = Vec::with_capacity(HEADER_LEN + n * ACTOR_LEN);
-    body.extend_from_slice(&snapshot.frame_id.to_le_bytes());
-    body.extend_from_slice(&snapshot.time.as_micros().to_le_bytes());
-    body.extend_from_slice(&(n as u16).to_le_bytes());
-    body.push(u8::from(snapshot.ego.is_some()));
-    if let Some(ego) = &snapshot.ego {
-        write_actor(&mut body, ego);
-    }
-    for a in &snapshot.others {
-        write_actor(&mut body, a);
-    }
-    let check = fnv1a(&body);
-    let total = (HEADER_LEN + n * ACTOR_LEN).max(min_size);
+    let total = (HEADER_LEN + snapshot.actor_count() * ACTOR_LEN).max(min_size);
     let mut out = Vec::with_capacity(total);
+    encode_frame_into(snapshot, min_size, &mut out);
+    Bytes::from(out)
+}
+
+/// Encodes a snapshot directly into `out` (cleared first), producing
+/// byte-for-byte the payload of [`encode_frame`]. Allocation-free when
+/// `out` has enough capacity — the body is written once with a
+/// checksum placeholder that is patched afterwards, instead of staging
+/// the body in a second buffer.
+pub fn encode_frame_into(snapshot: &WorldSnapshot, min_size: usize, out: &mut Vec<u8>) {
+    let n = snapshot.actor_count();
+    out.clear();
     out.extend_from_slice(MAGIC);
     out.push(VERSION);
-    out.extend_from_slice(&check.to_le_bytes());
-    out.extend_from_slice(&body);
+    out.extend_from_slice(&[0u8; 4]); // checksum, patched below
+    let body_start = out.len();
+    out.extend_from_slice(&snapshot.frame_id.to_le_bytes());
+    out.extend_from_slice(&snapshot.time.as_micros().to_le_bytes());
+    out.extend_from_slice(&(n as u16).to_le_bytes());
+    out.push(u8::from(snapshot.ego.is_some()));
+    if let Some(ego) = &snapshot.ego {
+        write_actor(out, ego);
+    }
+    for a in &snapshot.others {
+        write_actor(out, a);
+    }
+    let check = fnv1a(&out[body_start..]);
+    out[body_start - 4..body_start].copy_from_slice(&check.to_le_bytes());
+    let total = (HEADER_LEN + n * ACTOR_LEN).max(min_size);
     out.resize(total, 0);
-    Bytes::from(out)
+}
+
+/// [`encode_frame_into`] a buffer checked out of `pool`, frozen into a
+/// [`Bytes`] payload. Steady state (the pool warm, slots sized for the
+/// frame) this performs zero heap allocations.
+pub fn encode_frame_pooled(snapshot: &WorldSnapshot, min_size: usize, pool: &BufPool) -> Bytes {
+    let mut buf = pool.checkout();
+    encode_frame_into(snapshot, min_size, buf.buf());
+    buf.freeze()
 }
 
 /// Like [`encode_frame`], additionally timing the encode into the
@@ -146,6 +166,21 @@ pub fn encode_frame_recorded(
     bytes
 }
 
+/// Like [`encode_frame_pooled`], with the same `codec.encode_ns` /
+/// `codec.frame_bytes` instrumentation as [`encode_frame_recorded`].
+pub fn encode_frame_pooled_recorded(
+    snapshot: &WorldSnapshot,
+    min_size: usize,
+    pool: &BufPool,
+    recorder: &Recorder,
+) -> Bytes {
+    let span = recorder.span("codec.encode_ns");
+    let bytes = encode_frame_pooled(snapshot, min_size, pool);
+    span.finish();
+    recorder.observe("codec.frame_bytes", bytes.len() as u64);
+    bytes
+}
+
 /// Like [`decode_frame`], additionally timing the decode into the
 /// `codec.decode_ns` histogram. With a null recorder this is exactly
 /// [`decode_frame`].
@@ -155,6 +190,23 @@ pub fn decode_frame_recorded(
 ) -> Result<WorldSnapshot, CodecError> {
     let span = recorder.span("codec.decode_ns");
     let result = decode_frame(payload);
+    span.finish();
+    result
+}
+
+/// Like [`decode_frame_into`], timing the decode into the
+/// `codec.decode_ns` histogram exactly as [`decode_frame_recorded`].
+///
+/// # Errors
+///
+/// Same conditions as [`decode_frame`].
+pub fn decode_frame_recorded_into(
+    payload: &[u8],
+    snapshot: &mut WorldSnapshot,
+    recorder: &Recorder,
+) -> Result<(), CodecError> {
+    let span = recorder.span("codec.decode_ns");
+    let result = decode_frame_into(payload, snapshot);
     span.finish();
     result
 }
@@ -222,6 +274,26 @@ fn read_actor(r: &mut Reader<'_>) -> Result<ActorSnapshot, CodecError> {
 /// Returns [`CodecError`] if the payload is truncated, malformed, or fails
 /// its checksum (i.e. a corruption fault hit it in transit).
 pub fn decode_frame(payload: &[u8]) -> Result<WorldSnapshot, CodecError> {
+    let mut snapshot = WorldSnapshot {
+        time: SimTime::ZERO,
+        frame_id: 0,
+        ego: None,
+        others: Vec::new(),
+    };
+    decode_frame_into(payload, &mut snapshot)?;
+    Ok(snapshot)
+}
+
+/// Decodes a frame payload into an existing snapshot, reusing its
+/// `others` allocation. Allocation-free once the vector has capacity.
+///
+/// On error the snapshot's contents are unspecified (the caller is
+/// expected to treat it as scratch and refill it on the next frame).
+///
+/// # Errors
+///
+/// Same conditions as [`decode_frame`].
+pub fn decode_frame_into(payload: &[u8], snapshot: &mut WorldSnapshot) -> Result<(), CodecError> {
     let mut r = Reader {
         buf: payload,
         pos: 0,
@@ -247,7 +319,7 @@ pub fn decode_frame(payload: &[u8]) -> Result<WorldSnapshot, CodecError> {
         return Err(CodecError::ChecksumMismatch);
     }
 
-    let ego = if has_ego {
+    snapshot.ego = if has_ego {
         if n == 0 {
             return Err(CodecError::BadHeader);
         }
@@ -256,16 +328,13 @@ pub fn decode_frame(payload: &[u8]) -> Result<WorldSnapshot, CodecError> {
         None
     };
     let n_others = n - usize::from(has_ego);
-    let mut others = Vec::with_capacity(n_others);
+    snapshot.others.clear();
     for _ in 0..n_others {
-        others.push(read_actor(&mut r)?);
+        snapshot.others.push(read_actor(&mut r)?);
     }
-    Ok(WorldSnapshot {
-        time: SimTime::from_micros(time_us),
-        frame_id,
-        ego,
-        others,
-    })
+    snapshot.time = SimTime::from_micros(time_us);
+    snapshot.frame_id = frame_id;
+    Ok(())
 }
 
 #[cfg(test)]

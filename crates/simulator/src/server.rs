@@ -1,6 +1,7 @@
 //! The CARLA-style server facade: the "vehicle subsystem" plant.
 
-use crate::{CameraConfig, CameraSensor, VideoFrame, World};
+use crate::{CameraConfig, CameraSensor, VideoFrame, World, WorldSnapshot};
+use bytes::BufPool;
 use rdsim_math::RngStream;
 use rdsim_obs::Recorder;
 use rdsim_units::{SimDuration, SimTime};
@@ -24,6 +25,12 @@ pub struct SimulatorServer {
     /// If set, revert to a neutral coasting command when no command has
     /// arrived for this long (a candidate safety measure; off by default).
     neutral_fallback_after: Option<SimDuration>,
+    /// Reused scene snapshot the camera encodes from — per-session
+    /// scratch so steady-state captures never rebuild the actor list.
+    snap_scratch: WorldSnapshot,
+    /// Pool backing frame payloads; slots sized to the configured frame
+    /// so even the first encode into a fresh slot does not regrow it.
+    frame_pool: BufPool,
 }
 
 impl SimulatorServer {
@@ -48,6 +55,13 @@ impl SimulatorServer {
             last_command_at: None,
             commands_applied: 0,
             neutral_fallback_after: None,
+            snap_scratch: WorldSnapshot {
+                time: SimTime::ZERO,
+                frame_id: 0,
+                ego: None,
+                others: Vec::new(),
+            },
+            frame_pool: BufPool::with_slot_capacity(camera_config.frame_bytes),
         }
     }
 
@@ -61,6 +75,11 @@ impl SimulatorServer {
     /// Enables the neutral-fallback safety hook.
     pub fn set_neutral_fallback(&mut self, after: Option<SimDuration>) {
         self.neutral_fallback_after = after;
+    }
+
+    /// The camera configuration of the video feed.
+    pub fn camera_config(&self) -> &CameraConfig {
+        self.camera.config()
     }
 
     /// The wrapped world.
@@ -116,15 +135,33 @@ impl SimulatorServer {
 
     /// Polls the camera sensor at the current world time and returns any
     /// frames captured — the "sensing/capture" half of [`tick`](Self::tick).
+    ///
+    /// Convenience wrapper over [`capture_into`](Self::capture_into); the
+    /// session pipeline reuses a scratch buffer instead.
     pub fn capture(&mut self) -> Vec<VideoFrame> {
+        let mut frames = Vec::new();
+        self.capture_into(&mut frames);
+        frames
+    }
+
+    /// Polls the camera sensor, appending captured frames to `out`. The
+    /// scene is staged in the server's snapshot scratch and payloads come
+    /// from its frame pool, so steady state this allocates nothing.
+    pub fn capture_into(&mut self, out: &mut Vec<VideoFrame>) {
         let now = self.world.time();
+        let start = out.len();
         // Borrow dance: snapshot needs &world while camera is &mut self.
         let world = &self.world;
-        let frames = self.camera.poll(now, || world.snapshot());
-        if let Some(last) = frames.last() {
+        self.camera.poll_into(
+            now,
+            |snap| world.snapshot_into(snap),
+            &mut self.snap_scratch,
+            &self.frame_pool,
+            out,
+        );
+        if let Some(last) = out[start..].last() {
             self.world.set_frame_hint(last.frame_id);
         }
-        frames
     }
 
     /// Advances the simulation by `dt`, applying the active command to the

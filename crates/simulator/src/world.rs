@@ -37,6 +37,10 @@ pub struct World {
     lane_invasions: Vec<LaneInvasionEvent>,
     collision_total: u64,
     lane_invasion_total: u64,
+    /// Reusable pass-1 control buffer — `step` scratch, never observable.
+    control_scratch: Vec<ControlInput>,
+    /// Reusable candidate buffer for lane re-anchoring — sensor scratch.
+    lane_candidates: Vec<LaneId>,
     #[allow(dead_code)]
     rng: RngStream,
 }
@@ -58,6 +62,8 @@ impl World {
             lane_invasions: Vec::new(),
             collision_total: 0,
             lane_invasion_total: 0,
+            control_scratch: Vec::new(),
+            lane_candidates: Vec::new(),
             rng: RngStream::from_seed(seed).substream("world"),
         }
     }
@@ -234,6 +240,13 @@ impl World {
         self.frame_hint = frame_id;
     }
 
+    /// The camera frame id most recently stamped via
+    /// [`set_frame_hint`](Self::set_frame_hint) — the same id a fresh
+    /// [`snapshot`](Self::snapshot) would carry, without building one.
+    pub fn frame_hint(&self) -> u64 {
+        self.frame_hint
+    }
+
     /// Advances the world by `dt`.
     ///
     /// # Panics
@@ -244,15 +257,18 @@ impl World {
         self.time += dt;
         let dt_s = dt.to_seconds();
 
-        // Pass 1: decide controls from the pre-step world state.
-        let controls: Vec<ControlInput> = (0..self.actors.len())
-            .map(|i| self.decide_control(i))
-            .collect();
+        // Pass 1: decide controls from the pre-step world state. The
+        // buffer persists across steps (taken, refilled, put back) so the
+        // steady-state step performs no heap allocation here.
+        let mut controls = std::mem::take(&mut self.control_scratch);
+        controls.clear();
+        controls.extend((0..self.actors.len()).map(|i| self.decide_control(i)));
 
         // Pass 2: integrate.
         for (actor, control) in self.actors.iter_mut().zip(&controls) {
             actor.integrate(control, dt_s);
         }
+        self.control_scratch = controls;
 
         // Pass 3: sensors.
         self.sense_collisions();
@@ -380,8 +396,12 @@ impl World {
 
         // Re-anchor the tracked lane to wherever the ego actually is:
         // current lane, its neighbours, or its successors (and their
-        // neighbours, to follow diagonal motion at segment joints).
-        let mut candidates = vec![lane_id];
+        // neighbours, to follow diagonal motion at segment joints). The
+        // candidate buffer persists across steps so this allocates only
+        // until it reaches its high-water mark.
+        let mut candidates = std::mem::take(&mut self.lane_candidates);
+        candidates.clear();
+        candidates.push(lane_id);
         if let Some(l) = lane.left_neighbor() {
             candidates.push(l);
         }
@@ -406,6 +426,7 @@ impl World {
                 self.ego_was_outside = false;
             }
         }
+        self.lane_candidates = candidates;
     }
 
     /// Collision events recorded since the last drain.
@@ -467,6 +488,20 @@ impl World {
 
     /// Builds a snapshot of the current scene (what a camera frame shows).
     pub fn snapshot(&self) -> WorldSnapshot {
+        let mut snapshot = WorldSnapshot {
+            time: SimTime::ZERO,
+            frame_id: 0,
+            ego: None,
+            others: Vec::with_capacity(self.actors.len().saturating_sub(1)),
+        };
+        self.snapshot_into(&mut snapshot);
+        snapshot
+    }
+
+    /// Writes the current scene into an existing snapshot, reusing its
+    /// `others` allocation. Allocation-free once the vector has capacity
+    /// for every non-ego actor.
+    pub fn snapshot_into(&self, snapshot: &mut WorldSnapshot) {
         let to_snap = |a: &Actor| ActorSnapshot {
             id: a.id(),
             kind: a.kind(),
@@ -475,19 +510,16 @@ impl World {
             length: a.spec().length(),
             width: a.spec().width(),
         };
-        let ego = self.ego.map(|id| to_snap(self.actor(id)));
-        let others = self
-            .actors
-            .iter()
-            .filter(|a| Some(a.id()) != self.ego)
-            .map(to_snap)
-            .collect();
-        WorldSnapshot {
-            time: self.time,
-            frame_id: self.frame_hint,
-            ego,
-            others,
-        }
+        snapshot.ego = self.ego.map(|id| to_snap(self.actor(id)));
+        snapshot.others.clear();
+        snapshot.others.extend(
+            self.actors
+                .iter()
+                .filter(|a| Some(a.id()) != self.ego)
+                .map(to_snap),
+        );
+        snapshot.time = self.time;
+        snapshot.frame_id = self.frame_hint;
     }
 }
 

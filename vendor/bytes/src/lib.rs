@@ -1,18 +1,210 @@
-//! A minimal, offline-vendored subset of the `bytes` crate: just the
+//! A minimal, offline-vendored subset of the `bytes` crate: the
 //! immutable, cheaply cloneable [`Bytes`] buffer this workspace uses for
-//! packet payloads. Cloning shares the allocation (an `Arc<[u8]>`), which
-//! matches the upstream cost model for the duplication fault path.
+//! packet payloads. Cloning shares the allocation, which matches the
+//! upstream cost model for the duplication fault path.
+//!
+//! On top of the upstream-compatible surface this subset adds a
+//! **buffer pool**: [`BufPool`] hands out reusable [`PooledBuf`]
+//! write buffers whose backing storage is recycled when the last
+//! [`Bytes`] handle referencing them drops. Steady state, a
+//! checkout → write → [`PooledBuf::freeze`] → send → drop cycle performs
+//! **zero heap allocations** — the slot returns to the pool with its
+//! capacity intact. Upstream `bytes` 1.9 reaches the same shape through
+//! `Bytes::from_owner`; when this workspace moves back to the real crate
+//! the pool migrates onto that API without changing callers.
+//!
+//! Two representations back a [`Bytes`]:
+//!
+//! * `Shared(Arc<[u8]>)` — the original one-shot allocation path
+//!   (`Bytes::from(vec)`, `copy_from_slice`, …).
+//! * `Pooled(Arc<PoolSlot>)` — a pool slot in its *frozen* state. A
+//!   manual reference count (not the `Arc` strong count — the free list
+//!   itself holds an `Arc`) tracks live `Bytes` handles; when it hits
+//!   zero the slot's `Vec` is cleared (keeping capacity) and pushed back
+//!   onto its pool's free list.
 
 use std::borrow::Borrow;
+use std::cell::UnsafeCell;
 use std::fmt;
 use std::hash::{Hash, Hasher};
 use std::ops::Deref;
-use std::sync::Arc;
+use std::sync::atomic::{fence, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, Weak};
+
+/// One reusable buffer owned by a [`BufPool`].
+///
+/// Lifecycle: `free list → PooledBuf (writable, refs == 0) → frozen
+/// (refs = live Bytes handles) → free list`. The `UnsafeCell` is sound
+/// because the `Vec` is only mutated (a) through the uniquely-owned,
+/// non-`Clone` [`PooledBuf`] while `refs == 0`, (b) element-wise through
+/// [`Bytes::try_mut_slice`] while `refs == 1` under `&mut Bytes`, or
+/// (c) cleared by the thread that observed `refs` hit zero (with an
+/// acquire fence ordering it after every reader's release decrement).
+struct PoolSlot {
+    /// Live frozen [`Bytes`] handles. 0 while checked out or free.
+    refs: AtomicUsize,
+    buf: UnsafeCell<Vec<u8>>,
+    /// Back-pointer to the owning pool's free list; `Weak` so dropping
+    /// the pool simply lets outstanding slots deallocate normally.
+    pool: Weak<Mutex<Vec<Arc<PoolSlot>>>>,
+}
+
+// SAFETY: access to `buf` is serialized by the refs/unique-ownership
+// protocol documented on the struct; everything else is atomics/Arc.
+unsafe impl Send for PoolSlot {}
+unsafe impl Sync for PoolSlot {}
+
+/// Decrements a frozen slot's handle count; the last handle clears the
+/// buffer (keeping capacity) and returns the slot to its pool.
+fn release(slot: &Arc<PoolSlot>) {
+    if slot.refs.fetch_sub(1, Ordering::Release) == 1 {
+        fence(Ordering::Acquire);
+        // SAFETY: refs reached 0 — no other Bytes handle exists, and the
+        // fence orders this write after all their reads.
+        unsafe { (*slot.buf.get()).clear() };
+        if let Some(free) = slot.pool.upgrade() {
+            free.lock()
+                .expect("buffer pool poisoned")
+                .push(Arc::clone(slot));
+        }
+    }
+}
+
+/// A pool of reusable byte buffers with checkout/recycle semantics.
+///
+/// [`checkout`](BufPool::checkout) pops a free slot (allocating a fresh
+/// one only when the pool is empty — warm-up); freezing the returned
+/// [`PooledBuf`] yields a [`Bytes`] that recycles the slot when its last
+/// clone drops. The pool is cheap to clone (it *is* the free list
+/// handle) and thread-safe, though the workspace uses it
+/// single-threaded per session.
+#[derive(Clone)]
+pub struct BufPool {
+    free: Arc<Mutex<Vec<Arc<PoolSlot>>>>,
+    /// Capacity pre-reserved in slots created by this pool, so even the
+    /// first write into a fresh slot does not reallocate mid-encode.
+    slot_capacity: usize,
+}
+
+impl BufPool {
+    /// An empty pool; new slots start with no reserved capacity.
+    pub fn new() -> Self {
+        BufPool::with_slot_capacity(0)
+    }
+
+    /// An empty pool whose freshly created slots pre-reserve
+    /// `slot_capacity` bytes.
+    pub fn with_slot_capacity(slot_capacity: usize) -> Self {
+        BufPool {
+            // Enough free-list headroom that returning slots never
+            // reallocates the list itself under realistic in-flight
+            // counts; pushing past this is an amortized grow, not a bug.
+            free: Arc::new(Mutex::new(Vec::with_capacity(64))),
+            slot_capacity,
+        }
+    }
+
+    /// Checks out a writable buffer, recycling a free slot when one is
+    /// available. The buffer is empty but retains any capacity from its
+    /// previous lives.
+    pub fn checkout(&self) -> PooledBuf {
+        let recycled = self.free.lock().expect("buffer pool poisoned").pop();
+        let slot = recycled.unwrap_or_else(|| {
+            Arc::new(PoolSlot {
+                refs: AtomicUsize::new(0),
+                buf: UnsafeCell::new(Vec::with_capacity(self.slot_capacity)),
+                pool: Arc::downgrade(&self.free),
+            })
+        });
+        debug_assert_eq!(slot.refs.load(Ordering::Relaxed), 0);
+        PooledBuf { slot }
+    }
+
+    /// Number of slots currently sitting in the free list.
+    pub fn available(&self) -> usize {
+        self.free.lock().expect("buffer pool poisoned").len()
+    }
+}
+
+impl Default for BufPool {
+    fn default() -> Self {
+        BufPool::new()
+    }
+}
+
+impl fmt::Debug for BufPool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("BufPool")
+            .field("available", &self.available())
+            .field("slot_capacity", &self.slot_capacity)
+            .finish()
+    }
+}
+
+/// A uniquely-owned, writable pool buffer.
+///
+/// Deliberately not `Clone`: unique ownership is what makes handing out
+/// `&mut Vec<u8>` sound. [`freeze`](PooledBuf::freeze) converts it into
+/// an immutable [`Bytes`]; dropping it unfrozen returns the slot to the
+/// pool directly.
+pub struct PooledBuf {
+    slot: Arc<PoolSlot>,
+}
+
+impl PooledBuf {
+    /// The underlying `Vec`, for encoders to write into. Empty at
+    /// checkout; capacity persists across recycles.
+    pub fn buf(&mut self) -> &mut Vec<u8> {
+        // SAFETY: `refs == 0` (not frozen) and `PooledBuf` is unique and
+        // not Clone, so this is the only live access path.
+        unsafe { &mut *self.slot.buf.get() }
+    }
+
+    /// Freezes the buffer into an immutable, cheaply cloneable
+    /// [`Bytes`]. When the last clone drops, the slot returns to its
+    /// pool with capacity intact.
+    pub fn freeze(self) -> Bytes {
+        self.slot.refs.store(1, Ordering::Release);
+        Bytes {
+            repr: Repr::Pooled(Arc::clone(&self.slot)),
+        }
+        // `self` drops here, but its Drop impl sees refs != 0 and does
+        // not recycle — see Drop below, which only recycles unfrozen
+        // buffers.
+    }
+}
+
+impl Drop for PooledBuf {
+    fn drop(&mut self) {
+        // Frozen buffers (refs == 1, set by `freeze`) are now owned by
+        // the Bytes handle; unfrozen ones go straight back to the pool.
+        if self.slot.refs.load(Ordering::Relaxed) == 0 {
+            // SAFETY: unique unfrozen owner — no other access path.
+            unsafe { (*self.slot.buf.get()).clear() };
+            if let Some(free) = self.slot.pool.upgrade() {
+                free.lock()
+                    .expect("buffer pool poisoned")
+                    .push(Arc::clone(&self.slot));
+            }
+        }
+    }
+}
+
+impl fmt::Debug for PooledBuf {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PooledBuf").finish_non_exhaustive()
+    }
+}
+
+#[derive(Clone)]
+enum Repr {
+    Shared(Arc<[u8]>),
+    Pooled(Arc<PoolSlot>),
+}
 
 /// A cheaply cloneable, immutable chunk of contiguous memory.
-#[derive(Clone, Default)]
 pub struct Bytes {
-    data: Arc<[u8]>,
+    repr: Repr,
 }
 
 impl Bytes {
@@ -24,7 +216,7 @@ impl Bytes {
     /// Creates `Bytes` by copying the given slice.
     pub fn copy_from_slice(data: &[u8]) -> Self {
         Bytes {
-            data: Arc::from(data),
+            repr: Repr::Shared(Arc::from(data)),
         }
     }
 
@@ -35,25 +227,84 @@ impl Bytes {
         Bytes::copy_from_slice(data)
     }
 
+    fn as_slice(&self) -> &[u8] {
+        match &self.repr {
+            Repr::Shared(data) => data,
+            // SAFETY: while any Bytes handle exists (refs >= 1) the
+            // buffer is never reallocated or cleared; the only possible
+            // mutation is element-wise via `try_mut_slice`, which
+            // requires refs == 1 *and* `&mut` on this same handle.
+            Repr::Pooled(slot) => unsafe { &*slot.buf.get() },
+        }
+    }
+
     /// Number of bytes.
     pub fn len(&self) -> usize {
-        self.data.len()
+        self.as_slice().len()
     }
 
     /// `true` if the buffer is empty.
     pub fn is_empty(&self) -> bool {
-        self.data.is_empty()
+        self.as_slice().is_empty()
     }
 
     /// Copies the contents into a fresh `Vec<u8>`.
     pub fn to_vec(&self) -> Vec<u8> {
-        self.data.to_vec()
+        self.as_slice().to_vec()
     }
 
     /// The contents as a slice.
     #[allow(clippy::should_implement_trait)]
     pub fn as_ref(&self) -> &[u8] {
-        &self.data
+        self.as_slice()
+    }
+
+    /// Mutable access to the bytes **when this is the only handle**:
+    /// `Some` for an unshared buffer (pooled with one live handle, or a
+    /// shared allocation whose `Arc` is unique), `None` when clones
+    /// exist. Length-preserving by construction (`&mut [u8]` cannot
+    /// resize) — this is what lets the netem corrupt path flip a bit
+    /// in place instead of copying the payload.
+    pub fn try_mut_slice(&mut self) -> Option<&mut [u8]> {
+        match &mut self.repr {
+            Repr::Shared(data) => Arc::get_mut(data),
+            Repr::Pooled(slot) => {
+                if slot.refs.load(Ordering::Acquire) == 1 {
+                    // SAFETY: refs == 1 means no other Bytes handle, and
+                    // `&mut self` excludes readers through this one.
+                    Some(unsafe { &mut *slot.buf.get() })
+                } else {
+                    None
+                }
+            }
+        }
+    }
+}
+
+impl Clone for Bytes {
+    fn clone(&self) -> Self {
+        if let Repr::Pooled(slot) = &self.repr {
+            slot.refs.fetch_add(1, Ordering::Relaxed);
+        }
+        Bytes {
+            repr: self.repr.clone(),
+        }
+    }
+}
+
+impl Drop for Bytes {
+    fn drop(&mut self) {
+        if let Repr::Pooled(slot) = &self.repr {
+            release(slot);
+        }
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Self {
+        Bytes {
+            repr: Repr::Shared(Arc::from(&[][..])),
+        }
     }
 }
 
@@ -61,26 +312,26 @@ impl Deref for Bytes {
     type Target = [u8];
 
     fn deref(&self) -> &[u8] {
-        &self.data
+        self.as_slice()
     }
 }
 
 impl AsRef<[u8]> for Bytes {
     fn as_ref(&self) -> &[u8] {
-        &self.data
+        self.as_slice()
     }
 }
 
 impl Borrow<[u8]> for Bytes {
     fn borrow(&self) -> &[u8] {
-        &self.data
+        self.as_slice()
     }
 }
 
 impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Self {
         Bytes {
-            data: Arc::from(v.into_boxed_slice()),
+            repr: Repr::Shared(Arc::from(v.into_boxed_slice())),
         }
     }
 }
@@ -93,7 +344,9 @@ impl From<&[u8]> for Bytes {
 
 impl From<Box<[u8]>> for Bytes {
     fn from(v: Box<[u8]>) -> Self {
-        Bytes { data: Arc::from(v) }
+        Bytes {
+            repr: Repr::Shared(Arc::from(v)),
+        }
     }
 }
 
@@ -105,7 +358,7 @@ impl FromIterator<u8> for Bytes {
 
 impl PartialEq for Bytes {
     fn eq(&self, other: &Self) -> bool {
-        self.data[..] == other.data[..]
+        self.as_slice() == other.as_slice()
     }
 }
 
@@ -113,13 +366,13 @@ impl Eq for Bytes {}
 
 impl PartialEq<[u8]> for Bytes {
     fn eq(&self, other: &[u8]) -> bool {
-        self.data[..] == *other
+        self.as_slice() == other
     }
 }
 
 impl PartialEq<Vec<u8>> for Bytes {
     fn eq(&self, other: &Vec<u8>) -> bool {
-        self.data[..] == other[..]
+        self.as_slice()[..] == other[..]
     }
 }
 
@@ -131,28 +384,29 @@ impl PartialOrd for Bytes {
 
 impl Ord for Bytes {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.data[..].cmp(&other.data[..])
+        self.as_slice().cmp(other.as_slice())
     }
 }
 
 impl Hash for Bytes {
     fn hash<H: Hasher>(&self, state: &mut H) {
-        self.data[..].hash(state);
+        self.as_slice().hash(state);
     }
 }
 
 impl fmt::Debug for Bytes {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let data = self.as_slice();
         write!(f, "b\"")?;
-        for &b in self.data.iter().take(32) {
+        for &b in data.iter().take(32) {
             if b.is_ascii_graphic() {
                 write!(f, "{}", b as char)?;
             } else {
                 write!(f, "\\x{b:02x}")?;
             }
         }
-        if self.data.len() > 32 {
-            write!(f, "… {} bytes", self.data.len())?;
+        if data.len() > 32 {
+            write!(f, "… {} bytes", data.len())?;
         }
         write!(f, "\"")
     }
@@ -163,7 +417,7 @@ impl<'a> IntoIterator for &'a Bytes {
     type IntoIter = std::slice::Iter<'a, u8>;
 
     fn into_iter(self) -> Self::IntoIter {
-        self.data.iter()
+        self.as_slice().iter()
     }
 }
 
@@ -181,5 +435,116 @@ mod tests {
         assert_eq!(&b[1], &2);
         assert!(!b.is_empty());
         assert!(Bytes::new().is_empty());
+    }
+
+    #[test]
+    fn pool_checkout_freeze_recycle() {
+        let pool = BufPool::new();
+        assert_eq!(pool.available(), 0);
+
+        let mut buf = pool.checkout();
+        buf.buf().extend_from_slice(b"hello");
+        let frozen = buf.freeze();
+        assert_eq!(frozen, b"hello"[..]);
+        assert_eq!(pool.available(), 0, "slot is live while frozen");
+
+        let clone = frozen.clone();
+        drop(frozen);
+        assert_eq!(pool.available(), 0, "clone still holds the slot");
+        assert_eq!(clone, b"hello"[..]);
+        drop(clone);
+        assert_eq!(pool.available(), 1, "last handle recycles the slot");
+
+        // Recycled slot: empty, same storage, capacity retained.
+        let mut again = pool.checkout();
+        assert!(again.buf().is_empty());
+        assert!(again.buf().capacity() >= 5);
+    }
+
+    #[test]
+    fn unfrozen_checkout_returns_to_pool() {
+        let pool = BufPool::with_slot_capacity(128);
+        let mut buf = pool.checkout();
+        buf.buf().push(9);
+        drop(buf);
+        assert_eq!(pool.available(), 1);
+        let mut buf = pool.checkout();
+        assert!(buf.buf().is_empty());
+        assert!(buf.buf().capacity() >= 128);
+    }
+
+    #[test]
+    fn try_mut_slice_unique_vs_shared() {
+        // Pooled: unique handle mutates in place.
+        let pool = BufPool::new();
+        let mut buf = pool.checkout();
+        buf.buf().extend_from_slice(&[0u8; 4]);
+        let mut frozen = buf.freeze();
+        frozen.try_mut_slice().expect("unique")[2] = 7;
+        assert_eq!(frozen.as_ref(), &[0, 0, 7, 0]);
+
+        // Pooled with a clone: refuses.
+        let clone = frozen.clone();
+        assert!(frozen.try_mut_slice().is_none());
+        drop(clone);
+        assert!(frozen.try_mut_slice().is_some());
+
+        // Shared: unique Arc mutates, cloned Arc refuses.
+        let mut shared = Bytes::from(vec![1u8, 2, 3]);
+        shared.try_mut_slice().expect("unique arc")[0] = 9;
+        assert_eq!(shared.as_ref(), &[9, 2, 3]);
+        let keep = shared.clone();
+        assert!(shared.try_mut_slice().is_none());
+        drop(keep);
+    }
+
+    #[test]
+    fn pool_survives_out_of_order_drops_and_pool_drop() {
+        let pool = BufPool::new();
+        let a = {
+            let mut b = pool.checkout();
+            b.buf().push(1);
+            b.freeze()
+        };
+        let b = {
+            let mut b = pool.checkout();
+            b.buf().push(2);
+            b.freeze()
+        };
+        drop(a);
+        assert_eq!(pool.available(), 1);
+
+        // Dropping the pool while `b` is alive: the slot deallocates
+        // normally instead of recycling.
+        drop(pool);
+        assert_eq!(b.as_ref(), &[2]);
+        drop(b);
+    }
+
+    #[test]
+    fn steady_state_checkout_does_not_grow_slot_count() {
+        let pool = BufPool::with_slot_capacity(64);
+        // Warm up with the worst-case number of concurrent buffers.
+        let warm: Vec<Bytes> = (0..8)
+            .map(|i| {
+                let mut b = pool.checkout();
+                b.buf().push(i);
+                b.freeze()
+            })
+            .collect();
+        drop(warm);
+        assert_eq!(pool.available(), 8);
+
+        for round in 0..100u8 {
+            let held: Vec<Bytes> = (0..8)
+                .map(|i| {
+                    let mut b = pool.checkout();
+                    b.buf().push(round.wrapping_add(i));
+                    b.freeze()
+                })
+                .collect();
+            drop(held);
+            assert_eq!(pool.available(), 8, "round {round} leaked or grew");
+        }
     }
 }
