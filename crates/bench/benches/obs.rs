@@ -20,7 +20,9 @@ use rdsim_bench::report::{Group, Report};
 use rdsim_core::{RdsSession, RdsSessionConfig};
 use rdsim_experiments::{run_study, ScenarioConfig};
 use rdsim_netem::NetemConfig;
-use rdsim_obs::{Recorder, Registry, Tracer};
+use rdsim_obs::{
+    to_micro, CampaignStore, CellSample, Histogram, Recorder, Registry, RunSummary, Tracer, Z_95,
+};
 use rdsim_roadnet::town05;
 use rdsim_simulator::{ActorKind, Behavior, CameraConfig, LaneFollowConfig, World};
 use rdsim_units::{Hertz, MetersPerSecond, Ratio};
@@ -95,6 +97,170 @@ fn overhead_pct(base: f64, with: f64) -> f64 {
     (with - base) / base * 100.0
 }
 
+/// Summaries folded per timed store-fold sample (large enough that the
+/// per-fold cost dominates timer noise, small enough to stay instant).
+const FOLD_RUNS: usize = 10_000;
+
+/// A synthetic but shape-faithful run summary: the whole-run cell, a few
+/// fault cells, a couple of counters and one histogram — what
+/// `summarize_run` emits for a faulty study run.
+fn synthetic_summary(i: usize) -> RunSummary {
+    const KINDS: [&str; 3] = ["training", "golden", "faulty"];
+    const FAULTS: [&str; 5] = [
+        "delay:05ms",
+        "delay:25ms",
+        "delay:50ms",
+        "loss:02pct",
+        "loss:05pct",
+    ];
+    let kind = KINDS[i % KINDS.len()];
+    let mut s = RunSummary {
+        scenario: "town05".to_owned(),
+        subject: format!("S{:05}", i / KINDS.len()),
+        kind: kind.to_owned(),
+        seed: i as u64,
+        digest: (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        wall_ns: 3_000_000_000,
+        ..RunSummary::default()
+    };
+    s.cells.push(CellSample {
+        condition: format!("run:{kind}"),
+        exposures: 1,
+        collided: u64::from(i.is_multiple_of(7)),
+        collisions: u64::from(i.is_multiple_of(7)),
+        ttc_breaches: (i % 11) as u64,
+        ttc_samples: 400,
+        srr_reversals: 12,
+        srr_rate_micro: to_micro(20.0 + (i % 10) as f64),
+        srr_runs: 1,
+    });
+    if kind == "faulty" {
+        for (f, fault) in FAULTS.iter().enumerate() {
+            s.cells.push(CellSample {
+                condition: (*fault).to_owned(),
+                exposures: 2,
+                collided: u64::from((i + f).is_multiple_of(5)),
+                collisions: u64::from((i + f).is_multiple_of(5)),
+                ttc_breaches: ((i + f) % 3) as u64,
+                ttc_samples: 40,
+                srr_reversals: 3,
+                srr_rate_micro: to_micro(25.0 + f as f64),
+                srr_runs: 1,
+            });
+        }
+    }
+    s.counters.insert("session.steps".to_owned(), 3_000);
+    s.counters
+        .insert("netem.frames_dropped".to_owned(), (i % 40) as u64);
+    let hist = Histogram::new();
+    for n in 0..20u64 {
+        hist.record(40_000 + n * 1_000 + i as u64 % 997);
+    }
+    s.histograms
+        .insert("session.frame_age_us".to_owned(), hist.snapshot());
+    s
+}
+
+fn median_secs(samples: usize, mut run: impl FnMut()) -> f64 {
+    let mut times = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let start = Instant::now();
+        run();
+        times.push(start.elapsed().as_secs_f64());
+    }
+    times.sort_by(|a, b| a.total_cmp(b));
+    times[times.len() / 2]
+}
+
+/// Times the store datapath: folding `FOLD_RUNS` summaries, writing and
+/// parsing their checkpoint lines, merging two half-campaign stores, and
+/// producing the deterministic report. Returns the per-run fold cost in
+/// nanoseconds alongside the populated report group.
+fn bench_store_fold(report: &mut Report, session_floor_secs: f64) {
+    let summaries: Vec<RunSummary> = (0..FOLD_RUNS).map(synthetic_summary).collect();
+
+    let fold_secs = median_secs(SAMPLES, || {
+        let mut store = CampaignStore::new();
+        for s in &summaries {
+            store.fold(s);
+        }
+        assert_eq!(store.runs(), FOLD_RUNS as u64);
+    });
+    let to_json_secs = median_secs(SAMPLES, || {
+        let bytes: usize = summaries.iter().map(|s| s.to_json().len()).sum();
+        assert!(bytes > 0);
+    });
+    let lines: Vec<String> = summaries.iter().map(RunSummary::to_json).collect();
+    let from_json_secs = median_secs(SAMPLES, || {
+        for line in &lines {
+            RunSummary::from_json(line).expect("bench line parses");
+        }
+    });
+    let merge_secs = median_secs(SAMPLES, || {
+        let (a, b) = summaries.split_at(FOLD_RUNS / 2);
+        let mut left = CampaignStore::new();
+        a.iter().for_each(|s| {
+            left.fold(s);
+        });
+        let mut right = CampaignStore::new();
+        b.iter().for_each(|s| {
+            right.fold(s);
+        });
+        left.merge(&right);
+        assert_eq!(left.runs(), FOLD_RUNS as u64);
+    });
+    let mut store = CampaignStore::new();
+    for s in &summaries {
+        store.fold(s);
+    }
+    let report_secs = median_secs(SAMPLES, || {
+        assert!(store.report_json(Z_95).len() > 2);
+    });
+
+    let per_run_ns = |secs: f64| secs / FOLD_RUNS as f64 * 1e9;
+    // The gate: the streaming store must cost well under 1% of even the
+    // cheapest possible run (the recorder-off session floor). Checkpoint
+    // serialize + parse + fold together bound one run's full observatory
+    // cost.
+    let observatory_secs_per_run = (fold_secs + to_json_secs + from_json_secs) / FOLD_RUNS as f64;
+    let overhead_pct_vs_floor = overhead_pct(
+        session_floor_secs,
+        session_floor_secs + observatory_secs_per_run,
+    );
+    let store_overhead_ok = overhead_pct_vs_floor < 1.0;
+
+    println!("== campaign store fold ({FOLD_RUNS} summaries, median of {SAMPLES}) ==");
+    println!(
+        "fold {:.0} ns/run, checkpoint write {:.0} ns/run, parse {:.0} ns/run, \
+         half-merge {:.3} ms, report {:.3} ms",
+        per_run_ns(fold_secs),
+        per_run_ns(to_json_secs),
+        per_run_ns(from_json_secs),
+        merge_secs * 1e3,
+        report_secs * 1e3
+    );
+    println!(
+        "observatory cost per run: {:.1} µs ({:+.4}% of the session floor) — gate {}",
+        observatory_secs_per_run * 1e6,
+        overhead_pct_vs_floor,
+        if store_overhead_ok { "OK" } else { "FAIL" }
+    );
+
+    report
+        .group(
+            "store_fold",
+            Group::new()
+                .uint("runs", FOLD_RUNS as u64)
+                .float("fold_ns_per_run", per_run_ns(fold_secs), 0)
+                .float("to_json_ns_per_run", per_run_ns(to_json_secs), 0)
+                .float("from_json_ns_per_run", per_run_ns(from_json_secs), 0)
+                .float("half_merge_ms", merge_secs * 1e3, 3)
+                .float("report_json_ms", report_secs * 1e3, 3)
+                .float("overhead_pct_vs_session_floor", overhead_pct_vs_floor, 4),
+        )
+        .bool("store_overhead_ok", store_overhead_ok);
+}
+
 fn main() {
     // Cargo invokes benches with `--bench` (and possibly filters); this
     // harness has no filtering, so arguments are ignored.
@@ -163,6 +329,10 @@ fn main() {
                     3,
                 ),
         );
+
+    // The recorder-off session (60 s of sim time) is the floor cost of
+    // one run; the store's per-run cost is gated against it.
+    bench_store_fold(&mut report, null_null);
 
     if std::env::var("RDSIM_BENCH_FULL").is_ok_and(|v| v == "1") {
         eprintln!("full mode: timing quick studies (3× each, several minutes) …");

@@ -3,7 +3,9 @@
 //! ```text
 //! repro [all|table1|table2|table3|table4|fig4|collisions|questionnaire|
 //!        validity|model-vehicle] [--seed N] [--quick] [--jobs N]
-//!       [--batch N] [--telemetry] [--trace-out DIR]
+//!       [--batch N] [--telemetry] [--trace-out DIR] [--progress]
+//!       [--report-out DIR] [--checkpoint FILE] [--resume]
+//!       [--interrupt-after N]
 //! ```
 //!
 //! `--quick` shortens the runs (for smoke testing); the full study drives
@@ -23,14 +25,31 @@
 //! `chrome://tracing`), plus an incident dump per safety incident
 //! (`DIR/incidents/…`, the 12 s window around each collision, TTC breach,
 //! or fault edge).
+//!
+//! The remaining flags engage the **campaign observatory** (streaming
+//! per-run aggregation; see `DESIGN.md` §11). `--progress` renders a live
+//! status line on stderr (runs done/total, EWMA ETA, rolling collision
+//! rate, worker utilization). `--checkpoint FILE` appends each completed
+//! run's summary to a JSONL stream; `--resume` folds that stream back in
+//! and executes only the missing runs. `--interrupt-after N` stops after N
+//! runs (for exercising resume). `--report-out DIR` writes
+//! `DIR/campaign.json` (deterministic: per-cell aggregates with Wilson
+//! CIs and the pooled delay/loss risk surface — byte-diffable across
+//! schedules and across interrupt/resume) and `DIR/timings.json`
+//! (wall-clock rollups; not deterministic). With any observatory flag the
+//! run prints a `campaign store digest:` line whose bytes are invariant
+//! across `--jobs`, `--batch`, and interrupt/resume splits — the CI
+//! `resume-equivalence` job diffs that line and `campaign.json`.
 
 use rdsim_core::{IncidentKind, RunKind};
 use rdsim_experiments::{
     campaign_digest, collision_summary, default_jobs, figure4, model_vehicle_sweep,
-    questionnaire_summary, run_study_with_exec, table2, table3, table4, validity_sweep,
-    ScenarioConfig, StationSpec, StudyResults, SweepReport, TextTable,
+    questionnaire_summary, run_campaign, run_study_with_exec, store_digest, table2, table3, table4,
+    validity_sweep, CampaignOptions, CampaignOutcome, ScenarioConfig, StationSpec, StudyResults,
+    SweepReport, TextTable,
 };
 use rdsim_metrics::{SrrConfig, TtcConfig, TtcStats};
+use rdsim_obs::Z_95;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
@@ -43,6 +62,11 @@ fn main() -> ExitCode {
     let mut batch = 1usize;
     let mut telemetry = false;
     let mut trace_out: Option<PathBuf> = None;
+    let mut progress = false;
+    let mut report_out: Option<PathBuf> = None;
+    let mut checkpoint: Option<PathBuf> = None;
+    let mut resume = false;
+    let mut interrupt_after: Option<usize> = None;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -76,6 +100,29 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--progress" => progress = true,
+            "--resume" => resume = true,
+            "--report-out" => match iter.next() {
+                Some(dir) => report_out = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("--report-out needs a directory");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--checkpoint" => match iter.next() {
+                Some(file) => checkpoint = Some(PathBuf::from(file)),
+                None => {
+                    eprintln!("--checkpoint needs a file path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--interrupt-after" => match iter.next().and_then(|s| s.parse::<usize>().ok()) {
+                Some(n) => interrupt_after = Some(n),
+                None => {
+                    eprintln!("--interrupt-after needs an integer");
+                    return ExitCode::FAILURE;
+                }
+            },
             other if !other.starts_with('-') => command = other.to_owned(),
             other => {
                 eprintln!("unknown flag '{other}'");
@@ -95,42 +142,97 @@ fn main() -> ExitCode {
         command.as_str(),
         "all" | "table2" | "table3" | "table4" | "fig4" | "collisions" | "questionnaire"
     );
-    let study = if needs_study {
+    // Any observatory flag switches the campaign onto the streaming path;
+    // without them the study runs exactly as before (byte-identical
+    // output — the alloc-regression golden file pins it).
+    let observatory = progress
+        || report_out.is_some()
+        || checkpoint.is_some()
+        || resume
+        || interrupt_after.is_some();
+    if resume && checkpoint.is_none() {
+        eprintln!("--resume requires --checkpoint");
+        return ExitCode::FAILURE;
+    }
+    let mut outcome: Option<CampaignOutcome> = None;
+    let study: Option<StudyResults> = if needs_study {
         eprintln!(
             "running the study (seed {seed}, {} mode, {jobs} job(s), batch {batch}) …",
             if quick { "quick" } else { "full" }
         );
-        Some(run_study_with_exec(seed, &config, jobs, batch))
+        if observatory {
+            let opts = CampaignOptions {
+                seed,
+                config: config.clone(),
+                jobs,
+                batch,
+                progress,
+                checkpoint: checkpoint.clone(),
+                resume,
+                interrupt_after,
+            };
+            match run_campaign(&opts) {
+                Ok(mut o) => {
+                    let study = o.results.take();
+                    outcome = Some(o);
+                    study
+                }
+                Err(err) => {
+                    eprintln!("campaign failed: {err}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        } else {
+            Some(run_study_with_exec(seed, &config, jobs, batch))
+        }
     } else {
+        if observatory {
+            eprintln!("observatory flags only apply to study commands; ignored");
+        }
         None
     };
 
-    match command.as_str() {
-        "all" => {
-            let study = study.as_ref().expect("study ran");
-            print_table1();
-            print_table2(study);
-            print_table3(study);
-            print_table4(study);
-            print_fig4(study);
-            print_collisions(study);
-            print_questionnaire(study);
-            print_sweep(&validity_sweep(seed));
-            print_sweep(&model_vehicle_sweep(seed));
+    if !needs_study || study.is_some() {
+        match command.as_str() {
+            "all" => {
+                let study = study.as_ref().expect("study ran");
+                print_table1();
+                print_table2(study);
+                print_table3(study);
+                print_table4(study);
+                print_fig4(study);
+                print_collisions(study);
+                print_questionnaire(study);
+                print_sweep(&validity_sweep(seed));
+                print_sweep(&model_vehicle_sweep(seed));
+            }
+            "table1" => print_table1(),
+            "table2" => print_table2(study.as_ref().expect("study")),
+            "table3" => print_table3(study.as_ref().expect("study")),
+            "table4" => print_table4(study.as_ref().expect("study")),
+            "fig4" => print_fig4(study.as_ref().expect("study")),
+            "collisions" => print_collisions(study.as_ref().expect("study")),
+            "questionnaire" => print_questionnaire(study.as_ref().expect("study")),
+            "validity" => print_sweep(&validity_sweep(seed)),
+            "model-vehicle" => print_sweep(&model_vehicle_sweep(seed)),
+            other => {
+                eprintln!("unknown command '{other}'");
+                return ExitCode::FAILURE;
+            }
         }
-        "table1" => print_table1(),
-        "table2" => print_table2(study.as_ref().expect("study")),
-        "table3" => print_table3(study.as_ref().expect("study")),
-        "table4" => print_table4(study.as_ref().expect("study")),
-        "fig4" => print_fig4(study.as_ref().expect("study")),
-        "collisions" => print_collisions(study.as_ref().expect("study")),
-        "questionnaire" => print_questionnaire(study.as_ref().expect("study")),
-        "validity" => print_sweep(&validity_sweep(seed)),
-        "model-vehicle" => print_sweep(&model_vehicle_sweep(seed)),
-        other => {
-            eprintln!("unknown command '{other}'");
-            return ExitCode::FAILURE;
-        }
+    } else {
+        let o = outcome.as_ref().expect("observatory outcome");
+        eprintln!(
+            "tables skipped: the store holds {} of {} runs{} — the table generators need a \
+             complete fresh campaign; the store digest and reports below are still exact",
+            o.completed,
+            o.total,
+            if o.resumed > 0 {
+                " (resumed runs exist only as summaries)"
+            } else {
+                " (interrupted)"
+            }
+        );
     }
     if let Some(study) = &study {
         // The digest is scheduling-independent: identical for every
@@ -140,6 +242,23 @@ fn main() -> ExitCode {
             "campaign digest: {:016x} (seed {seed}, jobs {jobs}, batch {batch})",
             campaign_digest(study)
         );
+    }
+    if let Some(o) = &outcome {
+        // The whole line is schedule-invariant (no jobs/batch report) and
+        // resume-invariant: the CI resume-equivalence job byte-diffs it
+        // between a single-shot and an interrupted-then-resumed campaign.
+        println!(
+            "campaign store digest: {:016x} ({} of {} runs)",
+            store_digest(&o.store),
+            o.completed,
+            o.total
+        );
+        if let Some(dir) = &report_out {
+            if let Err(err) = write_reports(dir, o) {
+                eprintln!("failed to write reports to {}: {err}", dir.display());
+                return ExitCode::FAILURE;
+            }
+        }
     }
     if telemetry {
         match &study {
@@ -167,6 +286,22 @@ fn kind_slug(kind: RunKind) -> &'static str {
         RunKind::Golden => "golden",
         RunKind::Faulty => "faulty",
     }
+}
+
+/// Writes the machine-readable campaign reports: `campaign.json`
+/// (deterministic — aggregates, CIs, risk surface) and `timings.json`
+/// (wall-clock rollups — never byte-diff it).
+fn write_reports(dir: &Path, outcome: &CampaignOutcome) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    std::fs::write(dir.join("campaign.json"), outcome.store.report_json(Z_95))?;
+    std::fs::write(dir.join("timings.json"), outcome.store.timings_json())?;
+    eprintln!(
+        "wrote campaign.json ({} cells over {} runs) and timings.json under {}",
+        outcome.store.cells().count(),
+        outcome.store.runs(),
+        dir.display()
+    );
+    Ok(())
 }
 
 /// Incident dumps cover this much run-up before the incident …

@@ -18,6 +18,7 @@ use crate::{table2, table3, table4, RunOutput, StudyResults};
 use rdsim_core::{Digestible, RunRecord};
 use rdsim_math::StableHasher;
 use rdsim_metrics::{steering_reversal_rate, ttc_series, SrrConfig, TtcConfig, TtcStats};
+use rdsim_obs::CampaignStore;
 use rdsim_operator::Questionnaire;
 
 /// Digest of one run's full observable outcome.
@@ -144,6 +145,22 @@ pub fn campaign_digest(results: &StudyResults) -> u64 {
     }
 
     h.write_digest(results.telemetry.fingerprint());
+    h.finish()
+}
+
+/// Digest of a campaign store's deterministic content, through the same
+/// [`StableHasher`] layer as the run and campaign digests (the store's own
+/// `fingerprint` already excludes wall clocks and `executor.*` fleet
+/// instruments). This is the whole-line observable the CI
+/// `resume-equivalence` job byte-diffs: identical for a single-shot
+/// campaign and any interrupted-then-resumed execution of the same seed,
+/// at any `--jobs`/`--batch`.
+pub fn store_digest(store: &CampaignStore) -> u64 {
+    let mut h = StableHasher::new();
+    h.write_u64(store.runs());
+    h.write_u64(store.digest_xor());
+    h.write_u64(store.digest_sum());
+    h.write_digest(store.fingerprint());
     h.finish()
 }
 

@@ -15,6 +15,8 @@
 //! when its own queue, the injector and every sibling queue are empty.
 
 use crossbeam::deque::{Injector, Steal, Stealer, Worker};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
 
 /// The default worker count: the machine's available parallelism
 /// (`repro --jobs` overrides it).
@@ -128,6 +130,132 @@ where
     .into_iter()
     .flatten()
     .collect()
+}
+
+/// What the completion hook of [`execute_ordered_batched_with`] learns
+/// when a worker finishes one chunk.
+///
+/// Everything here describes *scheduling*, not run content: which worker
+/// finished which chunk when, how much wall time it took, and how deep
+/// the queue still is. Hook consumers must keep this out of anything
+/// digested (the observatory records it under the `executor.` instrument
+/// prefix, which fingerprints skip).
+#[derive(Debug)]
+pub struct ChunkDone<'a, R> {
+    /// Index of the worker thread that ran the chunk (0-based).
+    pub worker: usize,
+    /// Chunk index in submission order (`chunk * batch` is the first
+    /// job's index).
+    pub chunk: usize,
+    /// The chunk's results, in chunk order.
+    pub results: &'a [R],
+    /// Chunks not yet completed anywhere after this one (a queue-depth
+    /// proxy; includes chunks currently executing on other workers).
+    pub pending: usize,
+    /// Wall-clock nanoseconds this worker spent executing the chunk.
+    pub busy_ns: u64,
+}
+
+/// [`execute_ordered_batched`] plus a completion hook: `on_chunk` fires
+/// on the *worker thread* right after each chunk finishes, in completion
+/// order (not submission order — that is the point: it is the streaming
+/// side channel the campaign observatory folds summaries through while
+/// the ordered result vector is still being assembled).
+///
+/// The hook must be `Sync`; it runs concurrently from every worker.
+/// Results are still returned in job order, bit-identical to
+/// [`execute_ordered_batched`] — the hook observes, it cannot reorder.
+pub fn execute_ordered_batched_with<J, R, F, H>(
+    jobs: Vec<J>,
+    workers: usize,
+    batch: usize,
+    run_batch: F,
+    on_chunk: H,
+) -> Vec<R>
+where
+    J: Send,
+    R: Send,
+    F: Fn(Vec<J>) -> Vec<R> + Sync,
+    H: Fn(ChunkDone<'_, R>) + Sync,
+{
+    let batch = batch.max(1);
+    let mut chunks: Vec<Vec<J>> = Vec::new();
+    let mut jobs = jobs.into_iter();
+    loop {
+        let chunk: Vec<J> = jobs.by_ref().take(batch).collect();
+        if chunk.is_empty() {
+            break;
+        }
+        chunks.push(chunk);
+    }
+    let total = chunks.len();
+    if total == 0 {
+        return Vec::new();
+    }
+    let completed = AtomicUsize::new(0);
+    let run_chunk = |worker: usize, index: usize, chunk: Vec<J>| -> Vec<R> {
+        let n = chunk.len();
+        let started = Instant::now();
+        let results = run_batch(chunk);
+        let busy_ns = started.elapsed().as_nanos() as u64;
+        assert_eq!(results.len(), n, "run_batch must return one result per job");
+        let done = completed.fetch_add(1, Ordering::Relaxed) + 1;
+        on_chunk(ChunkDone {
+            worker,
+            chunk: index,
+            results: &results,
+            pending: total - done,
+            busy_ns,
+        });
+        results
+    };
+
+    let workers = workers.clamp(1, total);
+    if workers == 1 {
+        return chunks
+            .into_iter()
+            .enumerate()
+            .flat_map(|(index, chunk)| run_chunk(0, index, chunk))
+            .collect();
+    }
+
+    let injector: Injector<(usize, Vec<J>)> = Injector::new();
+    for chunk in chunks.into_iter().enumerate() {
+        injector.push(chunk);
+    }
+    let locals: Vec<Worker<(usize, Vec<J>)>> = (0..workers).map(|_| Worker::new_fifo()).collect();
+    let stealers: Vec<Stealer<(usize, Vec<J>)>> = locals.iter().map(Worker::stealer).collect();
+
+    let mut indexed: Vec<(usize, Vec<R>)> = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = locals
+            .into_iter()
+            .enumerate()
+            .map(|(me, local)| {
+                let injector = &injector;
+                let stealers = stealers.as_slice();
+                let run_chunk = &run_chunk;
+                scope.spawn(move |_| {
+                    let mut done: Vec<(usize, Vec<R>)> = Vec::new();
+                    while let Some((index, chunk)) = find_task(&local, injector, stealers, me) {
+                        done.push((index, run_chunk(me, index, chunk)));
+                    }
+                    done
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("executor worker panicked"))
+            .collect()
+    })
+    .expect("executor scope");
+
+    debug_assert_eq!(indexed.len(), total, "every chunk must produce results");
+    indexed.sort_unstable_by_key(|(index, _)| *index);
+    indexed
+        .into_iter()
+        .flat_map(|(_, results)| results)
+        .collect()
 }
 
 /// One scheduling round: local queue first, then a batch from the global
@@ -250,5 +378,82 @@ mod tests {
             chunk.pop();
             chunk
         });
+    }
+
+    #[test]
+    fn hook_fires_once_per_chunk_with_sane_fields() {
+        use std::sync::Mutex;
+        let jobs: Vec<u64> = (0..23).collect();
+        let expect: Vec<u64> = jobs.iter().map(|j| j + 100).collect();
+        for workers in [1, 4] {
+            let seen: Mutex<Vec<(usize, usize, usize, usize)>> = Mutex::new(Vec::new());
+            let got = execute_ordered_batched_with(
+                jobs.clone(),
+                workers,
+                5,
+                |chunk| chunk.into_iter().map(|j| j + 100).collect(),
+                |done: ChunkDone<'_, u64>| {
+                    seen.lock().unwrap().push((
+                        done.worker,
+                        done.chunk,
+                        done.results.len(),
+                        done.pending,
+                    ));
+                },
+            );
+            assert_eq!(got, expect, "workers {workers}");
+            let mut seen = seen.into_inner().unwrap();
+            // 23 jobs at batch 5 → 5 chunks (4×5 + 1×3).
+            assert_eq!(seen.len(), 5, "workers {workers}");
+            assert!(seen.iter().all(|&(w, ..)| w < workers));
+            // Every chunk index appears exactly once and its result count
+            // matches the chunk shape.
+            seen.sort_unstable_by_key(|&(_, chunk, ..)| chunk);
+            let shapes: Vec<(usize, usize)> = seen.iter().map(|&(_, c, n, _)| (c, n)).collect();
+            assert_eq!(shapes, vec![(0, 5), (1, 5), (2, 5), (3, 5), (4, 3)]);
+            // Pending counts are a permutation of 0..chunks (each completion
+            // decrements by one, in some completion order).
+            let mut pending: Vec<usize> = seen.iter().map(|&(.., p)| p).collect();
+            pending.sort_unstable();
+            assert_eq!(pending, vec![0, 1, 2, 3, 4]);
+        }
+    }
+
+    #[test]
+    fn hook_sees_results_the_caller_gets() {
+        use std::sync::Mutex;
+        let streamed: Mutex<Vec<u64>> = Mutex::new(Vec::new());
+        let got = execute_ordered_batched_with(
+            (0..17u64).collect::<Vec<_>>(),
+            3,
+            4,
+            |chunk| chunk.into_iter().map(|j| j * j).collect(),
+            |done: ChunkDone<'_, u64>| {
+                streamed.lock().unwrap().extend_from_slice(done.results);
+            },
+        );
+        let mut streamed = streamed.into_inner().unwrap();
+        streamed.sort_unstable();
+        let mut sorted = got.clone();
+        sorted.sort_unstable();
+        // Completion order differs, content does not.
+        assert_eq!(streamed, sorted);
+        assert_eq!(got, (0..17u64).map(|j| j * j).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn hooked_empty_input_is_a_no_op() {
+        let calls = AtomicUsize::new(0);
+        let got: Vec<u32> = execute_ordered_batched_with(
+            Vec::<u32>::new(),
+            4,
+            8,
+            |chunk| chunk,
+            |_done: ChunkDone<'_, u32>| {
+                calls.fetch_add(1, Ordering::Relaxed);
+            },
+        );
+        assert!(got.is_empty());
+        assert_eq!(calls.load(Ordering::Relaxed), 0);
     }
 }

@@ -23,6 +23,7 @@
 pub mod digest;
 pub mod executor;
 mod figures;
+mod observatory;
 mod roster;
 mod runner;
 mod scenario;
@@ -31,9 +32,15 @@ mod study;
 mod tables;
 mod validity;
 
-pub use digest::{campaign_digest, record_digest, run_digest};
-pub use executor::{default_jobs, execute_ordered, execute_ordered_batched};
+pub use digest::{campaign_digest, record_digest, run_digest, store_digest};
+pub use executor::{
+    default_jobs, execute_ordered, execute_ordered_batched, execute_ordered_batched_with, ChunkDone,
+};
 pub use figures::{figure4, Figure4};
+pub use observatory::{
+    fault_condition, kind_slug, load_checkpoint, run_campaign, summarize_run, CampaignOptions,
+    CampaignOutcome, SCENARIO,
+};
 pub use roster::{paper_roster, RosterEntry};
 pub use runner::{run_protocol, run_protocol_batch, ProtocolJob, RunOutput, ScenarioConfig};
 pub use scenario::{CourseMap, FaultPoint, ScenarioPlan};

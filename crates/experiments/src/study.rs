@@ -89,76 +89,56 @@ impl StudyResults {
 /// subject × kind.
 const PROTOCOL_KINDS: [RunKind; 3] = [RunKind::Training, RunKind::Golden, RunKind::Faulty];
 
-/// Runs the whole study with the default worker count (the machine's
-/// available parallelism). All randomness derives from `seed`, so results
-/// are reproducible — and identical for any worker count (see
-/// [`run_study_with_jobs`]).
-pub fn run_study(seed: u64, config: &ScenarioConfig) -> StudyResults {
-    run_study_with_jobs(seed, config, default_jobs())
+/// The campaign's job list — roster index × kind, in roster order (the
+/// order [`assemble_study`] folds outputs back in).
+pub(crate) fn study_job_list(roster: &[RosterEntry]) -> Vec<(usize, RunKind)> {
+    (0..roster.len())
+        .flat_map(|subject| PROTOCOL_KINDS.iter().map(move |&kind| (subject, kind)))
+        .collect()
 }
 
-/// Runs the whole study on `jobs` worker threads.
-///
-/// The roster × kind matrix is sharded into one job per run (12 subjects ×
-/// {training, golden, faulty} = 36 jobs) and dispatched through the
-/// work-stealing executor. Two properties make the result independent of
-/// `jobs` and of scheduling order, bit for bit:
-///
-/// * every run's seed is a pure function of the campaign seed, subject id
-///   and kind ([`crate::seeds::run_seed`]) — no run's randomness can see
-///   another run or the scheduler;
-/// * the executor returns outputs in job order, and aggregation folds them
-///   in that (roster) order — completion order never reaches the fold.
-///
-/// The equivalence is asserted by `tests/parallel_equivalence.rs` and the
-/// CI `parallel-equivalence` job.
-pub fn run_study_with_jobs(seed: u64, config: &ScenarioConfig, jobs: usize) -> StudyResults {
-    run_study_with_exec(seed, config, jobs, 1)
+/// The training-run variant of a scenario config. Training happens (and
+/// matters for realism) but is not analysed; a short free drive suffices.
+pub(crate) fn training_config(config: &ScenarioConfig) -> ScenarioConfig {
+    let mut cfg = config.clone();
+    cfg.progress_target = Some(250.0);
+    cfg
 }
 
-/// Runs the whole study on `jobs` worker threads, each worker stepping up
-/// to `batch` runs in lockstep ([`rdsim_core::SessionBatch`]).
+/// Builds the executable job for one (subject, kind) campaign cell.
+pub(crate) fn protocol_job(
+    seed: u64,
+    entry: &RosterEntry,
+    kind: RunKind,
+    config: &ScenarioConfig,
+    training_cfg: &ScenarioConfig,
+) -> ProtocolJob {
+    let cfg = if kind == RunKind::Training {
+        training_cfg
+    } else {
+        config
+    };
+    ProtocolJob {
+        profile: entry.profile.clone(),
+        kind,
+        seed: run_seed(seed, &entry.profile.id, kind),
+        config: cfg.clone(),
+    }
+}
+
+/// Folds the ordered run outputs of a full campaign into [`StudyResults`]:
+/// telemetry merges, trace retention, the paper's recording-artifact
+/// redactions, questionnaire synthesis, and the golden/faulty records.
 ///
-/// Batching changes only how runs share a worker, never what any run
-/// computes: runs are fully independent, so results are bit-identical for
-/// every `(jobs, batch)` combination. The batch size clamps to the jobs
-/// remaining (a 36-run campaign at `batch 8` ends with a 4-run batch).
-pub fn run_study_with_exec(
+/// `outputs` must be the complete campaign in job-list order
+/// ([`study_job_list`]); both the study entry points and the observatory's
+/// fresh-campaign path go through here, so the two agree bit for bit.
+pub(crate) fn assemble_study(
     seed: u64,
     config: &ScenarioConfig,
-    jobs: usize,
-    batch: usize,
+    roster: Vec<RosterEntry>,
+    outputs: Vec<RunOutput>,
 ) -> StudyResults {
-    let roster = paper_roster();
-    let job_list: Vec<(usize, RunKind)> = (0..roster.len())
-        .flat_map(|subject| PROTOCOL_KINDS.iter().map(move |&kind| (subject, kind)))
-        .collect();
-    // Training happens (and matters for realism) but is not analysed; a
-    // short free drive suffices.
-    let mut training_cfg = config.clone();
-    training_cfg.progress_target = Some(250.0);
-    let outputs: Vec<RunOutput> = execute_ordered_batched(job_list, jobs, batch, |chunk| {
-        run_protocol_batch(
-            chunk
-                .into_iter()
-                .map(|(subject, kind)| {
-                    let entry = &roster[subject];
-                    let cfg = if kind == RunKind::Training {
-                        &training_cfg
-                    } else {
-                        config
-                    };
-                    ProtocolJob {
-                        profile: entry.profile.clone(),
-                        kind,
-                        seed: run_seed(seed, &entry.profile.id, kind),
-                        config: cfg.clone(),
-                    }
-                })
-                .collect(),
-        )
-    });
-
     let mut records = Vec::with_capacity(roster.len() * 2);
     let mut questionnaires = Vec::new();
     let mut telemetry = RunTelemetry::default();
@@ -211,6 +191,62 @@ pub fn run_study_with_exec(
         telemetry,
         traces,
     }
+}
+
+/// Runs the whole study with the default worker count (the machine's
+/// available parallelism). All randomness derives from `seed`, so results
+/// are reproducible — and identical for any worker count (see
+/// [`run_study_with_jobs`]).
+pub fn run_study(seed: u64, config: &ScenarioConfig) -> StudyResults {
+    run_study_with_jobs(seed, config, default_jobs())
+}
+
+/// Runs the whole study on `jobs` worker threads.
+///
+/// The roster × kind matrix is sharded into one job per run (12 subjects ×
+/// {training, golden, faulty} = 36 jobs) and dispatched through the
+/// work-stealing executor. Two properties make the result independent of
+/// `jobs` and of scheduling order, bit for bit:
+///
+/// * every run's seed is a pure function of the campaign seed, subject id
+///   and kind ([`crate::seeds::run_seed`]) — no run's randomness can see
+///   another run or the scheduler;
+/// * the executor returns outputs in job order, and aggregation folds them
+///   in that (roster) order — completion order never reaches the fold.
+///
+/// The equivalence is asserted by `tests/parallel_equivalence.rs` and the
+/// CI `parallel-equivalence` job.
+pub fn run_study_with_jobs(seed: u64, config: &ScenarioConfig, jobs: usize) -> StudyResults {
+    run_study_with_exec(seed, config, jobs, 1)
+}
+
+/// Runs the whole study on `jobs` worker threads, each worker stepping up
+/// to `batch` runs in lockstep ([`rdsim_core::SessionBatch`]).
+///
+/// Batching changes only how runs share a worker, never what any run
+/// computes: runs are fully independent, so results are bit-identical for
+/// every `(jobs, batch)` combination. The batch size clamps to the jobs
+/// remaining (a 36-run campaign at `batch 8` ends with a 4-run batch).
+pub fn run_study_with_exec(
+    seed: u64,
+    config: &ScenarioConfig,
+    jobs: usize,
+    batch: usize,
+) -> StudyResults {
+    let roster = paper_roster();
+    let job_list = study_job_list(&roster);
+    let training_cfg = training_config(config);
+    let outputs: Vec<RunOutput> = execute_ordered_batched(job_list, jobs, batch, |chunk| {
+        run_protocol_batch(
+            chunk
+                .into_iter()
+                .map(|(subject, kind)| {
+                    protocol_job(seed, &roster[subject], kind, config, &training_cfg)
+                })
+                .collect(),
+        )
+    });
+    assemble_study(seed, config, roster, outputs)
 }
 
 /// One row of Table II: faults injected per test.

@@ -1,0 +1,139 @@
+//! Binomial proportion confidence intervals (Wilson score).
+//!
+//! Campaign risk surfaces report `P(collision)` per condition cell. At
+//! population scale collisions are rare events, so the naive Wald interval
+//! `p̂ ± z·√(p̂(1−p̂)/n)` degenerates (zero width at `k = 0`, escapes
+//! `[0, 1]` near the edges). The Wilson score interval is the inversion of
+//! the score test — the set of `p` for which the observed `k` of `n` is
+//! not rejected at level `z` — and behaves well at the extremes the
+//! observatory lives in; `crates/obs/tests/ci_oracle.rs` pins the closed
+//! form against a brute-force inversion at small `n`.
+
+/// Two-sided 95 % normal quantile (`z` for a 95 % Wilson interval).
+pub const Z_95: f64 = 1.959_963_984_540_054;
+
+/// Two-sided 99 % normal quantile.
+pub const Z_99: f64 = 2.575_829_303_548_901;
+
+/// A binomial proportion estimate with its confidence interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BinomialCi {
+    /// Successes observed.
+    pub successes: u64,
+    /// Trials observed.
+    pub trials: u64,
+    /// The point estimate `successes / trials` (0 when `trials == 0`).
+    pub p_hat: f64,
+    /// Lower confidence bound, in `[0, 1]`.
+    pub lo: f64,
+    /// Upper confidence bound, in `[0, 1]`.
+    pub hi: f64,
+}
+
+impl BinomialCi {
+    /// Interval half-width (a rough "how well do we know this" scalar).
+    pub fn half_width(&self) -> f64 {
+        (self.hi - self.lo) / 2.0
+    }
+}
+
+/// The Wilson score interval for `successes` out of `trials` at normal
+/// quantile `z` (use [`Z_95`] / [`Z_99`]).
+///
+/// With `n = trials`, `p̂ = k/n` and `z² = zz`:
+///
+/// ```text
+/// centre = (p̂ + zz/2n) / (1 + zz/n)
+/// width  = z·√(p̂(1−p̂)/n + zz/4n²) / (1 + zz/n)
+/// ```
+///
+/// `trials == 0` yields the vacuous interval `[0, 1]` with `p_hat = 0` —
+/// an empty cell knows nothing.
+pub fn wilson_interval(successes: u64, trials: u64, z: f64) -> BinomialCi {
+    debug_assert!(successes <= trials, "successes must not exceed trials");
+    if trials == 0 {
+        return BinomialCi {
+            successes,
+            trials,
+            p_hat: 0.0,
+            lo: 0.0,
+            hi: 1.0,
+        };
+    }
+    let n = trials as f64;
+    let p_hat = successes as f64 / n;
+    let zz = z * z;
+    let denom = 1.0 + zz / n;
+    let centre = (p_hat + zz / (2.0 * n)) / denom;
+    let width = z * (p_hat * (1.0 - p_hat) / n + zz / (4.0 * n * n)).sqrt() / denom;
+    // At the edges the bound is analytically exact (`centre == width` when
+    // k = 0, symmetrically at k = n); pin it so rounding in `sqrt` cannot
+    // leave an epsilon that breaks `lo <= p_hat <= hi`.
+    let lo = if successes == 0 {
+        0.0
+    } else {
+        (centre - width).clamp(0.0, 1.0)
+    };
+    let hi = if successes == trials {
+        1.0
+    } else {
+        (centre + width).clamp(0.0, 1.0)
+    };
+    BinomialCi {
+        successes,
+        trials,
+        p_hat,
+        lo,
+        hi,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_cell_is_the_vacuous_interval() {
+        let ci = wilson_interval(0, 0, Z_95);
+        assert_eq!((ci.lo, ci.hi, ci.p_hat), (0.0, 1.0, 0.0));
+    }
+
+    #[test]
+    fn interval_contains_the_point_estimate() {
+        for (k, n) in [(0u64, 10u64), (1, 10), (5, 10), (10, 10), (3, 1000)] {
+            let ci = wilson_interval(k, n, Z_95);
+            assert!(ci.lo <= ci.p_hat && ci.p_hat <= ci.hi, "k={k} n={n}");
+            assert!((0.0..=1.0).contains(&ci.lo) && (0.0..=1.0).contains(&ci.hi));
+        }
+    }
+
+    #[test]
+    fn zero_successes_still_have_positive_upper_bound() {
+        // The rare-event case the observatory exists for: k = 0 must not
+        // claim certainty (the Wald interval would).
+        let ci = wilson_interval(0, 100, Z_95);
+        assert_eq!(ci.lo, 0.0);
+        assert!(ci.hi > 0.0 && ci.hi < 0.06, "hi = {}", ci.hi);
+    }
+
+    #[test]
+    fn interval_narrows_with_more_trials() {
+        let small = wilson_interval(5, 50, Z_95);
+        let large = wilson_interval(500, 5000, Z_95);
+        assert!(large.half_width() < small.half_width());
+    }
+
+    #[test]
+    fn higher_confidence_widens_the_interval() {
+        let ci95 = wilson_interval(5, 50, Z_95);
+        let ci99 = wilson_interval(5, 50, Z_99);
+        assert!(ci99.lo < ci95.lo && ci99.hi > ci95.hi);
+    }
+
+    #[test]
+    fn symmetric_around_half_for_symmetric_counts() {
+        let ci = wilson_interval(50, 100, Z_95);
+        assert!((ci.p_hat - 0.5).abs() < 1e-12);
+        assert!(((ci.hi - 0.5) - (0.5 - ci.lo)).abs() < 1e-12);
+    }
+}

@@ -6,7 +6,11 @@
 //! and the memory footprint per histogram is constant (~1 KiB). Relative
 //! quantile error is bounded by the bucket width (a factor of 2), and the
 //! snapshot additionally tracks exact `min`/`max`/`sum` so the reported
-//! percentiles are clamped to the observed range.
+//! percentiles are clamped to the observed range and [`HistogramSnapshot::mean`]
+//! is **exact** (never bucket-midpoint-approximated). The sum is 128-bit —
+//! a campaign merging billions of `u64` samples cannot overflow it — and
+//! [`HistogramSnapshot::merge`] stays commutative and associative, which is
+//! what lets the campaign store fold runs in completion order.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -48,7 +52,10 @@ pub fn bucket_bounds(index: usize) -> (u64, u64) {
 pub struct Histogram {
     buckets: [AtomicU64; BUCKETS],
     count: AtomicU64,
-    sum: AtomicU64,
+    /// Low 64 bits of the 128-bit running sum.
+    sum_lo: AtomicU64,
+    /// Carries out of `sum_lo` (the high 64 bits of the running sum).
+    sum_hi: AtomicU64,
     min: AtomicU64,
     max: AtomicU64,
 }
@@ -65,19 +72,24 @@ impl Histogram {
         Self {
             buckets: std::array::from_fn(|_| AtomicU64::new(0)),
             count: AtomicU64::new(0),
-            sum: AtomicU64::new(0),
+            sum_lo: AtomicU64::new(0),
+            sum_hi: AtomicU64::new(0),
             min: AtomicU64::new(u64::MAX),
             max: AtomicU64::new(0),
         }
     }
 
     /// Records one sample. All atomics are relaxed: per-instrument totals
-    /// are exact, and snapshots are only taken after the run quiesces.
+    /// are exact, and snapshots are only taken after the run quiesces
+    /// (which also makes the two-word sum read consistent).
     #[inline]
     pub fn record(&self, value: u64) {
         self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
-        self.sum.fetch_add(value, Ordering::Relaxed);
+        let prev = self.sum_lo.fetch_add(value, Ordering::Relaxed);
+        if u128::from(prev) + u128::from(value) > u128::from(u64::MAX) {
+            self.sum_hi.fetch_add(1, Ordering::Relaxed);
+        }
         self.min.fetch_min(value, Ordering::Relaxed);
         self.max.fetch_max(value, Ordering::Relaxed);
     }
@@ -88,7 +100,8 @@ impl Histogram {
         HistogramSnapshot {
             buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
             count,
-            sum: self.sum.load(Ordering::Relaxed),
+            sum: (u128::from(self.sum_hi.load(Ordering::Relaxed)) << 64)
+                | u128::from(self.sum_lo.load(Ordering::Relaxed)),
             min: if count == 0 {
                 0
             } else {
@@ -108,8 +121,9 @@ pub struct HistogramSnapshot {
     pub buckets: [u64; BUCKETS],
     /// Total number of samples.
     pub count: u64,
-    /// Sum of all samples (wrapping on overflow, which needs ~2^64 total).
-    pub sum: u64,
+    /// Exact sum of all samples (128-bit: even a campaign of 2⁶⁴ maximal
+    /// samples cannot overflow it, so [`mean`](Self::mean) is exact).
+    pub sum: u128,
     /// Smallest sample observed (0 when empty).
     pub min: u64,
     /// Largest sample observed (0 when empty).
@@ -134,7 +148,8 @@ impl HistogramSnapshot {
         self.count == 0
     }
 
-    /// Arithmetic mean of all samples (0.0 when empty).
+    /// Exact arithmetic mean of all samples (0.0 when empty): the exact
+    /// 128-bit sum over the count, not a bucket-midpoint approximation.
     pub fn mean(&self) -> f64 {
         if self.count == 0 {
             0.0
@@ -207,7 +222,7 @@ impl HistogramSnapshot {
         };
         self.max = self.max.max(other.max);
         self.count += other.count;
-        self.sum = self.sum.wrapping_add(other.sum);
+        self.sum += other.sum;
     }
 }
 

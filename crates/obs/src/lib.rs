@@ -39,23 +39,33 @@
 #[cfg(feature = "alloc-count")]
 mod alloc_count;
 mod chrome;
+mod ci;
 mod event;
 mod hist;
+mod json;
 mod metrics;
+mod progress;
 mod recorder;
 mod ring;
+mod store;
 mod telemetry;
 mod trace;
 
 #[cfg(feature = "alloc-count")]
 pub use alloc_count::{alloc_counts, AllocCounts, CountingAlloc};
 pub use chrome::chrome_trace_json;
+pub use ci::{wilson_interval, BinomialCi, Z_95, Z_99};
 pub use event::Event;
 pub use hist::{bucket_bounds, bucket_index, Histogram, HistogramSnapshot, BUCKETS};
+pub use json::{write_f64, write_json_string, JsonError, JsonValue};
 pub use metrics::{Counter, Gauge};
+pub use progress::{ProgressMeter, WorkerStat};
 pub use recorder::{Recorder, Registry, Span};
 pub use ring::TraceRing;
-pub use telemetry::RunTelemetry;
+pub use store::{
+    to_micro, CampaignStore, CellAggregate, CellSample, RiskPoint, RunKey, RunSummary, MICRO,
+};
+pub use telemetry::{deterministic_instrument, RunTelemetry, FLEET_PREFIX};
 pub use trace::{
     ArtifactKind, TraceEvent, TraceId, TraceLog, TraceStage, Tracer, DEFAULT_TRACE_CAPACITY,
 };

@@ -1,0 +1,215 @@
+//! Live campaign progress for `repro --progress`.
+//!
+//! The meter is deliberately *passive*: it holds counts and an EWMA, and
+//! formats a one-line status on demand. The caller owns the clock (every
+//! method takes or receives explicit nanoseconds), which keeps the type
+//! deterministic and unit-testable — and keeps wall time out of every
+//! code path that feeds digests. Rendering goes to stderr so it never
+//! contaminates the byte-diffed stdout reports.
+
+use std::fmt::Write as _;
+
+/// Smoothing factor for the per-run wall-time EWMA (≈ the last five runs
+/// dominate the ETA).
+const EWMA_ALPHA: f64 = 0.2;
+
+/// Per-worker completion statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct WorkerStat {
+    /// Runs this worker completed.
+    pub runs: u64,
+    /// Nanoseconds this worker spent executing runs.
+    pub busy_ns: u64,
+}
+
+/// Streaming progress state for one campaign: runs done/total, a
+/// wall-clock EWMA for the ETA, the rolling collision rate, and
+/// per-worker utilization.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProgressMeter {
+    total: u64,
+    done: u64,
+    collided_runs: u64,
+    ewma_run_ns: f64,
+    workers: Vec<WorkerStat>,
+}
+
+impl ProgressMeter {
+    /// A meter for `total` runs on `workers` workers.
+    pub fn new(total: u64, workers: usize) -> Self {
+        ProgressMeter {
+            total,
+            done: 0,
+            collided_runs: 0,
+            ewma_run_ns: 0.0,
+            workers: vec![WorkerStat::default(); workers.max(1)],
+        }
+    }
+
+    /// Records one completed run: which worker ran it, how long it took,
+    /// and whether it collided.
+    pub fn on_run(&mut self, worker: usize, wall_ns: u64, collided: bool) {
+        self.done += 1;
+        self.collided_runs += u64::from(collided);
+        self.ewma_run_ns = if self.done == 1 {
+            wall_ns as f64
+        } else {
+            EWMA_ALPHA * wall_ns as f64 + (1.0 - EWMA_ALPHA) * self.ewma_run_ns
+        };
+        if let Some(w) = self.workers.get_mut(worker) {
+            w.runs += 1;
+            w.busy_ns += wall_ns;
+        }
+    }
+
+    /// Runs completed so far.
+    pub fn done(&self) -> u64 {
+        self.done
+    }
+
+    /// Total runs expected.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Runs that ended with at least one collision.
+    pub fn collided_runs(&self) -> u64 {
+        self.collided_runs
+    }
+
+    /// Per-worker stats.
+    pub fn workers(&self) -> &[WorkerStat] {
+        &self.workers
+    }
+
+    /// Estimated nanoseconds to completion, from the EWMA of per-run wall
+    /// time spread across the workers. `None` before the first run lands.
+    pub fn eta_ns(&self) -> Option<u64> {
+        if self.done == 0 {
+            return None;
+        }
+        let remaining = self.total.saturating_sub(self.done) as f64;
+        Some((remaining * self.ewma_run_ns / self.workers.len() as f64) as u64)
+    }
+
+    /// Mean worker utilization over `elapsed_ns` of campaign wall time:
+    /// busy time across workers / (elapsed × workers), clamped to 1.
+    pub fn utilization(&self, elapsed_ns: u64) -> f64 {
+        if elapsed_ns == 0 {
+            return 0.0;
+        }
+        let busy: u64 = self.workers.iter().map(|w| w.busy_ns).sum();
+        (busy as f64 / (elapsed_ns as f64 * self.workers.len() as f64)).min(1.0)
+    }
+
+    /// Formats the one-line status for `elapsed_ns` of campaign wall
+    /// time, e.g.:
+    ///
+    /// ```text
+    /// [ 12/36]  33%  eta 41.0s  collisions 2/12 (16.7%)  util 87%  4 workers
+    /// ```
+    pub fn line(&self, elapsed_ns: u64) -> String {
+        let mut out = String::with_capacity(96);
+        let pct = if self.total > 0 {
+            self.done as f64 * 100.0 / self.total as f64
+        } else {
+            100.0
+        };
+        let _ = write!(out, "[{:>3}/{}] {:>3.0}%", self.done, self.total, pct);
+        match self.eta_ns() {
+            Some(eta) if self.done < self.total => {
+                let _ = write!(out, "  eta {:.1}s", eta as f64 * 1e-9);
+            }
+            _ => {
+                let _ = write!(out, "  {:.1}s elapsed", elapsed_ns as f64 * 1e-9);
+            }
+        }
+        let rate = if self.done > 0 {
+            self.collided_runs as f64 * 100.0 / self.done as f64
+        } else {
+            0.0
+        };
+        let _ = write!(
+            out,
+            "  collisions {}/{} ({rate:.1}%)  util {:.0}%  {} worker(s)",
+            self.collided_runs,
+            self.done,
+            self.utilization(elapsed_ns) * 100.0,
+            self.workers.len()
+        );
+        out
+    }
+
+    /// Renders the status line to stderr, overwriting the previous one
+    /// (`\r`, no newline). Call [`finish_stderr`](Self::finish_stderr)
+    /// once at the end to terminate the line.
+    pub fn render_stderr(&self, elapsed_ns: u64) {
+        eprint!("\r{}", self.line(elapsed_ns));
+    }
+
+    /// Terminates the in-place stderr line with a newline.
+    pub fn finish_stderr(&self, elapsed_ns: u64) {
+        eprintln!("\r{}", self.line(elapsed_ns));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_and_collision_rate() {
+        let mut m = ProgressMeter::new(10, 2);
+        m.on_run(0, 1_000_000_000, false);
+        m.on_run(1, 1_000_000_000, true);
+        m.on_run(0, 1_000_000_000, false);
+        assert_eq!(m.done(), 3);
+        assert_eq!(m.collided_runs(), 1);
+        assert_eq!(m.workers()[0].runs, 2);
+        assert_eq!(m.workers()[1].runs, 1);
+        let line = m.line(2_000_000_000);
+        assert!(line.contains("[  3/10]"), "{line}");
+        assert!(line.contains("collisions 1/3 (33.3%)"), "{line}");
+    }
+
+    #[test]
+    fn eta_tracks_the_ewma() {
+        let mut m = ProgressMeter::new(4, 1);
+        assert_eq!(m.eta_ns(), None);
+        m.on_run(0, 2_000_000_000, false);
+        // 3 runs left at ~2 s each on one worker.
+        let eta = m.eta_ns().unwrap();
+        assert_eq!(eta, 6_000_000_000);
+        // Faster runs pull the estimate down monotonically.
+        m.on_run(0, 1_000_000_000, false);
+        assert!(m.eta_ns().unwrap() < 4_000_000_000);
+    }
+
+    #[test]
+    fn utilization_is_bounded() {
+        let mut m = ProgressMeter::new(2, 2);
+        m.on_run(0, 500, false);
+        m.on_run(1, 500, false);
+        assert_eq!(m.utilization(0), 0.0);
+        assert!((m.utilization(500) - 1.0).abs() < 1e-12);
+        assert!((m.utilization(1000) - 0.5).abs() < 1e-12);
+        assert!(m.utilization(100) <= 1.0);
+    }
+
+    #[test]
+    fn completed_meter_reports_elapsed_not_eta() {
+        let mut m = ProgressMeter::new(1, 1);
+        m.on_run(0, 1_000_000_000, false);
+        let line = m.line(1_500_000_000);
+        assert!(line.contains("1.5s elapsed"), "{line}");
+        assert!(!line.contains("eta"), "{line}");
+    }
+
+    #[test]
+    fn out_of_range_worker_ids_are_tolerated() {
+        let mut m = ProgressMeter::new(2, 1);
+        m.on_run(7, 100, true);
+        assert_eq!(m.done(), 1);
+        assert_eq!(m.workers()[0].runs, 0);
+    }
+}

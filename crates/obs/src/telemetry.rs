@@ -78,9 +78,16 @@ impl RunTelemetry {
     }
 
     /// A stable 64-bit fingerprint over the *deterministic* telemetry
-    /// content: counters, gauges, histograms and events — excluding every
-    /// wall-clock field (`wall_elapsed_ns`, per-event `wall_ns`), which
-    /// vary run to run on real hardware.
+    /// content: counters, gauges, histograms and events — excluding
+    ///
+    /// * every wall-clock field (`wall_elapsed_ns`, per-event `wall_ns`),
+    /// * every instrument whose name ends in `_ns` (by convention those
+    ///   sample wall-clock spans — stage timings, codec cost — which vary
+    ///   run to run on real hardware), and
+    /// * every instrument under the `executor.` prefix, which reports
+    ///   fleet scheduling (queue depth, per-worker run counts) that
+    ///   legitimately varies with `--jobs` / `--batch` while the campaign
+    ///   digest must not.
     ///
     /// Hand-rolled FNV-1a-64 with a SplitMix64 finalizer (the same
     /// construction as `rdsim_math::StableHasher`, duplicated here because
@@ -88,22 +95,27 @@ impl RunTelemetry {
     /// must fingerprint identically whether they executed serially or on a
     /// parallel worker; the campaign digest folds this value in.
     pub fn fingerprint(&self) -> u64 {
+        let deterministic = deterministic_instrument;
         let mut h = Fnv::new();
-        h.u64(self.counters.len() as u64);
-        for (name, value) in &self.counters {
+        let counters = || self.counters.iter().filter(|(n, _)| deterministic(n));
+        h.u64(counters().count() as u64);
+        for (name, value) in counters() {
             h.str(name);
             h.u64(*value);
         }
-        h.u64(self.gauges.len() as u64);
-        for (name, value) in &self.gauges {
+        let gauges = || self.gauges.iter().filter(|(n, _)| deterministic(n));
+        h.u64(gauges().count() as u64);
+        for (name, value) in gauges() {
             h.str(name);
             h.u64(value.to_bits());
         }
-        h.u64(self.histograms.len() as u64);
-        for (name, snapshot) in &self.histograms {
+        let hists = || self.histograms.iter().filter(|(n, _)| deterministic(n));
+        h.u64(hists().count() as u64);
+        for (name, snapshot) in hists() {
             h.str(name);
             h.u64(snapshot.count);
-            h.u64(snapshot.sum);
+            h.u64(snapshot.sum as u64);
+            h.u64((snapshot.sum >> 64) as u64);
             h.u64(snapshot.min);
             h.u64(snapshot.max);
             // Sparse: only non-empty buckets, framed as (index, count).
@@ -233,13 +245,29 @@ impl RunTelemetry {
     }
 }
 
-/// Minimal stable hasher backing [`RunTelemetry::fingerprint`]: FNV-1a 64
-/// over little-endian bytes with length-prefixed strings, diffused through
-/// one SplitMix64 round at the end.
-struct Fnv(u64);
+/// Instrument-name prefix for fleet-level executor signals (queue depth,
+/// per-worker runs completed). These describe *how the campaign was
+/// scheduled*, not what any run computed, so [`RunTelemetry::fingerprint`]
+/// skips them: the campaign digest stays invariant across `--jobs` /
+/// `--batch` even with fleet telemetry enabled.
+pub const FLEET_PREFIX: &str = "executor.";
+
+/// True when an instrument name carries *deterministic* content — i.e. it
+/// is neither a wall-clock span (`_ns` suffix) nor a fleet-scheduling
+/// signal ([`FLEET_PREFIX`]). Fingerprints and campaign digests hash only
+/// deterministic instruments; reports and JSON exports keep everything.
+pub fn deterministic_instrument(name: &str) -> bool {
+    !name.starts_with(FLEET_PREFIX) && !name.ends_with("_ns")
+}
+
+/// Minimal stable hasher backing [`RunTelemetry::fingerprint`] and the
+/// campaign-store fingerprint: FNV-1a 64 over little-endian bytes with
+/// length-prefixed strings, diffused through one SplitMix64 round at the
+/// end.
+pub(crate) struct Fnv(u64);
 
 impl Fnv {
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         Fnv(0xCBF2_9CE4_8422_2325)
     }
 
@@ -250,16 +278,16 @@ impl Fnv {
         }
     }
 
-    fn u64(&mut self, v: u64) {
+    pub(crate) fn u64(&mut self, v: u64) {
         self.raw(&v.to_le_bytes());
     }
 
-    fn str(&mut self, s: &str) {
+    pub(crate) fn str(&mut self, s: &str) {
         self.u64(s.len() as u64);
         self.raw(s.as_bytes());
     }
 
-    fn finish(&self) -> u64 {
+    pub(crate) fn finish(&self) -> u64 {
         let mut z = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
         z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
         z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
@@ -380,6 +408,28 @@ mod tests {
         let mut d = sample();
         d.events[0].note = "loss=11%".to_owned();
         assert_ne!(a.fingerprint(), d.fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_ignores_fleet_instruments() {
+        let a = sample();
+        let mut b = sample();
+        b.counters.insert("executor.runs_completed.w3".into(), 17);
+        b.gauges.insert("executor.queue_depth".into(), 4.0);
+        let mut h = HistogramSnapshot::default();
+        h.merge(&{
+            let hist = crate::Histogram::new();
+            hist.record(250);
+            hist.snapshot()
+        });
+        b.histograms.insert("executor.chunk_ns".into(), h);
+        assert_eq!(
+            a.fingerprint(),
+            b.fingerprint(),
+            "executor.* instruments must not affect the fingerprint"
+        );
+        // …but they still show up in merge/json output.
+        assert!(b.to_json().contains("executor.queue_depth"));
     }
 
     #[test]

@@ -1,0 +1,117 @@
+//! Brute-force oracle for the Wilson score interval.
+//!
+//! The Wilson interval is *defined* as the inversion of the score test:
+//! the set of true proportions `p` for which the observed `k` of `n` is
+//! not rejected at level `z`, i.e. `|p̂ − p| ≤ z·√(p(1−p)/n)`. The closed
+//! form in `rdsim_obs::ci` is algebra on that definition; here a grid scan
+//! recovers the acceptance region directly from the definition and pins
+//! the closed form's bounds against it at every small `n` — the regime
+//! the risk surface actually reports (a handful of fault windows per
+//! cell).
+
+use proptest::prelude::*;
+use rdsim_obs::{wilson_interval, Z_95, Z_99};
+
+/// Grid resolution of the brute-force scan (bounds are recovered to
+/// within one step).
+const STEPS: u64 = 20_000;
+const STEP: f64 = 1.0 / STEPS as f64;
+
+/// Scans `p` over `[0, 1]` and returns the smallest and largest grid
+/// points the score test accepts for `k` of `n`.
+fn brute_force_bounds(k: u64, n: u64, z: f64) -> (f64, f64) {
+    let p_hat = k as f64 / n as f64;
+    let mut lo = f64::NAN;
+    let mut hi = f64::NAN;
+    for i in 0..=STEPS {
+        let p = i as f64 * STEP;
+        let se = (p * (1.0 - p) / n as f64).sqrt();
+        if (p_hat - p).abs() <= z * se {
+            if lo.is_nan() {
+                lo = p;
+            }
+            hi = p;
+        }
+    }
+    assert!(!lo.is_nan(), "p = p̂ is always accepted");
+    (lo, hi)
+}
+
+#[test]
+fn closed_form_matches_the_score_test_inversion_at_small_n() {
+    for n in 1..=25u64 {
+        for k in 0..=n {
+            for z in [Z_95, Z_99] {
+                let ci = wilson_interval(k, n, z);
+                let (lo, hi) = brute_force_bounds(k, n, z);
+                // The acceptance region is contiguous, so each brute bound
+                // is within one grid step of the true inversion bound.
+                assert!(
+                    (ci.lo - lo).abs() <= STEP + 1e-9,
+                    "lo mismatch at k={k} n={n} z={z}: closed {} vs brute {lo}",
+                    ci.lo
+                );
+                assert!(
+                    (ci.hi - hi).abs() <= STEP + 1e-9,
+                    "hi mismatch at k={k} n={n} z={z}: closed {} vs brute {hi}",
+                    ci.hi
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn edge_counts_pin_to_exact_bounds() {
+    // k = 0 knows p could be 0 exactly; k = n knows p could be 1 exactly.
+    // The closed form pins these analytically (no sqrt rounding allowed).
+    for n in 1..=50u64 {
+        let none = wilson_interval(0, n, Z_95);
+        assert_eq!(none.lo, 0.0, "n={n}");
+        assert!(none.hi > 0.0, "k=0 must not claim certainty (n={n})");
+        let all = wilson_interval(n, n, Z_95);
+        assert_eq!(all.hi, 1.0, "n={n}");
+        assert!(all.lo < 1.0, "n={n}");
+    }
+}
+
+proptest! {
+    #[test]
+    fn interval_is_sane_at_any_count(
+        n in 1u64..5_000,
+        k_seed in proptest::num::u64::ANY,
+        z_99 in proptest::bool::ANY,
+    ) {
+        let k = k_seed % (n + 1);
+        let z = if z_99 { Z_99 } else { Z_95 };
+        let ci = wilson_interval(k, n, z);
+        prop_assert!(ci.lo <= ci.p_hat && ci.p_hat <= ci.hi, "k={} n={}", k, n);
+        prop_assert!((0.0..=1.0).contains(&ci.lo));
+        prop_assert!((0.0..=1.0).contains(&ci.hi));
+        prop_assert!(ci.half_width() > 0.0, "a finite sample never has zero width");
+    }
+
+    #[test]
+    fn bounds_are_monotone_in_successes(
+        n in 1u64..2_000,
+        k_seed in proptest::num::u64::ANY,
+    ) {
+        // One more observed success can only move the interval up.
+        let k = k_seed % n;
+        let a = wilson_interval(k, n, Z_95);
+        let b = wilson_interval(k + 1, n, Z_95);
+        prop_assert!(b.lo >= a.lo, "lo went down: k={} n={}", k, n);
+        prop_assert!(b.hi >= a.hi, "hi went down: k={} n={}", k, n);
+    }
+
+    #[test]
+    fn higher_confidence_never_narrows(
+        n in 1u64..2_000,
+        k_seed in proptest::num::u64::ANY,
+    ) {
+        let k = k_seed % (n + 1);
+        let ci95 = wilson_interval(k, n, Z_95);
+        let ci99 = wilson_interval(k, n, Z_99);
+        prop_assert!(ci99.lo <= ci95.lo && ci95.hi <= ci99.hi, "k={} n={}", k, n);
+    }
+}

@@ -25,8 +25,14 @@ fn check_against_oracle(mut values: Vec<u64>, q: f64) {
     prop_assert_eq!(snap.count as usize, values.len());
     prop_assert_eq!(snap.min, values[0]);
     prop_assert_eq!(snap.max, *values.last().unwrap());
-    let oracle_sum = values.iter().fold(0u64, |a, &v| a.wrapping_add(v));
+    let oracle_sum = values.iter().fold(0u128, |a, &v| a + u128::from(v));
     prop_assert_eq!(snap.sum, oracle_sum);
+    let oracle_mean = oracle_sum as f64 / values.len() as f64;
+    prop_assert_eq!(
+        snap.mean(),
+        oracle_mean,
+        "mean must be exact, not bucket-approximated"
+    );
 
     // Bucket totals must partition the sorted values.
     for (i, &n) in snap.buckets.iter().enumerate() {
@@ -70,6 +76,45 @@ proptest! {
         q in 0.0f64..1.0,
     ) {
         check_against_oracle(values, q);
+    }
+
+    #[test]
+    fn merge_matches_oracle_and_carries_past_u64(
+        parts in proptest::collection::vec(
+            proptest::collection::vec(proptest::num::u64::ANY, 0..40),
+            1..6,
+        ),
+    ) {
+        // Fold per-partition snapshots in both directions; each must equal
+        // recording every sample into one histogram. u64::MAX-scale samples
+        // push the exact sum well past 2^64, exercising the carry word.
+        let all = Histogram::new();
+        let mut snaps = Vec::new();
+        for part in &parts {
+            let h = Histogram::new();
+            for &v in part {
+                h.record(v);
+                all.record(v);
+            }
+            snaps.push(h.snapshot());
+        }
+        let expect = all.snapshot();
+        let oracle_sum = parts
+            .iter()
+            .flatten()
+            .fold(0u128, |a, &v| a + u128::from(v));
+        prop_assert_eq!(expect.sum, oracle_sum);
+
+        let mut fwd = rdsim_obs::HistogramSnapshot::default();
+        for s in &snaps {
+            fwd.merge(s);
+        }
+        let mut rev = rdsim_obs::HistogramSnapshot::default();
+        for s in snaps.iter().rev() {
+            rev.merge(s);
+        }
+        prop_assert_eq!(&fwd, &expect);
+        prop_assert_eq!(&rev, &expect, "merge must be commutative");
     }
 
     #[test]

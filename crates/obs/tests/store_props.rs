@@ -1,0 +1,200 @@
+//! Property tests for the campaign store's merge algebra.
+//!
+//! The store's whole design rests on three laws (see the module docs of
+//! `rdsim_obs::store`): folding is **order-insensitive**, merging is
+//! **associative and commutative** over disjoint run sets, and a summary
+//! **round-trips through JSON bit-exactly** so checkpoint replay rebuilds
+//! the identical store. The unit tests pin those laws on one fixture;
+//! these properties hold them over arbitrary summary sets, arbitrary fold
+//! orders and arbitrary split points — the shapes real campaigns produce
+//! when workers finish out of order, shards merge, or a resume folds a
+//! checkpoint back in.
+
+use proptest::prelude::*;
+use rdsim_obs::{CampaignStore, CellSample, Histogram, RunSummary};
+
+/// Condition labels a summary may observe (fault cells plus a whole-run
+/// cell; duplicates across summaries are the point — they must land in
+/// the same aggregate regardless of arrival order).
+const CONDITIONS: [&str; 6] = [
+    "delay:05ms",
+    "delay:25ms",
+    "delay:50ms",
+    "loss:02pct",
+    "loss:05pct",
+    "run:faulty",
+];
+
+const KINDS: [&str; 3] = ["training", "golden", "faulty"];
+
+/// One raw summary spec drawn by proptest: (digest, wall_ns, cells as
+/// 8-tuples of raw integers, histogram samples, a counter value).
+type Spec = (u64, u64, Vec<Vec<u64>>, Vec<u64>, u64);
+
+fn spec_strategy() -> impl Strategy<Value = Vec<Spec>> {
+    proptest::collection::vec(
+        (
+            proptest::num::u64::ANY,
+            0u64..1_000_000,
+            proptest::collection::vec(proptest::collection::vec(0u64..1_000_000, 8), 0..5),
+            // Full-range samples push histogram sums past 2^64, exercising
+            // the u128 carry through fold, merge and JSON.
+            proptest::collection::vec(proptest::num::u64::ANY, 0..6),
+            0u64..1_000_000,
+        ),
+        1..25,
+    )
+}
+
+/// Expands a spec into a summary with a key unique within the set
+/// (subject/kind derived from the index, as a real roster would).
+fn build(index: usize, spec: &Spec) -> RunSummary {
+    let (digest, wall_ns, cells, hist_samples, counter) = spec;
+    let mut s = RunSummary {
+        scenario: "town05".to_owned(),
+        subject: format!("S{:02}", index / KINDS.len()),
+        kind: KINDS[index % KINDS.len()].to_owned(),
+        seed: *digest ^ 0x5EED,
+        digest: *digest,
+        wall_ns: *wall_ns,
+        ..RunSummary::default()
+    };
+    for raw in cells {
+        let exposures = raw[1] % 1000;
+        let ttc_samples = raw[4] % 10_000;
+        s.cells.push(CellSample {
+            condition: CONDITIONS[raw[0] as usize % CONDITIONS.len()].to_owned(),
+            exposures,
+            collided: raw[2] % (exposures + 1),
+            collisions: raw[2] % 50,
+            ttc_breaches: raw[3] % (ttc_samples + 1),
+            ttc_samples,
+            srr_reversals: raw[5] % 500,
+            srr_rate_micro: raw[6] as i64 - 500_000,
+            srr_runs: raw[7] % 2,
+        });
+    }
+    if !hist_samples.is_empty() {
+        let h = Histogram::new();
+        for &v in hist_samples {
+            h.record(v);
+        }
+        s.histograms
+            .insert("session.frame_age_us".to_owned(), h.snapshot());
+    }
+    s.counters.insert("session.steps".to_owned(), *counter);
+    s
+}
+
+fn summaries(specs: &[Spec]) -> Vec<RunSummary> {
+    specs.iter().enumerate().map(|(i, s)| build(i, s)).collect()
+}
+
+fn folded(runs: &[RunSummary]) -> CampaignStore {
+    let mut store = CampaignStore::new();
+    for s in runs {
+        assert!(store.fold(s), "keys are unique by construction");
+    }
+    store
+}
+
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn shuffled(runs: &[RunSummary], seed: u64) -> Vec<RunSummary> {
+    let mut out = runs.to_vec();
+    let mut state = seed;
+    for i in (1..out.len()).rev() {
+        let j = (splitmix(&mut state) as usize) % (i + 1);
+        out.swap(i, j);
+    }
+    out
+}
+
+proptest! {
+    #[test]
+    fn fold_order_never_changes_the_store(
+        specs in spec_strategy(),
+        order_seed in proptest::num::u64::ANY,
+    ) {
+        let runs = summaries(&specs);
+        let reference = folded(&runs);
+        let permuted = folded(&shuffled(&runs, order_seed));
+        prop_assert_eq!(&permuted, &reference);
+        prop_assert_eq!(permuted.fingerprint(), reference.fingerprint());
+    }
+
+    #[test]
+    fn split_merge_is_commutative_and_equals_single_shot(
+        specs in spec_strategy(),
+        split_seed in proptest::num::u64::ANY,
+    ) {
+        let runs = summaries(&specs);
+        let whole = folded(&runs);
+        let split = (split_seed as usize) % (runs.len() + 1);
+        let (a, b) = runs.split_at(split);
+        let (left, right) = (folded(a), folded(b));
+
+        let mut ab = left.clone();
+        ab.merge(&right);
+        let mut ba = right.clone();
+        ba.merge(&left);
+        prop_assert_eq!(&ab, &whole, "left ∪ right ≠ single-shot at split {}", split);
+        prop_assert_eq!(&ba, &ab, "merge is not commutative at split {}", split);
+        prop_assert_eq!(ba.fingerprint(), whole.fingerprint());
+    }
+
+    #[test]
+    fn three_way_merge_is_associative(
+        specs in spec_strategy(),
+        cut_seed in proptest::num::u64::ANY,
+    ) {
+        let runs = summaries(&specs);
+        let whole = folded(&runs);
+        let i = (cut_seed as usize) % (runs.len() + 1);
+        let j = i + (cut_seed >> 32) as usize % (runs.len() - i + 1);
+        let (a, b, c) = (folded(&runs[..i]), folded(&runs[i..j]), folded(&runs[j..]));
+
+        let mut left_first = a.clone();
+        left_first.merge(&b);
+        left_first.merge(&c);
+        let mut right_first = b.clone();
+        right_first.merge(&c);
+        let mut outer = a.clone();
+        outer.merge(&right_first);
+        prop_assert_eq!(&left_first, &outer, "(a∪b)∪c ≠ a∪(b∪c) at cuts {}/{}", i, j);
+        prop_assert_eq!(&left_first, &whole);
+    }
+
+    #[test]
+    fn checkpoint_replay_rebuilds_the_store(
+        specs in spec_strategy(),
+        order_seed in proptest::num::u64::ANY,
+    ) {
+        // Round-trip every summary through its JSON checkpoint line, fold
+        // the parsed copies in a different order, and refold duplicates —
+        // exactly what a resume does. The store must come back identical.
+        let runs = summaries(&specs);
+        let reference = folded(&runs);
+        let replayed: Vec<RunSummary> = shuffled(&runs, order_seed)
+            .iter()
+            .map(|s| {
+                let line = s.to_json();
+                let back = RunSummary::from_json(&line).expect("checkpoint line parses");
+                assert_eq!(&back, s, "JSON round-trip must be bit-exact");
+                back
+            })
+            .collect();
+        let mut store = folded(&replayed);
+        for s in &replayed {
+            prop_assert!(!store.fold(s), "refolding a known key must be a no-op");
+        }
+        prop_assert_eq!(&store, &reference);
+        prop_assert_eq!(store.fingerprint(), reference.fingerprint());
+    }
+}

@@ -22,6 +22,7 @@
 //! | [`core`] | `rdsim-core` | RDS architecture + HIL sessions |
 //! | [`operator`] | `rdsim-operator` | simulated human drivers |
 //! | [`metrics`] | `rdsim-metrics` | TTC, SRR, collision analysis |
+//! | [`obs`] | `rdsim-obs` | telemetry, campaign store, confidence intervals |
 //! | [`experiments`] | `rdsim-experiments` | the paper-reproduction harness |
 //!
 //! # Quickstart
@@ -63,6 +64,7 @@ pub use rdsim_experiments as experiments;
 pub use rdsim_math as math;
 pub use rdsim_metrics as metrics;
 pub use rdsim_netem as netem;
+pub use rdsim_obs as obs;
 pub use rdsim_operator as operator;
 pub use rdsim_roadnet as roadnet;
 pub use rdsim_simulator as simulator;
