@@ -9,7 +9,9 @@
 //! * `null_trace` — the always-on flight recorder alone (the cost every
 //!   run pays by default);
 //! * `telemetry_null` — live recorder, no tracer (the PR 1 baseline);
-//! * `telemetry_trace` — both (the `--telemetry --trace-out` path).
+//! * `telemetry_trace` — both (the `--telemetry --trace-out` path);
+//! * `timeline_null` — the per-window timeline alone (the `--forensics`
+//!   path), gated at <2% of the floor via `timeline_overhead_ok`.
 //!
 //! Set `RDSIM_BENCH_FULL=1` to additionally time `repro collisions
 //! --quick`-equivalent studies (3× telemetry-only vs 3× telemetry+trace)
@@ -21,7 +23,8 @@ use rdsim_core::{RdsSession, RdsSessionConfig};
 use rdsim_experiments::{run_study, ScenarioConfig};
 use rdsim_netem::NetemConfig;
 use rdsim_obs::{
-    to_micro, CampaignStore, CellSample, Histogram, Recorder, Registry, RunSummary, Tracer, Z_95,
+    to_micro, CampaignStore, CellSample, Histogram, Recorder, Registry, RunSummary, Timeline,
+    Tracer, Z_95,
 };
 use rdsim_roadnet::town05;
 use rdsim_simulator::{ActorKind, Behavior, CameraConfig, LaneFollowConfig, World};
@@ -34,7 +37,7 @@ const STEPS: u64 = 3_000;
 /// Timed samples per configuration (median reported).
 const SAMPLES: usize = 5;
 
-fn session(recorder: Recorder, tracer: Tracer, seed: u64) -> RdsSession {
+fn session(recorder: Recorder, tracer: Tracer, timeline: bool, seed: u64) -> RdsSession {
     let mut world = World::new(town05(), seed);
     world.spawn_ego_at("ego-start", VehicleSpec::passenger_car());
     world.spawn_npc_at(
@@ -48,6 +51,7 @@ fn session(recorder: Recorder, tracer: Tracer, seed: u64) -> RdsSession {
         camera: CameraConfig::fixed(Hertz::new(25.0), 2_000),
         recorder,
         tracer,
+        timeline,
         ..RdsSessionConfig::default()
     };
     RdsSession::new(world, config, seed)
@@ -56,10 +60,14 @@ fn session(recorder: Recorder, tracer: Tracer, seed: u64) -> RdsSession {
 /// Median wall seconds to run `STEPS` steps in the given configuration,
 /// over `SAMPLES` timed sessions (a 5% loss fault keeps the netem paths
 /// busy so the tracer's qdisc annotations are exercised).
-fn time_config(make_recorder: impl Fn() -> Recorder, make_tracer: impl Fn() -> Tracer) -> f64 {
+fn time_config(
+    make_recorder: impl Fn() -> Recorder,
+    make_tracer: impl Fn() -> Tracer,
+    timeline: bool,
+) -> f64 {
     let mut times = Vec::with_capacity(SAMPLES);
     for sample in 0..SAMPLES {
-        let mut s = session(make_recorder(), make_tracer(), 40 + sample as u64);
+        let mut s = session(make_recorder(), make_tracer(), timeline, 40 + sample as u64);
         s.inject_now(NetemConfig::default().with_loss(Ratio::from_percent(5.0)));
         let mut op = rdsim_core::ScriptedOperator::constant(ControlInput::new(0.4, 0.0, 0.0));
         let start = Instant::now();
@@ -133,6 +141,7 @@ fn synthetic_summary(i: usize) -> RunSummary {
         srr_reversals: 12,
         srr_rate_micro: to_micro(20.0 + (i % 10) as f64),
         srr_runs: 1,
+        fault_exposure_us: 40_000_000,
     });
     if kind == "faulty" {
         for (f, fault) in FAULTS.iter().enumerate() {
@@ -146,6 +155,7 @@ fn synthetic_summary(i: usize) -> RunSummary {
                 srr_reversals: 3,
                 srr_rate_micro: to_micro(25.0 + f as f64),
                 srr_runs: 1,
+                fault_exposure_us: 8_000_000,
             });
         }
     }
@@ -159,6 +169,44 @@ fn synthetic_summary(i: usize) -> RunSummary {
     s.histograms
         .insert("session.frame_age_us".to_owned(), hist.snapshot());
     s
+}
+
+/// Run timelines merged per timed timeline-fold sample (one per campaign
+/// run — the shape a forensics-enabled campaign roll-up folds).
+const TIMELINE_RUNS: usize = 2_000;
+
+/// A synthetic but shape-faithful 60 s run timeline: 25 frames and 50
+/// commands per 1 s window with an exact four-leg decomposition, periodic
+/// fault windows carrying propagation delay and drops, gated-TTC dips and
+/// speed samples — what a forensics-enabled study run hands the store.
+fn synthetic_timeline(i: usize) -> Timeline {
+    let mut tl = Timeline::new(1_000_000);
+    tl.preallocate(60_000_000);
+    for w in 0..60u64 {
+        let faulted = (10..18).contains(&w) || (35..43).contains(&w);
+        let t = w * 1_000_000 + 500_000;
+        let win = tl.window_mut(t);
+        for f in 0..25u64 {
+            let display = 38_000 + (i as u64 % 997) + f * 13;
+            let prop = if faulted { 25_000 } else { 0 };
+            win.record_frame(1_200 + 300 + prop + display, 1_200, 300, prop, display);
+        }
+        for c in 0..50u64 {
+            let prop = if faulted { 25_000 } else { 0 };
+            win.record_command(9_000 + prop + c * 7, faulted);
+        }
+        if faulted {
+            win.up_dropped += 2;
+            win.down_dropped += 1;
+            win.up_queue_max = win.up_queue_max.max(6);
+            win.record_gated_ttc(1_800_000 + (i as u64 % 31) * 10_000);
+            win.fault_bits |= Timeline::FAULT_ACTIVE | Timeline::FAULT_DELAY | Timeline::FAULT_LOSS;
+        }
+        win.srr_reversals += u64::from(faulted);
+        win.speed_sum_mmps += 50 * 8_400;
+        win.speed_samples += 50;
+    }
+    tl
 }
 
 fn median_secs(samples: usize, mut run: impl FnMut()) -> f64 {
@@ -261,19 +309,85 @@ fn bench_store_fold(report: &mut Report, session_floor_secs: f64) {
         .bool("store_overhead_ok", store_overhead_ok);
 }
 
+/// Times the timeline datapath: merging `TIMELINE_RUNS` run timelines
+/// into a campaign roll-up, serializing each run's timeline JSON, and
+/// splicing a ±5 s forensics window. The gate compares a timeline-enabled
+/// session against the recorder-off floor: the in-session cost of the
+/// per-window aggregation must stay under 2% of the cheapest run.
+fn bench_timeline_fold(report: &mut Report, session_floor_secs: f64, timeline_session_secs: f64) {
+    let timelines: Vec<Timeline> = (0..TIMELINE_RUNS).map(synthetic_timeline).collect();
+
+    let merge_secs = median_secs(SAMPLES, || {
+        let mut total = Timeline::new(1_000_000);
+        total.preallocate(60_000_000);
+        for t in &timelines {
+            total.merge(t);
+        }
+        assert_eq!(total.len(), 60);
+    });
+    let to_json_secs = median_secs(SAMPLES, || {
+        let bytes: usize = timelines.iter().map(|t| t.to_json().len()).sum();
+        assert!(bytes > 0);
+    });
+    let splice_secs = median_secs(SAMPLES, || {
+        // The forensics dossier path: splice the ±5 s around a mid-run
+        // incident mark out of every run's timeline.
+        let bytes: usize = timelines
+            .iter()
+            .map(|t| t.range_json(32_000_000, 42_000_000).to_json().len())
+            .sum();
+        assert!(bytes > 0);
+    });
+
+    let per_run_us = |secs: f64| secs / TIMELINE_RUNS as f64 * 1e6;
+    let overhead_pct_vs_floor = overhead_pct(session_floor_secs, timeline_session_secs);
+    let timeline_overhead_ok = overhead_pct_vs_floor < 2.0;
+
+    println!("== timeline fold ({TIMELINE_RUNS} run timelines, median of {SAMPLES}) ==");
+    println!(
+        "campaign merge {:.1} µs/run, run to_json {:.1} µs/run, ±5 s splice {:.1} µs/run",
+        per_run_us(merge_secs),
+        per_run_us(to_json_secs),
+        per_run_us(splice_secs)
+    );
+    println!(
+        "timeline-enabled session: {timeline_session_secs:.3} s ({overhead_pct_vs_floor:+.3}% of \
+         the session floor) — gate {}",
+        if timeline_overhead_ok { "OK" } else { "FAIL" }
+    );
+
+    report
+        .group(
+            "timeline_fold",
+            Group::new()
+                .uint("runs", TIMELINE_RUNS as u64)
+                .float("merge_us_per_run", per_run_us(merge_secs), 1)
+                .float("to_json_us_per_run", per_run_us(to_json_secs), 1)
+                .float("splice_us_per_run", per_run_us(splice_secs), 1)
+                .float("timeline_session_secs", timeline_session_secs, 6)
+                .float("overhead_pct_vs_session_floor", overhead_pct_vs_floor, 4),
+        )
+        .bool("timeline_overhead_ok", timeline_overhead_ok);
+}
+
 fn main() {
     // Cargo invokes benches with `--bench` (and possibly filters); this
     // harness has no filtering, so arguments are ignored.
     let _ = std::env::args();
 
     // Warm-up: fault tables, road network statics, allocator.
-    let warm = time_config(Recorder::null, Tracer::null);
+    let warm = time_config(Recorder::null, Tracer::null, false);
     eprintln!("warm-up: {warm:.3} s for {STEPS} steps");
 
-    let null_null = time_config(Recorder::null, Tracer::null);
-    let null_trace = time_config(Recorder::null, Tracer::flight_recorder);
-    let telemetry_null = time_config(|| Registry::new().recorder(), Tracer::null);
-    let telemetry_trace = time_config(|| Registry::new().recorder(), Tracer::flight_recorder);
+    let null_null = time_config(Recorder::null, Tracer::null, false);
+    let null_trace = time_config(Recorder::null, Tracer::flight_recorder, false);
+    let telemetry_null = time_config(|| Registry::new().recorder(), Tracer::null, false);
+    let telemetry_trace = time_config(
+        || Registry::new().recorder(),
+        Tracer::flight_recorder,
+        false,
+    );
+    let timeline_null = time_config(Recorder::null, Tracer::null, true);
 
     let steps_per_sec = |secs: f64| STEPS as f64 / secs;
     println!("== rdsim-obs overhead ({STEPS} steps, median of {SAMPLES}) ==");
@@ -282,6 +396,7 @@ fn main() {
         ("recorder off, tracer on  ", null_trace),
         ("recorder on,  tracer off ", telemetry_null),
         ("recorder on,  tracer on  ", telemetry_trace),
+        ("recorder off, timeline on", timeline_null),
     ] {
         println!(
             "{name}: {secs:.3} s  ({:.0} steps/s, {:+.2}% vs floor)",
@@ -300,7 +415,8 @@ fn main() {
                 .float("null_null", null_null, 6)
                 .float("null_trace", null_trace, 6)
                 .float("telemetry_null", telemetry_null, 6)
-                .float("telemetry_trace", telemetry_trace, 6),
+                .float("telemetry_trace", telemetry_trace, 6)
+                .float("timeline_null", timeline_null, 6),
         )
         .group(
             "steps_per_sec",
@@ -308,7 +424,8 @@ fn main() {
                 .float("null_null", steps_per_sec(null_null), 1)
                 .float("null_trace", steps_per_sec(null_trace), 1)
                 .float("telemetry_null", steps_per_sec(telemetry_null), 1)
-                .float("telemetry_trace", steps_per_sec(telemetry_trace), 1),
+                .float("telemetry_trace", steps_per_sec(telemetry_trace), 1)
+                .float("timeline_null", steps_per_sec(timeline_null), 1),
         )
         .group(
             "overhead_pct",
@@ -333,6 +450,7 @@ fn main() {
     // The recorder-off session (60 s of sim time) is the floor cost of
     // one run; the store's per-run cost is gated against it.
     bench_store_fold(&mut report, null_null);
+    bench_timeline_fold(&mut report, null_null, timeline_null);
 
     if std::env::var("RDSIM_BENCH_FULL").is_ok_and(|v| v == "1") {
         eprintln!("full mode: timing quick studies (3× each, several minutes) …");

@@ -21,6 +21,7 @@ use rdsim_netem::{
     DelayConfig, Direction, InjectionAction, InjectionEvent, InjectionWindow, LossConfig,
     NetemConfig, ReorderConfig,
 };
+use rdsim_obs::{Timeline, TimelineWindow};
 use rdsim_simulator::{CollisionEvent, LaneInvasionEvent};
 
 /// A value with a stable, platform-independent digest.
@@ -255,6 +256,47 @@ impl Digestible for ScheduledFault {
     fn digest_into(&self, h: &mut StableHasher) {
         h.write_str(self.fault.label());
         self.window.digest_into(h);
+    }
+}
+
+impl Digestible for TimelineWindow {
+    fn digest_into(&self, h: &mut StableHasher) {
+        h.write_u64(self.frame_count);
+        h.write_u64(self.frame_age_sum_us);
+        h.write_u64(self.frame_age_max_us);
+        h.write_u64(self.encode_sum_us);
+        h.write_u64(self.encode_max_us);
+        h.write_u64(self.queue_sum_us);
+        h.write_u64(self.queue_max_us);
+        h.write_u64(self.prop_sum_us);
+        h.write_u64(self.prop_max_us);
+        h.write_u64(self.display_sum_us);
+        h.write_u64(self.display_max_us);
+        h.write_u64(self.cmd_count);
+        h.write_u64(self.cmd_age_sum_us);
+        h.write_u64(self.cmd_age_max_us);
+        h.write_u64(self.up_dropped);
+        h.write_u64(self.up_delayed);
+        h.write_u64(self.up_duplicated);
+        h.write_u64(self.up_reordered);
+        h.write_u64(self.up_queue_max);
+        h.write_u64(self.down_dropped);
+        h.write_u64(self.down_delayed);
+        h.write_u64(self.down_duplicated);
+        h.write_u64(self.down_reordered);
+        h.write_u64(self.down_queue_max);
+        h.write_u64(self.min_gated_ttc_us);
+        h.write_u64(self.srr_reversals);
+        h.write_u64(self.speed_sum_mmps);
+        h.write_u64(self.speed_samples);
+        h.write_u64(self.fault_bits);
+    }
+}
+
+impl Digestible for Timeline {
+    fn digest_into(&self, h: &mut StableHasher) {
+        h.write_u64(self.width_us());
+        self.windows().digest_into(h);
     }
 }
 

@@ -362,6 +362,17 @@ impl Stage for DisplayStage {
                     if let Some(h) = &core.obs.frame_age_us {
                         h.record(age_us);
                     }
+                    if let Some(tl) = core.timeline.as_mut() {
+                        // Exact glass-to-glass decomposition in integer µs:
+                        // encode (capture → link send) + queue + propagation
+                        // + display (release → delivering tick) == age.
+                        let encode = pkt.sent_at.saturating_since(captured_at).as_micros();
+                        let queue = pkt.queued.as_micros();
+                        let prop = pkt.propagation.as_micros();
+                        let display = age_us.saturating_sub(encode + queue + prop);
+                        tl.window_mut(now.as_micros())
+                            .record_frame(age_us, encode, queue, prop, display);
+                    }
                     core.tracer
                         .record(id, TraceStage::Display, now.as_micros(), age_us);
                     core.last_displayed_frame = Some(pkt.seq);
@@ -492,6 +503,11 @@ impl Stage for ActuateStage {
                     let age_us = now.saturating_since(pkt.sent_at).as_micros();
                     if let Some(h) = &core.obs.command_age_us {
                         h.record(age_us);
+                    }
+                    if let Some(tl) = core.timeline.as_mut() {
+                        let delayed = pkt.queued + pkt.propagation > SimDuration::ZERO;
+                        tl.window_mut(now.as_micros())
+                            .record_command(age_us, delayed);
                     }
                     core.tracer
                         .record(id, TraceStage::Actuate, now.as_micros(), age_us);

@@ -15,7 +15,7 @@ use crate::{
     OperatorSubsystem, OtherSample, RunLog,
 };
 use rdsim_netem::{DuplexLink, FaultInjector, InjectionAction, InjectionWindow, NetemConfig};
-use rdsim_obs::{Counter, Histogram, Recorder, TraceId, TraceStage, Tracer};
+use rdsim_obs::{Counter, Histogram, Recorder, Timeline, TraceId, TraceStage, Tracer};
 use rdsim_simulator::{ActorKind, CameraConfig, SimulatorServer, World};
 use rdsim_units::{Meters, SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
@@ -40,6 +40,12 @@ pub struct RdsSessionConfig {
     /// to any incident can be dumped after the fact. [`Tracer::null`]
     /// disables tracing entirely.
     pub tracer: Tracer,
+    /// Record a time-resolved [`Timeline`] (1 s windows of integer
+    /// aggregates: glass-to-glass latency decomposition, per-direction
+    /// link counters, min gated TTC, steering reversals, speed, fault
+    /// bitmask). Off by default; the campaign digests exclude it, so
+    /// enabling it never perturbs golden output.
+    pub timeline: bool,
 }
 
 impl Default for RdsSessionConfig {
@@ -53,6 +59,7 @@ impl Default for RdsSessionConfig {
             infrastructure: None,
             recorder: Recorder::null(),
             tracer: Tracer::flight_recorder(),
+            timeline: false,
         }
     }
 }
@@ -199,6 +206,132 @@ pub(crate) struct SessionCore {
     pub(crate) highest_cmd_seq: Option<u64>,
     /// Sliding delivery/miss window for the vehicle-side loss estimate.
     pub(crate) cmd_window: std::collections::VecDeque<bool>,
+    /// Time-resolved per-window aggregates (None unless configured).
+    pub(crate) timeline: Option<Timeline>,
+    /// Previous cumulative link tallies + incremental SRR state backing
+    /// the timeline's per-tick deltas.
+    pub(crate) tl_taps: TimelineTaps,
+}
+
+/// Per-tick bookkeeping for the timeline: the previous cumulative link
+/// tallies (so each tick attributes exactly its delta to the current
+/// window) and the incremental steering-reversal hysteresis state.
+#[derive(Debug, Default)]
+pub(crate) struct TimelineTaps {
+    up_dropped: u64,
+    up_duplicated: u64,
+    up_reordered: u64,
+    down_dropped: u64,
+    down_duplicated: u64,
+    down_reordered: u64,
+    /// Direction of the current steering excursion: `Some(true)` rising,
+    /// `Some(false)` falling, `None` before the first latch.
+    srr_dir: Option<bool>,
+    /// The running extreme the hysteresis measures excursions from.
+    srr_anchor: f64,
+    /// Lowest / highest steer seen before the first direction latch.
+    srr_lo: f64,
+    srr_hi: f64,
+    srr_init: bool,
+}
+
+/// J2944 reversal gap: a direction change only counts once the steering
+/// excursion from the previous extreme exceeds this (same θ as the
+/// offline `rdsim-metrics` SRR).
+const SRR_THETA: f64 = 0.05;
+
+impl TimelineTaps {
+    /// Advances the incremental steering-reversal detector by one raw
+    /// per-tick sample, returning the number of reversals completed.
+    ///
+    /// This mirrors the hysteresis core of the offline J2944 SRR metric,
+    /// but runs on raw samples without the 0.6 Hz Butterworth filter and
+    /// extrema extraction (which need the whole signal). Counts therefore
+    /// differ slightly from the offline metric — the timeline wants a
+    /// cheap, causal per-window workload signal, not the paper statistic,
+    /// which stays with `rdsim-metrics`.
+    fn srr_step(&mut self, e: f64) -> u64 {
+        if !e.is_finite() {
+            return 0;
+        }
+        if !self.srr_init {
+            self.srr_init = true;
+            self.srr_anchor = e;
+            self.srr_lo = e;
+            self.srr_hi = e;
+            return 0;
+        }
+        match self.srr_dir {
+            None => {
+                self.srr_lo = self.srr_lo.min(e);
+                self.srr_hi = self.srr_hi.max(e);
+                if self.srr_hi - e >= SRR_THETA {
+                    self.srr_dir = Some(false);
+                    self.srr_anchor = e;
+                } else if e - self.srr_lo >= SRR_THETA {
+                    self.srr_dir = Some(true);
+                    self.srr_anchor = e;
+                }
+                0
+            }
+            Some(true) => {
+                if e > self.srr_anchor {
+                    self.srr_anchor = e;
+                    0
+                } else if self.srr_anchor - e >= SRR_THETA {
+                    self.srr_dir = Some(false);
+                    self.srr_anchor = e;
+                    1
+                } else {
+                    0
+                }
+            }
+            Some(false) => {
+                if e < self.srr_anchor {
+                    self.srr_anchor = e;
+                    0
+                } else if e - self.srr_anchor >= SRR_THETA {
+                    self.srr_dir = Some(true);
+                    self.srr_anchor = e;
+                    1
+                } else {
+                    0
+                }
+            }
+        }
+    }
+}
+
+/// The [`Timeline`] fault bits implied by an active netem configuration.
+fn netem_fault_bits(cfg: &NetemConfig) -> u64 {
+    let mut bits = 0;
+    if cfg
+        .delay
+        .as_ref()
+        .is_some_and(|d| d.base.get() > 0.0 || d.jitter.get() > 0.0)
+    {
+        bits |= Timeline::FAULT_DELAY;
+    }
+    if cfg.loss.is_some() {
+        bits |= Timeline::FAULT_LOSS;
+    }
+    if cfg.duplicate.is_some() {
+        bits |= Timeline::FAULT_DUPLICATE;
+    }
+    if cfg.corrupt.is_some() {
+        bits |= Timeline::FAULT_CORRUPT;
+    }
+    if cfg
+        .reorder
+        .as_ref()
+        .is_some_and(|r| r.probability.get() > 0.0)
+    {
+        bits |= Timeline::FAULT_REORDER;
+    }
+    if cfg.rate.is_some() {
+        bits |= Timeline::FAULT_RATE;
+    }
+    bits
 }
 
 impl SessionCore {
@@ -326,6 +459,9 @@ impl SessionCore {
                 speed: a.state().speed,
             });
         }
+        // Copied out before the incident marker needs `&mut self` below.
+        let tl_speed_mps = ego.state().speed.get();
+        let tl_steer = control.steer;
         // TTC breach-entry detection, mirroring the offline TTC metric's
         // defaults (gate 100 m, min closing 1 m/s, threshold 6 s). Only the
         // entry edge marks an incident; the flag resets when TTC recovers.
@@ -342,6 +478,9 @@ impl SessionCore {
             self.mark_incident(IncidentKind::TtcBreach, now, TraceStage::Incident, ttc_us);
         }
         self.ttc_breached = breached;
+        if self.timeline.is_some() {
+            self.timeline_tick(now, tl_speed_mps, tl_steer, ttc_s);
+        }
         let world = self.server.world_mut();
         let collisions = world.drain_collisions();
         let invasions = world.drain_lane_invasions();
@@ -357,6 +496,61 @@ impl SessionCore {
         }
         self.log.extend_collisions(collisions);
         self.log.extend_lane_invasions(invasions);
+    }
+
+    /// Folds this tick's link deltas, safety signals and fault bits into
+    /// the timeline window containing `now`. Called once per step from the
+    /// logging stage; a no-op unless the timeline is enabled.
+    fn timeline_tick(&mut self, now: SimTime, speed_mps: f64, steer: f64, ttc_s: Option<f64>) {
+        // Gather every link-side value first, then borrow the window once.
+        let up_dropped = self.link.uplink.stats().dropped;
+        let up_duplicated = self.link.uplink.duplicated();
+        let up_reordered = self.link.uplink.reordered();
+        let down_dropped = self.link.downlink.stats().dropped;
+        let down_duplicated = self.link.downlink.duplicated();
+        let down_reordered = self.link.downlink.reordered();
+        let up_in_flight = self.link.uplink.in_flight() as u64;
+        let down_in_flight = self.link.downlink.in_flight() as u64;
+        let fault_bits = if self.injector.fault_active() {
+            Timeline::FAULT_ACTIVE
+                | netem_fault_bits(self.link.uplink.config())
+                | netem_fault_bits(self.link.downlink.config())
+        } else {
+            0
+        };
+        let taps = &mut self.tl_taps;
+        let reversals = taps.srr_step(steer);
+        let d_up_dropped = up_dropped - taps.up_dropped;
+        let d_up_duplicated = up_duplicated - taps.up_duplicated;
+        let d_up_reordered = up_reordered - taps.up_reordered;
+        let d_down_dropped = down_dropped - taps.down_dropped;
+        let d_down_duplicated = down_duplicated - taps.down_duplicated;
+        let d_down_reordered = down_reordered - taps.down_reordered;
+        taps.up_dropped = up_dropped;
+        taps.up_duplicated = up_duplicated;
+        taps.up_reordered = up_reordered;
+        taps.down_dropped = down_dropped;
+        taps.down_duplicated = down_duplicated;
+        taps.down_reordered = down_reordered;
+        let Some(tl) = self.timeline.as_mut() else {
+            return;
+        };
+        let w = tl.window_mut(now.as_micros());
+        w.up_dropped += d_up_dropped;
+        w.up_duplicated += d_up_duplicated;
+        w.up_reordered += d_up_reordered;
+        w.down_dropped += d_down_dropped;
+        w.down_duplicated += d_down_duplicated;
+        w.down_reordered += d_down_reordered;
+        w.up_queue_max = w.up_queue_max.max(up_in_flight);
+        w.down_queue_max = w.down_queue_max.max(down_in_flight);
+        w.speed_sum_mmps += (speed_mps.max(0.0) * 1_000.0).round() as u64;
+        w.speed_samples += 1;
+        w.srr_reversals += reversals;
+        w.fault_bits |= fault_bits;
+        if let Some(t) = ttc_s {
+            w.record_gated_ttc((t * 1e6).round() as u64);
+        }
     }
 }
 
@@ -418,6 +612,8 @@ impl RdsSession {
                 last_cmd_received_at: None,
                 highest_cmd_seq: None,
                 cmd_window: std::collections::VecDeque::new(),
+                timeline: config.timeline.then(Timeline::default),
+                tl_taps: TimelineTaps::default(),
             },
             stages: Self::default_stages(),
             scratch: StepScratch::default(),
@@ -536,6 +732,19 @@ impl RdsSession {
         &self.core.incidents
     }
 
+    /// The time-resolved timeline recorded so far (None unless enabled
+    /// via [`RdsSessionConfig::timeline`]).
+    pub fn timeline(&self) -> Option<&Timeline> {
+        self.core.timeline.as_ref()
+    }
+
+    /// Takes the recorded timeline out of the session (an empty default
+    /// when the timeline was not enabled). Call before
+    /// [`into_log`](Self::into_log).
+    pub fn take_timeline(&mut self) -> Timeline {
+        self.core.timeline.take().unwrap_or_default()
+    }
+
     /// Current simulation time.
     pub fn time(&self) -> SimTime {
         self.core.time()
@@ -614,6 +823,9 @@ impl RdsSession {
         // growth impossible at negligible cost (~4 KiB per direction).
         self.core.link.uplink.reserve(64);
         self.core.link.downlink.reserve(64);
+        if let Some(tl) = self.core.timeline.as_mut() {
+            tl.preallocate(duration.as_micros());
+        }
     }
 
     /// Advances one tick by running every pipeline stage in order.

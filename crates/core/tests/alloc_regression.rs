@@ -50,6 +50,9 @@ fn session() -> RdsSession {
     world.spawn_ego_at("ego-start", VehicleSpec::passenger_car());
     let config = RdsSessionConfig {
         camera: CameraConfig::fixed(Hertz::new(25.0), 2_000),
+        // The timeline layer must hold the zero-allocation bar too: its
+        // windows come from `preallocate`, never from the step path.
+        timeline: true,
         ..RdsSessionConfig::default()
     };
     let mut s = RdsSession::new(world, config, seed);

@@ -3,7 +3,8 @@
 //! ```text
 //! repro [all|table1|table2|table3|table4|fig4|collisions|questionnaire|
 //!        validity|model-vehicle] [--seed N] [--quick] [--jobs N]
-//!       [--batch N] [--telemetry] [--trace-out DIR] [--progress]
+//!       [--batch N] [--telemetry] [--telemetry-out FILE]
+//!       [--trace-out DIR] [--forensics DIR] [--progress]
 //!       [--report-out DIR] [--checkpoint FILE] [--resume]
 //!       [--interrupt-after N]
 //! ```
@@ -19,12 +20,23 @@
 //! knobs. `--telemetry` records pipeline telemetry during the
 //! study runs and appends a campaign report (frame/command age quantiles,
 //! per-fault-window packet accounting, stage timings, steps/sec).
+//! `--telemetry-out FILE` additionally writes the campaign telemetry as
+//! machine-readable JSON to FILE (the stdout table is unchanged, and is
+//! only printed when `--telemetry` itself is passed).
 //! `--trace-out DIR` retains each study run's flight-recorder snapshot
 //! and writes it as Chrome/Perfetto `trace_event` JSON
 //! (`DIR/<subject>_<kind>.trace.json`, loadable in ui.perfetto.dev or
 //! `chrome://tracing`), plus an incident dump per safety incident
 //! (`DIR/incidents/…`, the 12 s window around each collision, TTC breach,
 //! or fault edge).
+//! `--forensics DIR` enables the per-window safety timeline and writes
+//! incident forensics: one timeline JSON per analysable run
+//! (`DIR/<subject>_<kind>_timeline.json`) and one dossier per safety
+//! incident (`DIR/incidents/<subject>_<kind>_<nn>_<label>.json`) splicing
+//! the ±5 s timeline windows, the flight-recorder slice, the overlapping
+//! fault windows, and the operator command history around the mark. Both
+//! are deterministic: byte-identical for every `--jobs`/`--batch`
+//! schedule (the CI `forensics-determinism` job diffs them).
 //!
 //! The remaining flags engage the **campaign observatory** (streaming
 //! per-run aggregation; see `DESIGN.md` §11). `--progress` renders a live
@@ -43,13 +55,13 @@
 
 use rdsim_core::{IncidentKind, RunKind};
 use rdsim_experiments::{
-    campaign_digest, collision_summary, default_jobs, figure4, model_vehicle_sweep,
-    questionnaire_summary, run_campaign, run_study_with_exec, store_digest, table2, table3, table4,
-    validity_sweep, CampaignOptions, CampaignOutcome, ScenarioConfig, StationSpec, StudyResults,
-    SweepReport, TextTable,
+    campaign_digest, collision_summary, default_jobs, fault_condition, figure4,
+    model_vehicle_sweep, questionnaire_summary, run_campaign, run_study_with_exec, store_digest,
+    table2, table3, table4, validity_sweep, CampaignOptions, CampaignOutcome, ScenarioConfig,
+    StationSpec, StudyResults, SweepReport, TextTable,
 };
 use rdsim_metrics::{SrrConfig, TtcConfig, TtcStats};
-use rdsim_obs::Z_95;
+use rdsim_obs::{write_f64, write_json_string, Z_95};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
@@ -61,7 +73,9 @@ fn main() -> ExitCode {
     let mut jobs = default_jobs();
     let mut batch = 1usize;
     let mut telemetry = false;
+    let mut telemetry_out: Option<PathBuf> = None;
     let mut trace_out: Option<PathBuf> = None;
+    let mut forensics: Option<PathBuf> = None;
     let mut progress = false;
     let mut report_out: Option<PathBuf> = None;
     let mut checkpoint: Option<PathBuf> = None;
@@ -93,10 +107,24 @@ fn main() -> ExitCode {
             },
             "--quick" => quick = true,
             "--telemetry" => telemetry = true,
+            "--telemetry-out" => match iter.next() {
+                Some(file) => telemetry_out = Some(PathBuf::from(file)),
+                None => {
+                    eprintln!("--telemetry-out needs a file path");
+                    return ExitCode::FAILURE;
+                }
+            },
             "--trace-out" => match iter.next() {
                 Some(dir) => trace_out = Some(PathBuf::from(dir)),
                 None => {
                     eprintln!("--trace-out needs a directory");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--forensics" => match iter.next() {
+                Some(dir) => forensics = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("--forensics needs a directory");
                     return ExitCode::FAILURE;
                 }
             },
@@ -135,8 +163,9 @@ fn main() -> ExitCode {
     } else {
         ScenarioConfig::default()
     };
-    config.telemetry = telemetry;
-    config.trace = trace_out.is_some();
+    config.telemetry = telemetry || telemetry_out.is_some();
+    config.trace = trace_out.is_some() || forensics.is_some();
+    config.timeline = forensics.is_some();
 
     let needs_study = matches!(
         command.as_str(),
@@ -277,6 +306,29 @@ fn main() -> ExitCode {
             None => eprintln!("--trace-out only applies to study commands; ignored"),
         }
     }
+    if let Some(file) = &telemetry_out {
+        match &study {
+            Some(study) => {
+                if let Err(err) = std::fs::write(file, study.telemetry.to_json()) {
+                    eprintln!("failed to write telemetry to {}: {err}", file.display());
+                    return ExitCode::FAILURE;
+                }
+                eprintln!("wrote campaign telemetry JSON to {}", file.display());
+            }
+            None => eprintln!("--telemetry-out only applies to study commands; ignored"),
+        }
+    }
+    if let Some(dir) = &forensics {
+        match &study {
+            Some(study) => {
+                if let Err(err) = write_forensics(dir, study) {
+                    eprintln!("failed to write forensics to {}: {err}", dir.display());
+                    return ExitCode::FAILURE;
+                }
+            }
+            None => eprintln!("--forensics only applies to study commands; ignored"),
+        }
+    }
     ExitCode::SUCCESS
 }
 
@@ -353,6 +405,114 @@ fn write_traces(dir: &Path, study: &StudyResults) -> std::io::Result<()> {
     }
     eprintln!(
         "wrote {n_traces} trace file(s) and {n_dumps} incident dump(s) under {}",
+        dir.display()
+    );
+    Ok(())
+}
+
+/// A forensics dossier covers this much timeline, trace, and command
+/// history on each side of the incident mark.
+const FORENSICS_WINDOW_US: u64 = 5_000_000;
+
+/// Writes the incident forensics: one timeline JSON per analysable run
+/// and one dossier per incident mark, splicing the ±5 s timeline windows,
+/// the flight-recorder slice, the overlapping fault windows, and the
+/// operator command history. Everything written here is deterministic —
+/// byte-identical across `--jobs`/`--batch` schedules.
+fn write_forensics(dir: &Path, study: &StudyResults) -> std::io::Result<()> {
+    use std::fmt::Write as _;
+    std::fs::create_dir_all(dir)?;
+    let incidents_dir = dir.join("incidents");
+    std::fs::create_dir_all(&incidents_dir)?;
+    let mut n_timelines = 0usize;
+    let mut n_dossiers = 0usize;
+    for run in &study.traces {
+        let kind = kind_slug(run.kind);
+        let path = dir.join(format!("{}_{kind}_timeline.json", run.subject));
+        std::fs::write(&path, run.timeline.to_json())?;
+        n_timelines += 1;
+        let record = match run.kind {
+            RunKind::Golden => study.golden(&run.subject),
+            RunKind::Faulty => study.faulty(&run.subject),
+            RunKind::Training => None,
+        };
+        for (i, mark) in run.incidents.iter().enumerate() {
+            let t = mark.time.as_micros();
+            let from = t.saturating_sub(FORENSICS_WINDOW_US);
+            let to = t.saturating_add(FORENSICS_WINDOW_US);
+            let mut out = String::with_capacity(8192);
+            out.push_str("{\"subject\":");
+            write_json_string(&mut out, &run.subject);
+            out.push_str(",\"kind\":");
+            write_json_string(&mut out, kind);
+            let _ = write!(
+                out,
+                ",\"incident\":{{\"kind\":\"{}\",\"index\":{i},\"time_us\":{t}}},\
+                 \"window\":{{\"from_us\":{from},\"to_us\":{to}}}",
+                mark.kind.label()
+            );
+            // Fault windows overlapping the dossier window, with whether
+            // each was live at the mark itself.
+            out.push_str(",\"faults\":[");
+            let schedule = record.map(|r| r.schedule.as_slice()).unwrap_or(&[]);
+            let mut first = true;
+            for sf in schedule {
+                let start = sf.window.start.as_micros();
+                let end = sf.window.end().as_micros();
+                if end < from || start > to {
+                    continue;
+                }
+                if !first {
+                    out.push(',');
+                }
+                first = false;
+                out.push_str("{\"condition\":");
+                write_json_string(&mut out, fault_condition(sf.fault));
+                let _ = write!(
+                    out,
+                    ",\"start_us\":{start},\"end_us\":{end},\"active_at_mark\":{}}}",
+                    sf.window.contains(mark.time)
+                );
+            }
+            // The operator's command history around the mark (what was
+            // being asked of the vehicle while things went wrong).
+            out.push_str("],\"commands\":[");
+            let samples = record.map(|r| r.log.ego_samples()).unwrap_or(&[]);
+            let mut first = true;
+            for s in samples {
+                let st = s.t.as_micros();
+                if st < from || st > to {
+                    continue;
+                }
+                if !first {
+                    out.push(',');
+                }
+                first = false;
+                let _ = write!(out, "{{\"t_us\":{st},\"frame\":{},\"speed_mps\":", s.frame);
+                write_f64(&mut out, s.speed.get());
+                out.push_str(",\"throttle\":");
+                write_f64(&mut out, s.throttle);
+                out.push_str(",\"steer\":");
+                write_f64(&mut out, s.steer);
+                out.push_str(",\"brake\":");
+                write_f64(&mut out, s.brake);
+                out.push('}');
+            }
+            // The ±5 s slice of the per-window timeline and of the
+            // flight-recorder trace (Chrome trace_event form, the same
+            // format `--trace-out` writes).
+            out.push_str("],\"timeline\":");
+            out.push_str(&run.timeline.range_json(from, to).to_json());
+            out.push_str(",\"trace\":");
+            out.push_str(&run.trace.window(from, to).to_chrome_json());
+            out.push('}');
+            let name = format!("{}_{kind}_{i:02}_{}.json", run.subject, mark.kind.label());
+            std::fs::write(incidents_dir.join(name), out)?;
+            n_dossiers += 1;
+        }
+    }
+    eprintln!(
+        "wrote {n_timelines} timeline file(s) and {n_dossiers} incident dossier(s) under {}",
         dir.display()
     );
     Ok(())

@@ -49,8 +49,9 @@ pub const SCENARIO: &str = "town05";
 /// Checkpoint stream format tag (the header line's `format` field).
 const CHECKPOINT_FORMAT: &str = "rdsim-campaign-checkpoint";
 
-/// Checkpoint stream version; bump on any incompatible summary change.
-const CHECKPOINT_VERSION: u64 = 1;
+/// Checkpoint stream version; bump on any incompatible summary change
+/// (v2: cells gained `fault_exposure_us`).
+const CHECKPOINT_VERSION: u64 = 2;
 
 /// A crash is attributed to a fault window when it happens inside the
 /// window or within this long after it ends (delayed consequences — the
@@ -126,6 +127,11 @@ pub fn summarize_run(scenario: &str, seed: u64, output: &RunOutput, wall_ns: u64
         srr_reversals: srr.as_ref().map_or(0, |r| r.reversals as u64),
         srr_rate_micro: srr.as_ref().map_or(0, |r| to_micro(r.rate_per_min)),
         srr_runs: u64::from(srr.is_some()),
+        fault_exposure_us: record
+            .schedule
+            .iter()
+            .map(|s| s.window.duration.as_micros())
+            .sum(),
     });
 
     // Per-fault-condition cells: each injection window is one exposure.
@@ -159,6 +165,10 @@ pub fn summarize_run(scenario: &str, seed: u64, output: &RunOutput, wall_ns: u64
                 srr_reversals: srr.as_ref().map_or(0, |r| r.reversals as u64),
                 srr_rate_micro: srr.as_ref().map_or(0, |r| to_micro(r.rate_per_min)),
                 srr_runs: u64::from(srr.is_some()),
+                fault_exposure_us: windows
+                    .iter()
+                    .map(|&i| schedule[i].window.duration.as_micros())
+                    .sum(),
             });
         }
     }
@@ -531,6 +541,13 @@ mod tests {
         let scheduled: u64 = fault_cells.iter().map(|c| c.exposures).sum();
         assert_eq!(scheduled as usize, out.record.schedule.len());
         assert!(!fault_cells.is_empty(), "quick faulty run injects faults");
+        // Time-in-fault exposure: the whole-run cell carries the total,
+        // which the per-fault cells partition exactly.
+        assert!(run_cell.fault_exposure_us > 0);
+        assert_eq!(
+            run_cell.fault_exposure_us,
+            fault_cells.iter().map(|c| c.fault_exposure_us).sum::<u64>()
+        );
         for cell in &fault_cells {
             assert!(cell.collided <= cell.exposures);
             assert!(cell.ttc_breaches <= cell.ttc_samples);

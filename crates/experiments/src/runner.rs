@@ -17,7 +17,7 @@ use rdsim_core::{
 };
 use rdsim_math::RngStream;
 use rdsim_netem::InjectionWindow;
-use rdsim_obs::{Recorder, Registry, RunTelemetry, TraceLog, Tracer};
+use rdsim_obs::{Recorder, Registry, RunTelemetry, Timeline, TraceLog, Tracer};
 use rdsim_operator::{HumanDriverModel, Instruction, SubjectProfile};
 use rdsim_roadnet::town05;
 use rdsim_simulator::{ActorId, ActorKind, Behavior, CameraConfig, LaneFollowConfig, World};
@@ -65,6 +65,10 @@ pub struct ScenarioConfig {
     /// [`TRACE_EXPORT_CAPACITY`] so a full paper-style run fits without
     /// overwriting its early incidents.
     pub trace: bool,
+    /// Collect the per-window safety timeline ([`RunOutput::timeline`]).
+    /// Off by default; the campaign digests exclude it, so enabling it
+    /// never changes what a run computes.
+    pub timeline: bool,
 }
 
 /// Ring depth for runs whose trace is retained ([`ScenarioConfig::trace`]):
@@ -89,6 +93,7 @@ impl Default for ScenarioConfig {
             driver_extrapolation: None,
             telemetry: false,
             trace: false,
+            timeline: false,
         }
     }
 }
@@ -128,6 +133,11 @@ pub struct RunOutput {
     /// was set. Exports to Perfetto via [`TraceLog::to_chrome_json`].
     #[serde(default)]
     pub trace: TraceLog,
+    /// The per-window safety timeline; empty unless
+    /// [`ScenarioConfig::timeline`] was set. Serializes deterministically
+    /// via [`Timeline::to_json`].
+    #[serde(default)]
+    pub timeline: Timeline,
 }
 
 /// One protocol run awaiting execution (the unit [`run_protocol_batch`]
@@ -276,6 +286,7 @@ fn build_run(job: &ProtocolJob) -> (RdsSession, ProtocolDriver) {
         } else {
             RdsSessionConfig::default().tracer
         },
+        timeline: config.timeline,
         ..RdsSessionConfig::default()
     };
     let mut session = RdsSession::new(world, session_config, seed);
@@ -508,6 +519,7 @@ impl ProtocolDriver {
         } else {
             TraceLog::default()
         };
+        let timeline = session.take_timeline();
         let log = session.into_log();
         RunOutput {
             record: RunRecord::new(self.profile_id, self.kind, log, self.schedule),
@@ -517,6 +529,7 @@ impl ProtocolDriver {
             progress: self.progress,
             telemetry: self.registry.map(|r| r.snapshot()).unwrap_or_default(),
             trace,
+            timeline,
         }
     }
 }

@@ -12,7 +12,7 @@ use rdsim_metrics::{
     srr_for_fault, steering_reversal_rate, ttc_series, ttc_stats_for_fault, CollisionAnalysis,
     SrrConfig, TtcConfig, TtcStats,
 };
-use rdsim_obs::{RunTelemetry, TraceLog};
+use rdsim_obs::{RunTelemetry, Timeline, TraceLog};
 use rdsim_operator::{Questionnaire, QuestionnaireSummary};
 use serde::{Deserialize, Serialize};
 
@@ -31,7 +31,8 @@ pub struct StudyResults {
     #[serde(default)]
     pub telemetry: RunTelemetry,
     /// Per-run flight-recorder snapshots (golden + faulty per subject).
-    /// Empty unless the study ran with [`ScenarioConfig::trace`] enabled.
+    /// Empty unless the study ran with [`ScenarioConfig::trace`] or
+    /// [`ScenarioConfig::timeline`] enabled.
     #[serde(default)]
     pub traces: Vec<RunTrace>,
 }
@@ -48,6 +49,10 @@ pub struct RunTrace {
     /// The run's safety-incident marks (collisions, TTC breaches, fault
     /// edges) — the anchors for incident-window dumps.
     pub incidents: Vec<IncidentMark>,
+    /// The run's per-window safety timeline; empty unless the study ran
+    /// with [`ScenarioConfig::timeline`] enabled.
+    #[serde(default)]
+    pub timeline: Timeline,
 }
 
 impl StudyResults {
@@ -151,13 +156,14 @@ pub(crate) fn assemble_study(
         let mut faulty = outputs.next().expect("faulty output");
         telemetry.merge(&golden.telemetry);
         telemetry.merge(&faulty.telemetry);
-        if config.trace {
+        if config.trace || config.timeline {
             for run in [&mut golden, &mut faulty] {
                 traces.push(RunTrace {
                     subject: entry.profile.id.clone(),
                     kind: run.record.kind.expect("protocol runs are kinded"),
                     trace: std::mem::take(&mut run.trace),
                     incidents: run.record.log.incidents().to_vec(),
+                    timeline: std::mem::take(&mut run.timeline),
                 });
             }
         }

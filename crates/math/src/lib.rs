@@ -45,4 +45,4 @@ pub use filter::{ButterworthLowPass, MovingAverage, RateLimiter};
 pub use geometry::{Pose2, Vec2};
 pub use interp::{lerp, resample_uniform, unlerp, Sample};
 pub use rng::{RngStream, SplitMix64, Xoshiro256StarStar};
-pub use stats::{summary, RunningStats, Summary};
+pub use stats::{percentile_sorted, summary, RunningStats, Summary};

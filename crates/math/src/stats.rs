@@ -199,8 +199,11 @@ pub fn summary(values: &[f64]) -> Option<Summary> {
     })
 }
 
-/// Linear-interpolated percentile of a **sorted** slice.
-fn percentile_sorted(sorted: &[f64], pct: f64) -> f64 {
+/// Linear-interpolated percentile of a **sorted** slice (the same
+/// `rank = pct/100 · (n−1)` convention [`summary`] uses for its median
+/// and p5/p95). Public so downstream layers can cross-check their
+/// approximate quantile sketches against the exact order statistics.
+pub fn percentile_sorted(sorted: &[f64], pct: f64) -> f64 {
     debug_assert!(!sorted.is_empty());
     if sorted.len() == 1 {
         return sorted[0];

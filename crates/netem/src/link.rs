@@ -199,6 +199,17 @@ impl Link {
         &self.stats
     }
 
+    /// Duplicate copies created by the qdisc so far (counted at enqueue;
+    /// [`LinkStats::duplicates`] counts copies *delivered*).
+    pub fn duplicated(&self) -> u64 {
+        self.qdisc.duplicated()
+    }
+
+    /// Packets that jumped the delay queue (reorder faults) so far.
+    pub fn reordered(&self) -> u64 {
+        self.qdisc.reordered()
+    }
+
     /// Drops all in-flight packets and resets statistics.
     pub fn reset(&mut self) {
         self.qdisc.clear();
@@ -397,6 +408,56 @@ mod tests {
         let seqs = |v: &[Packet]| v.iter().map(|p| p.seq).collect::<Vec<_>>();
         assert_eq!(seqs(&got_a), seqs(&got_b));
         assert_eq!(a.stats(), b.stats());
+    }
+
+    #[test]
+    fn per_leg_stamps_decompose_delivery_latency() {
+        // delay 50 ms + 8 Mbit/s rate: 1000 B serializes in 1 ms, so the
+        // second packet queues behind the first. For every delivery,
+        // queued + propagation must equal release − sent_at exactly.
+        let cfg = NetemConfig::default()
+            .with_delay(Millis::new(50.0))
+            .with_rate(8_000_000);
+        let mut link = Link::with_config(cfg, 3);
+        link.send(video(1), SimTime::ZERO);
+        link.send(video(2), SimTime::ZERO);
+        let out = link.receive(SimTime::from_secs(1));
+        assert_eq!(out.len(), 2);
+        for p in &out {
+            assert!(p.queued > SimDuration::ZERO, "rate limiter queues");
+            assert_eq!(p.propagation, SimDuration::from_millis(50));
+        }
+        assert_eq!(out[0].queued, SimDuration::from_millis(1));
+        assert_eq!(out[1].queued, SimDuration::from_millis(2));
+
+        // Passthrough link: both legs zero.
+        let mut plain = Link::new(5);
+        plain.send(video(3), SimTime::from_millis(7));
+        let got = plain.receive(SimTime::from_millis(7));
+        assert_eq!(got[0].queued, SimDuration::ZERO);
+        assert_eq!(got[0].propagation, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn reorder_and_duplicate_tallies_surface_on_link() {
+        let cfg = NetemConfig::default()
+            .with_delay(Millis::new(40.0))
+            .with_reorder(Ratio::ONE, 1);
+        let mut link = Link::with_config(cfg, 11);
+        assert_eq!(link.reordered(), 0);
+        link.send(video(1), SimTime::ZERO);
+        assert_eq!(link.reordered(), 1, "gap-1 p=1 reorders every packet");
+        let out = link.receive(SimTime::ZERO);
+        assert_eq!(out.len(), 1, "reordered packet jumped the delay");
+        assert_eq!(
+            out[0].propagation,
+            SimDuration::ZERO,
+            "jump bypasses the delay draw"
+        );
+
+        let mut dup = Link::with_config(NetemConfig::default().with_duplicate(Ratio::ONE), 12);
+        dup.send(video(1), SimTime::ZERO);
+        assert_eq!(dup.duplicated(), 1);
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Packets carried across emulated links.
 
 use bytes::Bytes;
-use rdsim_units::SimTime;
+use rdsim_units::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -46,6 +46,13 @@ pub struct Packet {
     pub corrupted: bool,
     /// `true` if this packet is a duplicate created by a duplication fault.
     pub duplicate: bool,
+    /// Time spent waiting behind the rate limiter (serialization queue),
+    /// stamped by the qdisc on enqueue. Zero without a rate limit.
+    pub queued: SimDuration,
+    /// Propagation latency drawn by the delay model, stamped by the qdisc
+    /// on enqueue. Zero without a delay rule (or when a reorder jump
+    /// bypassed the delay draw).
+    pub propagation: SimDuration,
 }
 
 impl Packet {
@@ -58,6 +65,8 @@ impl Packet {
             sent_at: SimTime::ZERO,
             corrupted: false,
             duplicate: false,
+            queued: SimDuration::ZERO,
+            propagation: SimDuration::ZERO,
         }
     }
 

@@ -176,6 +176,8 @@ pub struct NetemQdisc {
     duplicated: u64,
     /// Statistics: corrupted packets.
     corrupted: u64,
+    /// Statistics: packets that jumped the delay queue (reordered).
+    reordered: u64,
     /// Telemetry handles (None unless a live recorder was attached).
     obs: Option<QdiscObs>,
     /// Per-packet decision tracer (null unless attached): annotates every
@@ -205,6 +207,7 @@ impl NetemQdisc {
             dropped: 0,
             duplicated: 0,
             corrupted: 0,
+            reordered: 0,
             obs: None,
             tracer: Tracer::null(),
         }
@@ -261,6 +264,11 @@ impl NetemQdisc {
     /// Packets corrupted so far.
     pub fn corrupted(&self) -> u64 {
         self.corrupted
+    }
+
+    /// Packets that jumped the delay queue (reorder faults) so far.
+    pub fn reordered(&self) -> u64 {
+        self.reordered
     }
 
     fn draw_loss(&mut self) -> bool {
@@ -408,6 +416,7 @@ impl Qdisc for NetemQdisc {
                 self.reorder_count = 0;
                 if self.rng.bernoulli(reorder.probability.get()) {
                     jumped = true;
+                    self.reordered += 1;
                     if let Some(obs) = &self.obs {
                         obs.reordered.inc();
                     }
@@ -427,6 +436,12 @@ impl Qdisc for NetemQdisc {
             self.draw_delay()
         };
         let release = base_time + delay;
+        // Per-leg stamps for the timeline's glass-to-glass decomposition:
+        // queue wait (rate-limiter serialization) and propagation (the
+        // delay draw). A duplicate clone inherits both, since it shares
+        // the original's release time.
+        packet.queued = base_time.saturating_since(now);
+        packet.propagation = delay;
 
         let mut entries = 1usize;
         if duplicate {

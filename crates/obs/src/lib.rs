@@ -22,6 +22,11 @@
 //!   recorder. Snapshots ([`TraceLog`]) window around incidents and
 //!   export as Chrome/Perfetto `trace_event` JSON
 //!   ([`chrome_trace_json`]).
+//! * [`Timeline`] — time-resolved safety/QoS windows: fixed-width
+//!   sim-time buckets of integer-only aggregates (glass-to-glass latency
+//!   decomposition, per-direction link counters, min gated TTC, steering
+//!   reversals, fault bitmask), mergeable and deterministically
+//!   serializable — the substrate of incident forensics dossiers.
 //!
 //! The crate depends on nothing but `std` — not even other workspace
 //! crates — so every layer can use it without dependency cycles.
@@ -49,6 +54,7 @@ mod recorder;
 mod ring;
 mod store;
 mod telemetry;
+mod timeline;
 mod trace;
 
 #[cfg(feature = "alloc-count")]
@@ -66,6 +72,7 @@ pub use store::{
     to_micro, CampaignStore, CellAggregate, CellSample, RiskPoint, RunKey, RunSummary, MICRO,
 };
 pub use telemetry::{deterministic_instrument, RunTelemetry, FLEET_PREFIX};
+pub use timeline::{Timeline, TimelineWindow, DEFAULT_WINDOW_US};
 pub use trace::{
     ArtifactKind, TraceEvent, TraceId, TraceLog, TraceStage, Tracer, DEFAULT_TRACE_CAPACITY,
 };

@@ -61,8 +61,10 @@ impl TraceRing {
     }
 
     /// Grows the backing storage ahead of time for `additional` more
-    /// events (clamped to the ring bound), so a run of known length can
-    /// record into the ring without ever allocating mid-step.
+    /// events (clamped to the *remaining* room below the ring bound —
+    /// capacity minus what is already stored, not the bound itself), so a
+    /// run of known length can record into the ring without ever
+    /// allocating mid-step.
     pub fn reserve(&self, additional: usize) {
         let mut ring = self.inner.lock().expect("trace ring poisoned");
         let room = ring.capacity - ring.buf.len();
@@ -92,11 +94,19 @@ impl TraceRing {
 
     /// The retained events, oldest first.
     pub fn snapshot(&self) -> Vec<TraceEvent> {
+        let mut out = Vec::new();
+        self.snapshot_into(&mut out);
+        out
+    }
+
+    /// Appends the retained events, oldest first, into a caller-owned
+    /// buffer — the forensics-export path, which reuses one buffer across
+    /// runs so repeated snapshots stay outside the allocation gate.
+    pub fn snapshot_into(&self, out: &mut Vec<TraceEvent>) {
         let ring = self.inner.lock().expect("trace ring poisoned");
-        let mut out = Vec::with_capacity(ring.buf.len());
+        out.reserve(ring.buf.len());
         out.extend_from_slice(&ring.buf[ring.head..]);
         out.extend_from_slice(&ring.buf[..ring.head]);
-        out
     }
 }
 
@@ -137,6 +147,24 @@ mod tests {
         assert_eq!(ring.overwritten(), 0);
         let got: Vec<u64> = ring.snapshot().iter().map(|e| e.sim_us).collect();
         assert_eq!(got, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn snapshot_into_appends_and_reuses_buffer() {
+        let ring = TraceRing::with_capacity(3);
+        for n in 0..5 {
+            ring.push(ev(n));
+        }
+        let mut buf = Vec::with_capacity(8);
+        buf.push(ev(99));
+        ring.snapshot_into(&mut buf);
+        let got: Vec<u64> = buf.iter().map(|e| e.sim_us).collect();
+        assert_eq!(got, vec![99, 2, 3, 4], "appends after existing content");
+        let cap = buf.capacity();
+        buf.clear();
+        ring.snapshot_into(&mut buf);
+        assert_eq!(buf.capacity(), cap, "reused buffer does not grow");
+        assert_eq!(buf.len(), 3);
     }
 
     #[test]

@@ -92,6 +92,10 @@ pub struct CellSample {
     pub srr_rate_micro: i64,
     /// 1 when this run produced a usable SRR for the cell, else 0.
     pub srr_runs: u64,
+    /// Simulated microseconds the run spent inside this cell's fault
+    /// windows (all windows for a `run:*` cell) — the time-in-fault
+    /// exposure denominator for rate-style reporting.
+    pub fault_exposure_us: u64,
 }
 
 /// Mergeable per-cell aggregate: the sum of every [`CellSample`] folded
@@ -118,6 +122,9 @@ pub struct CellAggregate {
     pub srr_rate_micro: i128,
     /// Runs with a usable SRR.
     pub srr_runs: u64,
+    /// Σ simulated microseconds inside this cell's fault windows (`u128`:
+    /// immune to overflow at any campaign size).
+    pub fault_exposure_us: u128,
 }
 
 impl CellAggregate {
@@ -131,6 +138,7 @@ impl CellAggregate {
         self.srr_reversals += s.srr_reversals;
         self.srr_rate_micro += i128::from(s.srr_rate_micro);
         self.srr_runs += s.srr_runs;
+        self.fault_exposure_us += u128::from(s.fault_exposure_us);
     }
 
     fn merge(&mut self, o: &CellAggregate) {
@@ -143,6 +151,7 @@ impl CellAggregate {
         self.srr_reversals += o.srr_reversals;
         self.srr_rate_micro += o.srr_rate_micro;
         self.srr_runs += o.srr_runs;
+        self.fault_exposure_us += o.fault_exposure_us;
     }
 
     /// Wilson interval for `P(collision per trial)` at quantile `z`.
@@ -162,6 +171,14 @@ impl CellAggregate {
         (self.srr_runs > 0).then(|| self.srr_rate_micro as f64 / self.srr_runs as f64 / MICRO)
     }
 
+    /// Collisions per simulated hour of fault exposure (`None` without
+    /// any exposure time) — the time-normalized risk rate that makes
+    /// short and long fault windows comparable.
+    pub fn collisions_per_exposure_hour(&self) -> Option<f64> {
+        (self.fault_exposure_us > 0)
+            .then(|| self.collisions as f64 / (self.fault_exposure_us as f64 / 3.6e9))
+    }
+
     fn hash_into(&self, h: &mut Fnv) {
         h.u64(self.runs);
         h.u64(self.exposures);
@@ -173,6 +190,8 @@ impl CellAggregate {
         h.u64(self.srr_rate_micro as u64);
         h.u64((self.srr_rate_micro >> 64) as u64);
         h.u64(self.srr_runs);
+        h.u64(self.fault_exposure_us as u64);
+        h.u64((self.fault_exposure_us >> 64) as u64);
     }
 }
 
@@ -251,7 +270,8 @@ impl RunSummary {
             let _ = write!(
                 out,
                 ",\"exposures\":{},\"collided\":{},\"collisions\":{},\"ttc_breaches\":{},\
-                 \"ttc_samples\":{},\"srr_reversals\":{},\"srr_rate_micro\":{},\"srr_runs\":{}}}",
+                 \"ttc_samples\":{},\"srr_reversals\":{},\"srr_rate_micro\":{},\"srr_runs\":{},\
+                 \"fault_exposure_us\":{}}}",
                 c.exposures,
                 c.collided,
                 c.collisions,
@@ -259,7 +279,8 @@ impl RunSummary {
                 c.ttc_samples,
                 c.srr_reversals,
                 c.srr_rate_micro,
-                c.srr_runs
+                c.srr_runs,
+                c.fault_exposure_us
             );
         }
         out.push_str("],\"counters\":{");
@@ -331,6 +352,7 @@ impl RunSummary {
                     .and_then(JsonValue::as_i64)
                     .ok_or_else(|| err("cell without 'srr_rate_micro'"))?,
                 srr_runs: u64_of(c.get("srr_runs"), "srr_runs")?,
+                fault_exposure_us: u64_of(c.get("fault_exposure_us"), "fault_exposure_us")?,
             });
         }
         let counters = v
@@ -759,7 +781,7 @@ fn write_aggregate_fields(out: &mut String, agg: &CellAggregate, z: f64) {
         out,
         ",\"runs\":{},\"exposures\":{},\"collided\":{},\"collisions\":{},\
          \"ttc_breaches\":{},\"ttc_samples\":{},\"srr_reversals\":{},\
-         \"srr_rate_micro\":{},\"srr_runs\":{}",
+         \"srr_rate_micro\":{},\"srr_runs\":{},\"fault_exposure_us\":{}",
         agg.runs,
         agg.exposures,
         agg.collided,
@@ -768,7 +790,8 @@ fn write_aggregate_fields(out: &mut String, agg: &CellAggregate, z: f64) {
         agg.ttc_samples,
         agg.srr_reversals,
         agg.srr_rate_micro,
-        agg.srr_runs
+        agg.srr_runs,
+        agg.fault_exposure_us
     );
     out.push_str(",\"p_collision\":");
     crate::json::write_f64(out, ci.p_hat);
@@ -803,6 +826,7 @@ mod tests {
                 srr_reversals: 12,
                 srr_rate_micro: to_micro(24.5),
                 srr_runs: 1,
+                fault_exposure_us: 7_500_000,
             });
         }
         s.cells.push(CellSample {

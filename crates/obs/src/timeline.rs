@@ -1,0 +1,517 @@
+//! Time-resolved safety/QoS timelines: fixed-width sim-time windows of
+//! integer-only aggregates.
+//!
+//! Whole-run telemetry (one `session.frame_age_us` histogram per run)
+//! answers "how bad was it overall"; the paper's question is *when* —
+//! faults are injected at points of interest and collisions attributed to
+//! the surrounding window. A [`Timeline`] buckets the session into
+//! fixed-width windows of simulation time (default 1 s) and accumulates,
+//! per window:
+//!
+//! * **Glass-to-glass decomposition** — frame age count/sum/max plus the
+//!   four legs it decomposes into exactly (in integer microseconds):
+//!   capture→encode, uplink queue (rate-limiter serialization wait),
+//!   propagation (delay model), and decode→display (release → delivering
+//!   tick). `encode + queue + prop + display == frame age`, sum for sum,
+//!   which the core oracle test pins against the whole-run histogram.
+//! * **Command age** count/sum/max (downlink glass-to-actuator).
+//! * **Per-direction link counters** — packets dropped / delayed /
+//!   duplicated / reordered, and the maximum in-flight queue depth.
+//! * **Safety signals** — minimum gated TTC, steering-reversal count
+//!   (incremental J2944 hysteresis), speed sum (mm/s) + sample count,
+//!   and a fault-activity bitmask.
+//!
+//! Everything is an integer, so windows merge associatively and
+//! serialize deterministically ([`Timeline::to_json`] via the crate's
+//! raw-token JSON writer) — the properties the `--jobs`/`--batch`
+//! digest-equivalence harness requires. The struct is `Digestible` in
+//! `rdsim-core` (this crate stays dependency-free).
+//!
+//! Allocation discipline: [`Timeline::preallocate`] sizes the window
+//! vector from the protocol duration, after which
+//! [`Timeline::window_mut`] never allocates — the alloc-regression gate
+//! runs with the timeline enabled.
+
+use crate::json::JsonValue;
+
+/// Default window width: 1 second of simulation time, in microseconds.
+pub const DEFAULT_WINDOW_US: u64 = 1_000_000;
+
+/// Sentinel for "no gated TTC sample in this window".
+const TTC_NONE: u64 = u64::MAX;
+
+/// One fixed-width window of integer aggregates. All `_us` fields are
+/// microseconds of simulation time; `sum`/`count`/counter fields add
+/// under [`TimelineWindow::merge`], `max` fields take the maximum, and
+/// [`TimelineWindow::min_gated_ttc_us`] takes the minimum (with
+/// `u64::MAX` as the empty sentinel).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimelineWindow {
+    /// Frames displayed in this window.
+    pub frame_count: u64,
+    /// Sum of displayed-frame ages (capture → display).
+    pub frame_age_sum_us: u64,
+    /// Maximum displayed-frame age.
+    pub frame_age_max_us: u64,
+    /// Leg 1 sum: capture → uplink enqueue (encode latency).
+    pub encode_sum_us: u64,
+    /// Leg 1 maximum.
+    pub encode_max_us: u64,
+    /// Leg 2 sum: uplink queue wait (rate-limiter serialization).
+    pub queue_sum_us: u64,
+    /// Leg 2 maximum.
+    pub queue_max_us: u64,
+    /// Leg 3 sum: propagation (netem delay model).
+    pub prop_sum_us: u64,
+    /// Leg 3 maximum.
+    pub prop_max_us: u64,
+    /// Leg 4 sum: link release → delivering tick (decode/display wait).
+    pub display_sum_us: u64,
+    /// Leg 4 maximum.
+    pub display_max_us: u64,
+    /// Commands actuated in this window.
+    pub cmd_count: u64,
+    /// Sum of actuated-command ages (emit → actuate).
+    pub cmd_age_sum_us: u64,
+    /// Maximum actuated-command age.
+    pub cmd_age_max_us: u64,
+    /// Uplink packets dropped by the link.
+    pub up_dropped: u64,
+    /// Uplink frames delivered late (nonzero queue + propagation).
+    pub up_delayed: u64,
+    /// Uplink packets duplicated by the link.
+    pub up_duplicated: u64,
+    /// Uplink packets reordered past later traffic.
+    pub up_reordered: u64,
+    /// Maximum uplink in-flight queue depth observed.
+    pub up_queue_max: u64,
+    /// Downlink packets dropped by the link.
+    pub down_dropped: u64,
+    /// Downlink commands delivered late (nonzero queue + propagation).
+    pub down_delayed: u64,
+    /// Downlink packets duplicated by the link.
+    pub down_duplicated: u64,
+    /// Downlink packets reordered past later traffic.
+    pub down_reordered: u64,
+    /// Maximum downlink in-flight queue depth observed.
+    pub down_queue_max: u64,
+    /// Minimum gated time-to-collision (µs; `u64::MAX` = never gated).
+    pub min_gated_ttc_us: u64,
+    /// J2944 steering reversals detected in this window.
+    pub srr_reversals: u64,
+    /// Sum of per-tick ego speed samples, millimetres per second.
+    pub speed_sum_mmps: u64,
+    /// Number of speed samples (= ticks attributed to this window).
+    pub speed_samples: u64,
+    /// OR of the [`Timeline::FAULT_ACTIVE`]… bits active in this window.
+    pub fault_bits: u64,
+}
+
+impl Default for TimelineWindow {
+    fn default() -> Self {
+        TimelineWindow {
+            frame_count: 0,
+            frame_age_sum_us: 0,
+            frame_age_max_us: 0,
+            encode_sum_us: 0,
+            encode_max_us: 0,
+            queue_sum_us: 0,
+            queue_max_us: 0,
+            prop_sum_us: 0,
+            prop_max_us: 0,
+            display_sum_us: 0,
+            display_max_us: 0,
+            cmd_count: 0,
+            cmd_age_sum_us: 0,
+            cmd_age_max_us: 0,
+            up_dropped: 0,
+            up_delayed: 0,
+            up_duplicated: 0,
+            up_reordered: 0,
+            up_queue_max: 0,
+            down_dropped: 0,
+            down_delayed: 0,
+            down_duplicated: 0,
+            down_reordered: 0,
+            down_queue_max: 0,
+            min_gated_ttc_us: TTC_NONE,
+            srr_reversals: 0,
+            speed_sum_mmps: 0,
+            speed_samples: 0,
+            fault_bits: 0,
+        }
+    }
+}
+
+impl TimelineWindow {
+    /// Folds `other` into `self`: sums and counters add (saturating),
+    /// maxima take the max, the TTC minimum takes the min, fault bits OR.
+    pub fn merge(&mut self, other: &TimelineWindow) {
+        self.frame_count = self.frame_count.saturating_add(other.frame_count);
+        self.frame_age_sum_us = self.frame_age_sum_us.saturating_add(other.frame_age_sum_us);
+        self.frame_age_max_us = self.frame_age_max_us.max(other.frame_age_max_us);
+        self.encode_sum_us = self.encode_sum_us.saturating_add(other.encode_sum_us);
+        self.encode_max_us = self.encode_max_us.max(other.encode_max_us);
+        self.queue_sum_us = self.queue_sum_us.saturating_add(other.queue_sum_us);
+        self.queue_max_us = self.queue_max_us.max(other.queue_max_us);
+        self.prop_sum_us = self.prop_sum_us.saturating_add(other.prop_sum_us);
+        self.prop_max_us = self.prop_max_us.max(other.prop_max_us);
+        self.display_sum_us = self.display_sum_us.saturating_add(other.display_sum_us);
+        self.display_max_us = self.display_max_us.max(other.display_max_us);
+        self.cmd_count = self.cmd_count.saturating_add(other.cmd_count);
+        self.cmd_age_sum_us = self.cmd_age_sum_us.saturating_add(other.cmd_age_sum_us);
+        self.cmd_age_max_us = self.cmd_age_max_us.max(other.cmd_age_max_us);
+        self.up_dropped = self.up_dropped.saturating_add(other.up_dropped);
+        self.up_delayed = self.up_delayed.saturating_add(other.up_delayed);
+        self.up_duplicated = self.up_duplicated.saturating_add(other.up_duplicated);
+        self.up_reordered = self.up_reordered.saturating_add(other.up_reordered);
+        self.up_queue_max = self.up_queue_max.max(other.up_queue_max);
+        self.down_dropped = self.down_dropped.saturating_add(other.down_dropped);
+        self.down_delayed = self.down_delayed.saturating_add(other.down_delayed);
+        self.down_duplicated = self.down_duplicated.saturating_add(other.down_duplicated);
+        self.down_reordered = self.down_reordered.saturating_add(other.down_reordered);
+        self.down_queue_max = self.down_queue_max.max(other.down_queue_max);
+        self.min_gated_ttc_us = self.min_gated_ttc_us.min(other.min_gated_ttc_us);
+        self.srr_reversals = self.srr_reversals.saturating_add(other.srr_reversals);
+        self.speed_sum_mmps = self.speed_sum_mmps.saturating_add(other.speed_sum_mmps);
+        self.speed_samples = self.speed_samples.saturating_add(other.speed_samples);
+        self.fault_bits |= other.fault_bits;
+    }
+
+    /// `true` when nothing has been recorded into this window.
+    pub fn is_empty(&self) -> bool {
+        *self == TimelineWindow::default()
+    }
+
+    /// Records a displayed frame with its exact leg decomposition
+    /// (`encode + queue + prop + display` must equal `age_us`; the
+    /// session stamps all four from the same integer clock, so the
+    /// identity is exact, not rounded).
+    pub fn record_frame(&mut self, age_us: u64, encode: u64, queue: u64, prop: u64, display: u64) {
+        self.frame_count += 1;
+        self.frame_age_sum_us = self.frame_age_sum_us.saturating_add(age_us);
+        self.frame_age_max_us = self.frame_age_max_us.max(age_us);
+        self.encode_sum_us = self.encode_sum_us.saturating_add(encode);
+        self.encode_max_us = self.encode_max_us.max(encode);
+        self.queue_sum_us = self.queue_sum_us.saturating_add(queue);
+        self.queue_max_us = self.queue_max_us.max(queue);
+        self.prop_sum_us = self.prop_sum_us.saturating_add(prop);
+        self.prop_max_us = self.prop_max_us.max(prop);
+        self.display_sum_us = self.display_sum_us.saturating_add(display);
+        self.display_max_us = self.display_max_us.max(display);
+        if queue + prop > 0 {
+            self.up_delayed += 1;
+        }
+    }
+
+    /// Records an actuated command age; `delayed` marks a nonzero
+    /// downlink queue + propagation wait.
+    pub fn record_command(&mut self, age_us: u64, delayed: bool) {
+        self.cmd_count += 1;
+        self.cmd_age_sum_us = self.cmd_age_sum_us.saturating_add(age_us);
+        self.cmd_age_max_us = self.cmd_age_max_us.max(age_us);
+        if delayed {
+            self.down_delayed += 1;
+        }
+    }
+
+    /// Records a gated TTC observation (µs).
+    pub fn record_gated_ttc(&mut self, ttc_us: u64) {
+        self.min_gated_ttc_us = self.min_gated_ttc_us.min(ttc_us);
+    }
+}
+
+/// A run's time-resolved aggregate series: contiguous fixed-width windows
+/// from simulation time zero.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Timeline {
+    width_us: u64,
+    windows: Vec<TimelineWindow>,
+}
+
+impl Default for Timeline {
+    fn default() -> Self {
+        Timeline::new(DEFAULT_WINDOW_US)
+    }
+}
+
+impl Timeline {
+    /// Fault bit: any fault-injection rule active.
+    pub const FAULT_ACTIVE: u64 = 1;
+    /// Fault bit: an active rule adds delay/jitter.
+    pub const FAULT_DELAY: u64 = 1 << 1;
+    /// Fault bit: an active rule drops packets.
+    pub const FAULT_LOSS: u64 = 1 << 2;
+    /// Fault bit: an active rule duplicates packets.
+    pub const FAULT_DUPLICATE: u64 = 1 << 3;
+    /// Fault bit: an active rule corrupts payloads.
+    pub const FAULT_CORRUPT: u64 = 1 << 4;
+    /// Fault bit: an active rule reorders packets.
+    pub const FAULT_REORDER: u64 = 1 << 5;
+    /// Fault bit: an active rule rate-limits the link.
+    pub const FAULT_RATE: u64 = 1 << 6;
+
+    /// Creates an empty timeline with `width_us`-wide windows (min 1 µs).
+    pub fn new(width_us: u64) -> Self {
+        Timeline {
+            width_us: width_us.max(1),
+            windows: Vec::new(),
+        }
+    }
+
+    /// The window width in microseconds.
+    pub fn width_us(&self) -> u64 {
+        self.width_us
+    }
+
+    /// The windows recorded so far, oldest first, contiguous from t = 0.
+    pub fn windows(&self) -> &[TimelineWindow] {
+        &self.windows
+    }
+
+    /// Number of windows materialized so far.
+    pub fn len(&self) -> usize {
+        self.windows.len()
+    }
+
+    /// `true` when no window has been materialized yet.
+    pub fn is_empty(&self) -> bool {
+        self.windows.is_empty()
+    }
+
+    /// The index of the window containing simulation time `t_us`.
+    pub fn window_index(&self, t_us: u64) -> usize {
+        (t_us / self.width_us) as usize
+    }
+
+    /// Reserves window storage for a run of `duration_us`, so recording
+    /// never allocates in steady state (in-flight traffic can land one
+    /// window past the nominal end; headroom covers it).
+    pub fn preallocate(&mut self, duration_us: u64) {
+        let want = (duration_us / self.width_us) as usize + 4;
+        if want > self.windows.len() {
+            self.windows.reserve(want - self.windows.len());
+        }
+    }
+
+    /// The window containing `t_us`, materializing windows up to it.
+    /// Allocation-free once [`Timeline::preallocate`] covered `t_us`.
+    pub fn window_mut(&mut self, t_us: u64) -> &mut TimelineWindow {
+        let idx = self.window_index(t_us);
+        while self.windows.len() <= idx {
+            self.windows.push(TimelineWindow::default());
+        }
+        &mut self.windows[idx]
+    }
+
+    /// Folds `other` into `self` window by window. Both timelines must
+    /// use the same window width.
+    ///
+    /// # Panics
+    /// When the widths differ — merging incommensurate grids is a bug.
+    pub fn merge(&mut self, other: &Timeline) {
+        assert_eq!(
+            self.width_us, other.width_us,
+            "cannot merge timelines with different window widths"
+        );
+        while self.windows.len() < other.windows.len() {
+            self.windows.push(TimelineWindow::default());
+        }
+        for (mine, theirs) in self.windows.iter_mut().zip(&other.windows) {
+            mine.merge(theirs);
+        }
+    }
+
+    /// Serializes the whole timeline as deterministic compact JSON.
+    pub fn to_json(&self) -> String {
+        self.json_value(0, self.windows.len()).to_json()
+    }
+
+    /// The windows overlapping `[from_us, to_us]` as a JSON object with
+    /// the range's absolute `start_us` — the forensics dossier splice.
+    pub fn range_json(&self, from_us: u64, to_us: u64) -> JsonValue {
+        let start = (self.window_index(from_us)).min(self.windows.len());
+        let end = if to_us < from_us {
+            start
+        } else {
+            (self.window_index(to_us) + 1).min(self.windows.len())
+        };
+        self.json_value(start, end)
+    }
+
+    fn json_value(&self, start: usize, end: usize) -> JsonValue {
+        let windows = self.windows[start..end].iter().map(window_json).collect();
+        JsonValue::Obj(vec![
+            ("width_us".into(), num(self.width_us)),
+            ("start_us".into(), num(start as u64 * self.width_us)),
+            ("windows".into(), JsonValue::Arr(windows)),
+        ])
+    }
+}
+
+fn num(v: u64) -> JsonValue {
+    JsonValue::Num(v.to_string())
+}
+
+fn window_json(w: &TimelineWindow) -> JsonValue {
+    let ttc = if w.min_gated_ttc_us == TTC_NONE {
+        JsonValue::Null
+    } else {
+        num(w.min_gated_ttc_us)
+    };
+    JsonValue::Obj(vec![
+        ("frame_count".into(), num(w.frame_count)),
+        ("frame_age_sum_us".into(), num(w.frame_age_sum_us)),
+        ("frame_age_max_us".into(), num(w.frame_age_max_us)),
+        ("encode_sum_us".into(), num(w.encode_sum_us)),
+        ("encode_max_us".into(), num(w.encode_max_us)),
+        ("queue_sum_us".into(), num(w.queue_sum_us)),
+        ("queue_max_us".into(), num(w.queue_max_us)),
+        ("prop_sum_us".into(), num(w.prop_sum_us)),
+        ("prop_max_us".into(), num(w.prop_max_us)),
+        ("display_sum_us".into(), num(w.display_sum_us)),
+        ("display_max_us".into(), num(w.display_max_us)),
+        ("cmd_count".into(), num(w.cmd_count)),
+        ("cmd_age_sum_us".into(), num(w.cmd_age_sum_us)),
+        ("cmd_age_max_us".into(), num(w.cmd_age_max_us)),
+        ("up_dropped".into(), num(w.up_dropped)),
+        ("up_delayed".into(), num(w.up_delayed)),
+        ("up_duplicated".into(), num(w.up_duplicated)),
+        ("up_reordered".into(), num(w.up_reordered)),
+        ("up_queue_max".into(), num(w.up_queue_max)),
+        ("down_dropped".into(), num(w.down_dropped)),
+        ("down_delayed".into(), num(w.down_delayed)),
+        ("down_duplicated".into(), num(w.down_duplicated)),
+        ("down_reordered".into(), num(w.down_reordered)),
+        ("down_queue_max".into(), num(w.down_queue_max)),
+        ("min_gated_ttc_us".into(), ttc),
+        ("srr_reversals".into(), num(w.srr_reversals)),
+        ("speed_sum_mmps".into(), num(w.speed_sum_mmps)),
+        ("speed_samples".into(), num(w.speed_samples)),
+        ("fault_bits".into(), num(w.fault_bits)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn window_indexing_and_materialization() {
+        let mut tl = Timeline::new(1_000_000);
+        assert!(tl.is_empty());
+        tl.window_mut(2_500_000).frame_count = 7;
+        assert_eq!(tl.len(), 3, "windows 0..=2 materialized");
+        assert_eq!(tl.windows()[2].frame_count, 7);
+        assert!(tl.windows()[0].is_empty());
+        assert_eq!(tl.window_index(999_999), 0);
+        assert_eq!(tl.window_index(1_000_000), 1);
+    }
+
+    #[test]
+    fn preallocate_covers_run_without_growth() {
+        let mut tl = Timeline::new(1_000_000);
+        tl.preallocate(10_000_000);
+        let cap = tl.windows.capacity();
+        assert!(cap >= 14);
+        for t in (0..10_000_000).step_by(20_000) {
+            tl.window_mut(t).speed_samples += 1;
+        }
+        assert_eq!(tl.windows.capacity(), cap, "no reallocation mid-run");
+    }
+
+    #[test]
+    fn record_frame_keeps_leg_identity() {
+        let mut w = TimelineWindow::default();
+        w.record_frame(100, 40, 25, 30, 5);
+        w.record_frame(7, 7, 0, 0, 0);
+        assert_eq!(
+            w.frame_age_sum_us,
+            w.encode_sum_us + w.queue_sum_us + w.prop_sum_us + w.display_sum_us
+        );
+        assert_eq!(w.frame_count, 2);
+        assert_eq!(w.up_delayed, 1, "only the first frame had link latency");
+        assert_eq!(w.frame_age_max_us, 100);
+    }
+
+    #[test]
+    fn merge_is_commutative_and_respects_sentinels() {
+        let mut a = TimelineWindow::default();
+        a.record_frame(10, 10, 0, 0, 0);
+        a.record_gated_ttc(4_000_000);
+        a.fault_bits = Timeline::FAULT_ACTIVE | Timeline::FAULT_LOSS;
+        let mut b = TimelineWindow::default();
+        b.record_command(55, true);
+        b.fault_bits = Timeline::FAULT_ACTIVE | Timeline::FAULT_DELAY;
+
+        let mut ab = a;
+        ab.merge(&b);
+        let mut ba = b;
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.min_gated_ttc_us, 4_000_000, "empty side must not win");
+        assert_eq!(
+            ab.fault_bits,
+            Timeline::FAULT_ACTIVE | Timeline::FAULT_LOSS | Timeline::FAULT_DELAY
+        );
+
+        let mut empty = TimelineWindow::default();
+        empty.merge(&TimelineWindow::default());
+        assert_eq!(empty.min_gated_ttc_us, u64::MAX);
+    }
+
+    #[test]
+    fn timeline_merge_extends_and_folds() {
+        let mut a = Timeline::new(1_000_000);
+        a.window_mut(500_000).frame_count = 1;
+        let mut b = Timeline::new(1_000_000);
+        b.window_mut(2_200_000).cmd_count = 3;
+        a.merge(&b);
+        assert_eq!(a.len(), 3);
+        assert_eq!(a.windows()[0].frame_count, 1);
+        assert_eq!(a.windows()[2].cmd_count, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "different window widths")]
+    fn merge_rejects_width_mismatch() {
+        let mut a = Timeline::new(1_000_000);
+        a.merge(&Timeline::new(500_000));
+    }
+
+    #[test]
+    fn json_is_deterministic_and_range_slices() {
+        let mut tl = Timeline::new(1_000_000);
+        tl.window_mut(100).record_frame(10, 10, 0, 0, 0);
+        tl.window_mut(3_100_000).record_gated_ttc(2_750_000);
+        assert_eq!(tl.to_json(), tl.clone().to_json());
+
+        let full = JsonValue::parse(&tl.to_json()).unwrap();
+        assert_eq!(full.get("width_us").unwrap().as_u64(), Some(1_000_000));
+        assert_eq!(full.get("start_us").unwrap().as_u64(), Some(0));
+        assert_eq!(full.get("windows").unwrap().as_arr().unwrap().len(), 4);
+        let w0 = &full.get("windows").unwrap().as_arr().unwrap()[0];
+        assert_eq!(w0.get("frame_count").unwrap().as_u64(), Some(1));
+        assert_eq!(
+            w0.get("min_gated_ttc_us"),
+            Some(&JsonValue::Null),
+            "sentinel serializes as null"
+        );
+        let w3 = &full.get("windows").unwrap().as_arr().unwrap()[3];
+        assert_eq!(
+            w3.get("min_gated_ttc_us").unwrap().as_u64(),
+            Some(2_750_000)
+        );
+
+        let slice = tl.range_json(2_900_000, 3_500_000);
+        assert_eq!(slice.get("start_us").unwrap().as_u64(), Some(2_000_000));
+        assert_eq!(slice.get("windows").unwrap().as_arr().unwrap().len(), 2);
+
+        let inverted = tl.range_json(5, 1);
+        assert_eq!(inverted.get("windows").unwrap().as_arr().unwrap().len(), 0);
+
+        let past_end = tl.range_json(9_000_000, 11_000_000);
+        assert_eq!(past_end.get("windows").unwrap().as_arr().unwrap().len(), 0);
+        assert_eq!(past_end.get("start_us").unwrap().as_u64(), Some(4_000_000));
+    }
+}

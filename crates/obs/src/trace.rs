@@ -295,13 +295,27 @@ impl Tracer {
 
     /// Snapshots the ring into an owned [`TraceLog`].
     pub fn log(&self) -> TraceLog {
+        let mut log = TraceLog::default();
+        self.log_into(&mut log);
+        log
+    }
+
+    /// Snapshots the ring into a caller-owned [`TraceLog`], clearing and
+    /// reusing its event buffer — the repeated-export path (forensics
+    /// dossiers snapshot once per run into one recycled log, keeping the
+    /// export loop off the allocator once the buffer has grown).
+    pub fn log_into(&self, log: &mut TraceLog) {
+        log.events.clear();
         match &self.ring {
-            Some(ring) => TraceLog {
-                events: ring.snapshot(),
-                overwritten: ring.overwritten(),
-                capacity: ring.capacity(),
-            },
-            None => TraceLog::default(),
+            Some(ring) => {
+                ring.snapshot_into(&mut log.events);
+                log.overwritten = ring.overwritten();
+                log.capacity = ring.capacity();
+            }
+            None => {
+                log.overwritten = 0;
+                log.capacity = 0;
+            }
         }
     }
 }

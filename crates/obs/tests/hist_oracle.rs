@@ -118,6 +118,46 @@ proptest! {
     }
 
     #[test]
+    fn named_quantiles_within_one_bucket_of_exact_percentile(
+        values in proptest::collection::vec(0u64..(1u64 << 50), 1..300),
+    ) {
+        // Cross-check p50/p99 against rdsim-math's exact linear-
+        // interpolated percentile of the sorted slice. The two rank
+        // conventions differ by less than one position — the histogram
+        // targets `ceil(q·n)`, the math percentile interpolates around
+        // `1 + q·(n−1)` — so both values must land inside the base-2
+        // buckets spanned by the bracketing order statistics
+        // `sorted[floor(rank)] ..= sorted[ceil(rank)]`. Values stay
+        // below 2^50 so the f64 conversion is exact.
+        let hist = Histogram::new();
+        for &v in &values {
+            hist.record(v);
+        }
+        let snap = hist.snapshot();
+        let mut sorted = values;
+        sorted.sort_unstable();
+        let as_f64: Vec<f64> = sorted.iter().map(|&v| v as f64).collect();
+        for (pct, est) in [(50.0, snap.p50()), (99.0, snap.p99())] {
+            let exact = rdsim_math::percentile_sorted(&as_f64, pct);
+            let rank = pct / 100.0 * (sorted.len() - 1) as f64;
+            let lo_stat = sorted[rank.floor() as usize];
+            let hi_stat = sorted[rank.ceil() as usize];
+            let (blo, _) = bucket_bounds(bucket_index(lo_stat));
+            let (_, bhi) = bucket_bounds(bucket_index(hi_stat));
+            prop_assert!(
+                est >= blo.max(snap.min) && est <= bhi.min(snap.max),
+                "p{} estimate {} outside bracket buckets [{}..{}] (stats {}..{})",
+                pct, est, blo, bhi, lo_stat, hi_stat
+            );
+            prop_assert!(
+                exact >= blo as f64 && exact <= bhi as f64,
+                "p{} exact {} outside bracket buckets [{}..{}]",
+                pct, exact, blo, bhi
+            );
+        }
+    }
+
+    #[test]
     fn named_percentiles_are_ordered(
         values in proptest::collection::vec(0u64..1_000_000, 2..200),
     ) {

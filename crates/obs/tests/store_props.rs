@@ -28,7 +28,7 @@ const CONDITIONS: [&str; 6] = [
 const KINDS: [&str; 3] = ["training", "golden", "faulty"];
 
 /// One raw summary spec drawn by proptest: (digest, wall_ns, cells as
-/// 8-tuples of raw integers, histogram samples, a counter value).
+/// 9-tuples of raw integers, histogram samples, a counter value).
 type Spec = (u64, u64, Vec<Vec<u64>>, Vec<u64>, u64);
 
 fn spec_strategy() -> impl Strategy<Value = Vec<Spec>> {
@@ -36,7 +36,7 @@ fn spec_strategy() -> impl Strategy<Value = Vec<Spec>> {
         (
             proptest::num::u64::ANY,
             0u64..1_000_000,
-            proptest::collection::vec(proptest::collection::vec(0u64..1_000_000, 8), 0..5),
+            proptest::collection::vec(proptest::collection::vec(0u64..1_000_000, 9), 0..5),
             // Full-range samples push histogram sums past 2^64, exercising
             // the u128 carry through fold, merge and JSON.
             proptest::collection::vec(proptest::num::u64::ANY, 0..6),
@@ -72,6 +72,7 @@ fn build(index: usize, spec: &Spec) -> RunSummary {
             srr_reversals: raw[5] % 500,
             srr_rate_micro: raw[6] as i64 - 500_000,
             srr_runs: raw[7] % 2,
+            fault_exposure_us: raw[8],
         });
     }
     if !hist_samples.is_empty() {
