@@ -16,7 +16,8 @@
 use rdsim_bench::report::{Group, Report};
 use rdsim_core::RunKind;
 use rdsim_experiments::{
-    execute_ordered, run_digest, run_protocol, run_seed, run_study_with_jobs, ScenarioConfig,
+    execute_ordered, plan_round, run_digest, run_protocol, run_seed, run_study_with_jobs,
+    CellSignal, SamplerConfig, SamplerPolicy, ScenarioConfig,
 };
 use rdsim_operator::SubjectProfile;
 use std::time::Instant;
@@ -66,6 +67,45 @@ fn time_jobs(jobs: usize, reference: &[u64]) -> f64 {
     times[times.len() / 2]
 }
 
+/// A population-campaign-shaped grid: 9 strata × 5 fault conditions with
+/// deterministic mixed tallies (no RNG — the bench must be rerun-stable).
+fn sampler_grid() -> Vec<CellSignal> {
+    (0..45u64)
+        .map(|i| {
+            let pulls = (i * 7) % 23;
+            CellSignal {
+                cell: format!("g{}a{}|cond{}", i / 15, (i / 5) % 3, i % 5),
+                pulls,
+                capacity: 400,
+                collided: ((i * 3) % 5).min(pulls * 3),
+                exposures: pulls * 3,
+            }
+        })
+        .collect()
+}
+
+/// Median nanoseconds for one `plan_round` barrier decision over the
+/// 45-cell grid.
+fn time_plan(policy: SamplerPolicy) -> f64 {
+    const ITERS: u32 = 1_000;
+    let mut cfg = SamplerConfig::new(policy);
+    cfg.round_size = 8;
+    let cells = sampler_grid();
+    let mut medians = Vec::with_capacity(SAMPLES);
+    for _ in 0..SAMPLES {
+        let start = Instant::now();
+        let mut sink = 0u64;
+        for _ in 0..ITERS {
+            sink = sink.wrapping_add(plan_round(&cfg, &cells, 8).iter().sum::<u64>());
+        }
+        let total = start.elapsed().as_nanos() as f64;
+        assert_eq!(sink, 8 * u64::from(ITERS), "planner stopped filling rounds");
+        medians.push(total / f64::from(ITERS));
+    }
+    medians.sort_by(|a, b| a.total_cmp(b));
+    medians[medians.len() / 2]
+}
+
 fn main() {
     let _ = std::env::args();
 
@@ -110,6 +150,43 @@ fn main() {
                 .float("jobs_4", speedup(four), 3),
         )
         .bool("digest_match", true);
+
+    // -- sampler decision cost --------------------------------------------
+    // One barrier decision amortizes over `round_size` runs; the gate is
+    // that the per-run share of the decision stays under 1% of the
+    // measured per-run simulation cost, for every policy. (On any real
+    // hardware the margin is ~5 orders of magnitude — the gate exists to
+    // catch an accidentally quadratic planner, not to tune constants.)
+    let per_run_ns = serial / reference.len() as f64 * 1e9;
+    let plan_uniform = time_plan(SamplerPolicy::Uniform);
+    let plan_ucb = time_plan(SamplerPolicy::Ucb);
+    let plan_ci = time_plan(SamplerPolicy::CiWidth);
+    let worst_plan = plan_uniform.max(plan_ucb).max(plan_ci);
+    let overhead_pct = (worst_plan / 8.0) / per_run_ns * 100.0;
+    let sampler_overhead_ok = overhead_pct < 1.0;
+    println!(
+        "sampler plan_round (45 cells, budget 8): uniform {plan_uniform:.0} ns, \
+         ucb {plan_ucb:.0} ns, ci-width {plan_ci:.0} ns"
+    );
+    println!(
+        "sampler per-run overhead: {overhead_pct:.5}% of a {:.0} ms run ({})",
+        per_run_ns / 1e6,
+        if sampler_overhead_ok {
+            "ok"
+        } else {
+            "OVER BUDGET"
+        }
+    );
+    report
+        .group(
+            "sampler",
+            Group::new()
+                .float("plan_ns_uniform", plan_uniform, 0)
+                .float("plan_ns_ucb", plan_ucb, 0)
+                .float("plan_ns_ci_width", plan_ci, 0)
+                .float("per_run_overhead_pct", overhead_pct, 6),
+        )
+        .bool("sampler_overhead_ok", sampler_overhead_ok);
 
     if std::env::var("RDSIM_BENCH_FULL").is_ok_and(|v| v == "1") {
         eprintln!("full mode: timing quick studies at 1 and 4 workers …");

@@ -7,6 +7,8 @@
 //!       [--trace-out DIR] [--forensics DIR] [--progress]
 //!       [--report-out DIR] [--checkpoint FILE] [--resume]
 //!       [--interrupt-after N]
+//!       [--campaign RUNS] [--population N] [--sampler NAME] [--round N]
+//!       [--min-pulls N]
 //! ```
 //!
 //! `--quick` shortens the runs (for smoke testing); the full study drives
@@ -52,16 +54,31 @@
 //! run prints a `campaign store digest:` line whose bytes are invariant
 //! across `--jobs`, `--batch`, and interrupt/resume splits — the CI
 //! `resume-equivalence` job diffs that line and `campaign.json`.
+//!
+//! `--campaign RUNS` replaces the 12-subject study with an **adaptive
+//! population campaign** (DESIGN §13): `--population N` (default 24)
+//! subjects are synthesized deterministically from the seed, the
+//! (stratum × fault) grid is sampled round by round under `--sampler
+//! {uniform,ucb,ci-width}` (default `ucb`, `--round N` runs per round,
+//! default 8, `--min-pulls N` support floor per cell, default 2), and
+//! stdout reports the population digest, every round's
+//! allocation, and the campaign store digest — all byte-identical across
+//! `--jobs`/`--batch` and across interrupt/resume (the CI
+//! `campaign-sampler-determinism` job diffs them). `--checkpoint` /
+//! `--resume` / `--interrupt-after` / `--progress` work as above;
+//! `--report-out DIR` additionally writes `DIR/sampler.json`, the
+//! deterministic per-round decision log.
 
 use rdsim_core::{IncidentKind, RunKind};
 use rdsim_experiments::{
-    campaign_digest, collision_summary, default_jobs, fault_condition, figure4,
-    model_vehicle_sweep, questionnaire_summary, run_campaign, run_study_with_exec, store_digest,
-    table2, table3, table4, validity_sweep, CampaignOptions, CampaignOutcome, ScenarioConfig,
-    StationSpec, StudyResults, SweepReport, TextTable,
+    campaign_digest, collision_summary, decision_log_json, default_jobs, fault_condition, figure4,
+    model_vehicle_sweep, questionnaire_summary, run_campaign, run_population_campaign,
+    run_study_with_exec, store_digest, table2, table3, table4, validity_sweep, CampaignOptions,
+    CampaignOutcome, PopulationOptions, SamplerConfig, SamplerPolicy, ScenarioConfig, StationSpec,
+    StudyResults, SweepReport, TextTable,
 };
 use rdsim_metrics::{SrrConfig, TtcConfig, TtcStats};
-use rdsim_obs::{write_f64, write_json_string, Z_95};
+use rdsim_obs::{write_f64, write_json_string, CampaignStore, Z_95};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
@@ -81,6 +98,11 @@ fn main() -> ExitCode {
     let mut checkpoint: Option<PathBuf> = None;
     let mut resume = false;
     let mut interrupt_after: Option<usize> = None;
+    let mut campaign: Option<u64> = None;
+    let mut population = 24usize;
+    let mut sampler = SamplerPolicy::Ucb;
+    let mut round = 8usize;
+    let mut min_pulls: Option<u64> = None;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -151,6 +173,41 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--campaign" => match iter.next().and_then(|s| s.parse::<u64>().ok()) {
+                Some(n) if n >= 1 => campaign = Some(n),
+                _ => {
+                    eprintln!("--campaign needs a run budget >= 1");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--population" => match iter.next().and_then(|s| s.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => population = n,
+                _ => {
+                    eprintln!("--population needs an integer >= 1");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--sampler" => match iter.next().and_then(|s| SamplerPolicy::parse(s)) {
+                Some(policy) => sampler = policy,
+                None => {
+                    eprintln!("--sampler needs one of: uniform, ucb, ci-width");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--round" => match iter.next().and_then(|s| s.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => round = n,
+                _ => {
+                    eprintln!("--round needs an integer >= 1");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--min-pulls" => match iter.next().and_then(|s| s.parse::<u64>().ok()) {
+                Some(n) => min_pulls = Some(n),
+                _ => {
+                    eprintln!("--min-pulls needs an integer >= 0");
+                    return ExitCode::FAILURE;
+                }
+            },
             other if !other.starts_with('-') => command = other.to_owned(),
             other => {
                 eprintln!("unknown flag '{other}'");
@@ -182,6 +239,75 @@ fn main() -> ExitCode {
     if resume && checkpoint.is_none() {
         eprintln!("--resume requires --checkpoint");
         return ExitCode::FAILURE;
+    }
+    if let Some(budget) = campaign {
+        let mut sampler_cfg = SamplerConfig::new(sampler);
+        sampler_cfg.round_size = round;
+        if let Some(floor) = min_pulls {
+            sampler_cfg.min_pulls = floor;
+        }
+        let opts = PopulationOptions {
+            seed,
+            population,
+            budget,
+            sampler: sampler_cfg,
+            config: config.clone(),
+            jobs,
+            batch,
+            progress,
+            checkpoint: checkpoint.clone(),
+            resume,
+            interrupt_after,
+        };
+        eprintln!(
+            "running the population campaign (seed {seed}, {population} subject(s), budget \
+             {budget}, sampler {}, round {round}, {jobs} job(s), batch {batch}) …",
+            sampler.name()
+        );
+        return match run_population_campaign(&opts) {
+            Ok(o) => {
+                // Everything printed here is schedule- and resume-
+                // invariant: the CI campaign-sampler-determinism job
+                // byte-diffs the whole stdout across --jobs 1/4 and
+                // across interrupt+resume.
+                println!(
+                    "population digest: {:016x} ({} subjects, {} strata)",
+                    o.population_digest, population, o.strata
+                );
+                for decision in &o.rounds {
+                    let alloc: Vec<String> = decision
+                        .allocations
+                        .iter()
+                        .map(|(cell, n)| format!("{cell}×{n}"))
+                        .collect();
+                    println!(
+                        "sampler round {:03} [{}]: {}",
+                        decision.round,
+                        sampler.name(),
+                        alloc.join(", ")
+                    );
+                }
+                println!(
+                    "campaign store digest: {:016x} ({} of {} runs)",
+                    store_digest(&o.store),
+                    o.completed,
+                    o.total
+                );
+                if let Some(dir) = &report_out {
+                    if let Err(err) = write_reports(dir, &o.store).and_then(|()| {
+                        std::fs::write(dir.join("sampler.json"), decision_log_json(&o.rounds))
+                    }) {
+                        eprintln!("failed to write reports to {}: {err}", dir.display());
+                        return ExitCode::FAILURE;
+                    }
+                }
+                ExitCode::SUCCESS
+            }
+            Err(err) => {
+                eprintln!("population campaign failed: {err}");
+                ExitCode::FAILURE
+            }
+        };
     }
     let mut outcome: Option<CampaignOutcome> = None;
     let study: Option<StudyResults> = if needs_study {
@@ -283,7 +409,7 @@ fn main() -> ExitCode {
             o.total
         );
         if let Some(dir) = &report_out {
-            if let Err(err) = write_reports(dir, o) {
+            if let Err(err) = write_reports(dir, &o.store) {
                 eprintln!("failed to write reports to {}: {err}", dir.display());
                 return ExitCode::FAILURE;
             }
@@ -343,14 +469,14 @@ fn kind_slug(kind: RunKind) -> &'static str {
 /// Writes the machine-readable campaign reports: `campaign.json`
 /// (deterministic — aggregates, CIs, risk surface) and `timings.json`
 /// (wall-clock rollups — never byte-diff it).
-fn write_reports(dir: &Path, outcome: &CampaignOutcome) -> std::io::Result<()> {
+fn write_reports(dir: &Path, store: &CampaignStore) -> std::io::Result<()> {
     std::fs::create_dir_all(dir)?;
-    std::fs::write(dir.join("campaign.json"), outcome.store.report_json(Z_95))?;
-    std::fs::write(dir.join("timings.json"), outcome.store.timings_json())?;
+    std::fs::write(dir.join("campaign.json"), store.report_json(Z_95))?;
+    std::fs::write(dir.join("timings.json"), store.timings_json())?;
     eprintln!(
         "wrote campaign.json ({} cells over {} runs) and timings.json under {}",
-        outcome.store.cells().count(),
-        outcome.store.runs(),
+        store.cells().count(),
+        store.runs(),
         dir.display()
     );
     Ok(())

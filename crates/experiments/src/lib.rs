@@ -24,8 +24,10 @@ pub mod digest;
 pub mod executor;
 mod figures;
 mod observatory;
+mod population;
 mod roster;
 mod runner;
+mod sampler;
 mod scenario;
 pub mod seeds;
 mod study;
@@ -41,10 +43,15 @@ pub use observatory::{
     fault_condition, kind_slug, load_checkpoint, run_campaign, summarize_run, CampaignOptions,
     CampaignOutcome, SCENARIO,
 };
+pub use population::{population_digest, stratum_label, synthesize_population, SyntheticSubject};
 pub use roster::{paper_roster, RosterEntry};
 pub use runner::{run_protocol, run_protocol_batch, ProtocolJob, RunOutput, ScenarioConfig};
+pub use sampler::{
+    decision_log_json, plan_round, run_population_campaign, CellSignal, PopulationOptions,
+    PopulationOutcome, RoundDecision, SamplerConfig, SamplerPolicy,
+};
 pub use scenario::{CourseMap, FaultPoint, ScenarioPlan};
-pub use seeds::run_seed;
+pub use seeds::{run_seed, synthetic_run_seed, synthetic_subject_seed};
 // The station rig spec lives with the operator abstraction in rdsim-core
 // (one home for both station abstractions); re-exported here because the
 // Table I generator is an experiments-layer artifact.

@@ -194,6 +194,23 @@ fn checkpoint_header(seed: u64, total: usize) -> String {
 /// malformed line anywhere else is an error. Duplicate summaries fold
 /// idempotently ([`CampaignStore::fold`]).
 pub fn load_checkpoint(path: &Path, seed: u64, total: usize) -> Result<CampaignStore, String> {
+    let mut store = CampaignStore::new();
+    for summary in load_checkpoint_summaries(path, seed, total)? {
+        store.fold(&summary);
+    }
+    Ok(store)
+}
+
+/// Parses a checkpoint stream into its summaries *without* folding them —
+/// the adaptive campaign needs to replay resumed runs round by round so
+/// the sampler's per-round view of the store never sees ahead of the
+/// barrier it is planning at. Same validation and torn-tail semantics as
+/// [`load_checkpoint`].
+pub(crate) fn load_checkpoint_summaries(
+    path: &Path,
+    seed: u64,
+    total: usize,
+) -> Result<Vec<RunSummary>, String> {
     let text = fs::read_to_string(path)
         .map_err(|e| format!("cannot read checkpoint {}: {e}", path.display()))?;
     let mut lines = text.lines().enumerate();
@@ -223,23 +240,49 @@ pub fn load_checkpoint(path: &Path, seed: u64, total: usize) -> Result<CampaignS
             field("total").unwrap_or(0)
         ));
     }
-    let mut store = CampaignStore::new();
+    let mut summaries = Vec::new();
     let last = text.lines().count().saturating_sub(1);
     for (i, line) in lines {
         if line.trim().is_empty() {
             continue;
         }
         match RunSummary::from_json(line) {
-            Ok(summary) => {
-                store.fold(&summary);
-            }
+            Ok(summary) => summaries.push(summary),
             // A process killed mid-append leaves at most one torn line,
             // necessarily the last; everything before it is intact.
             Err(_) if i == last => break,
             Err(e) => return Err(format!("checkpoint line {}: {e}", i + 1)),
         }
     }
-    Ok(store)
+    Ok(summaries)
+}
+
+/// Opens the checkpoint stream for appending summaries: creates the
+/// parent directory, then either appends to an existing stream (resume)
+/// or creates a fresh one with a validated header line. Shared by the
+/// study campaign and the adaptive population campaign.
+pub(crate) fn open_checkpoint_writer(
+    path: &Path,
+    resume: bool,
+    seed: u64,
+    total: usize,
+) -> Result<Mutex<BufWriter<fs::File>>, String> {
+    if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+        fs::create_dir_all(dir).map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+    }
+    let file = if resume {
+        fs::OpenOptions::new().append(true).open(path)
+    } else {
+        fs::File::create(path)
+    }
+    .map_err(|e| format!("cannot open checkpoint {}: {e}", path.display()))?;
+    let mut w = BufWriter::new(file);
+    if !resume {
+        writeln!(w, "{}", checkpoint_header(seed, total))
+            .and_then(|()| w.flush())
+            .map_err(|e| format!("cannot write checkpoint header: {e}"))?;
+    }
+    Ok(Mutex::new(w))
 }
 
 /// How [`run_campaign`] should run the study campaign.
@@ -349,25 +392,7 @@ pub fn run_campaign(opts: &CampaignOptions) -> Result<CampaignOutcome, String> {
     // The checkpoint writer: header + one summary line per completed run,
     // flushed per line so an interrupt loses at most the line in flight.
     let writer: Option<Mutex<BufWriter<fs::File>>> = match &opts.checkpoint {
-        Some(path) => {
-            if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
-                fs::create_dir_all(dir)
-                    .map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
-            }
-            let file = if opts.resume {
-                fs::OpenOptions::new().append(true).open(path)
-            } else {
-                fs::File::create(path)
-            }
-            .map_err(|e| format!("cannot open checkpoint {}: {e}", path.display()))?;
-            let mut w = BufWriter::new(file);
-            if !opts.resume {
-                writeln!(w, "{}", checkpoint_header(opts.seed, total))
-                    .and_then(|()| w.flush())
-                    .map_err(|e| format!("cannot write checkpoint header: {e}"))?;
-            }
-            Some(Mutex::new(w))
-        }
+        Some(path) => Some(open_checkpoint_writer(path, opts.resume, opts.seed, total)?),
         None => None,
     };
 

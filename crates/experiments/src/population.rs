@@ -1,0 +1,165 @@
+//! Deterministic synthesis of operator populations.
+//!
+//! The paper's roster is twelve fixed subjects (T1–T12); ROADMAP item 1
+//! scales the study to *populations* of synthesized operators. This
+//! module mints N [`SubjectProfile`]s as a pure function of
+//! `(campaign_seed, subject_index)` in the frozen
+//! [`SYNTHETIC_DOMAIN_SALT`](crate::seeds::SYNTHETIC_DOMAIN_SALT)
+//! seed domain, sampling the trait space the human-performance taxonomy
+//! grounds: gaming [`Experience`], racing-game exposure, station
+//! [`Familiarity`], [`Handedness`] and a continuous attentiveness level.
+//!
+//! Each subject carries a **stratum label** — a coarse bucketing of the
+//! traits that dominate driver-parameter variance (gaming experience ×
+//! attentiveness tercile) — and its id embeds the stratum as a path
+//! prefix (`g2a0/p00017`). That makes stratum membership recoverable
+//! from the [`CampaignStore`](rdsim_obs::CampaignStore) cell key alone
+//! (a range query over the subject prefix pools a stratum's runs) and
+//! keeps synthetic ids trivially disjoint from the paper roster's
+//! `T{n}` labels.
+
+use crate::seeds::SYNTHETIC_DOMAIN_SALT;
+use rdsim_math::{RngStream, StableHasher};
+use rdsim_operator::{Experience, Familiarity, Handedness, SubjectProfile};
+
+/// One synthesized member of a population.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SyntheticSubject {
+    /// Position in the population (the synthesis substream index).
+    pub index: usize,
+    /// The stratum label, recomputable via [`stratum_label`].
+    pub stratum: String,
+    /// The synthesized profile. Its `id` is `"{stratum}/p{index:05}"`.
+    pub profile: SubjectProfile,
+}
+
+/// The stratum a profile belongs to: gaming-experience level crossed
+/// with attentiveness tercile, e.g. `"g2a0"` (recent gamer, low
+/// attentiveness). A pure function of the profile's traits — the
+/// property suite pins that re-deriving it from any synthesized profile
+/// reproduces the stored label.
+pub fn stratum_label(profile: &SubjectProfile) -> String {
+    let g = match profile.gaming {
+        Experience::None => 0,
+        Experience::Past => 1,
+        Experience::Recent => 2,
+    };
+    let a = ((profile.attentiveness * 3.0) as usize).min(2);
+    format!("g{g}a{a}")
+}
+
+/// Synthesizes a population of `size` subjects from `campaign_seed`.
+///
+/// Deterministic and order-free: subject `i` is drawn from its own
+/// substream of the salted campaign seed, so the same `(seed, i)` yields
+/// a byte-identical subject regardless of `size` (populations are
+/// prefix-stable: growing N appends subjects without re-rolling earlier
+/// ones). Draw order within a subject is frozen — changing it would
+/// re-roll every synthetic golden.
+///
+/// Trait marginals (loosely matched to the paper's recruited
+/// demographics, §V.A): gaming 25% none / 55% past / 20% recent; racing
+/// games 50/50; station familiarity 50% none / 25% once / 25% a few;
+/// 12% left-traffic handedness; attentiveness uniform on
+/// `[0.05, 0.95]` (never saturated, so derived driver parameters stay
+/// strictly inside their documented clamps).
+pub fn synthesize_population(campaign_seed: u64, size: usize) -> Vec<SyntheticSubject> {
+    let base = RngStream::from_seed(campaign_seed ^ SYNTHETIC_DOMAIN_SALT).substream("population");
+    (0..size)
+        .map(|index| {
+            let mut rng = base.substream_index(index as u64);
+            let g = rng.uniform();
+            let gaming = if g < 0.25 {
+                Experience::None
+            } else if g < 0.80 {
+                Experience::Past
+            } else {
+                Experience::Recent
+            };
+            let racing_games = rng.bernoulli(0.5);
+            let st = rng.uniform();
+            let station = if st < 0.50 {
+                Familiarity::None
+            } else if st < 0.75 {
+                Familiarity::Once
+            } else {
+                Familiarity::Few
+            };
+            let handedness = if rng.bernoulli(0.12) {
+                Handedness::LeftTraffic
+            } else {
+                Handedness::RightTraffic
+            };
+            let attentiveness = rng.uniform_range(0.05, 0.95);
+            let mut profile = SubjectProfile::typical("");
+            profile.gaming = gaming;
+            profile.racing_games = racing_games;
+            profile.station = station;
+            profile.handedness = handedness;
+            profile.attentiveness = attentiveness;
+            let stratum = stratum_label(&profile);
+            profile.id = format!("{stratum}/p{index:05}");
+            SyntheticSubject {
+                index,
+                stratum,
+                profile,
+            }
+        })
+        .collect()
+}
+
+/// A stable digest over a synthesized population: campaign seed, size
+/// and every subject's id, stratum and traits. Printed by
+/// `repro --campaign` so two hosts can confirm they synthesized the
+/// same operators before comparing run digests.
+pub fn population_digest(campaign_seed: u64, population: &[SyntheticSubject]) -> u64 {
+    let mut h = StableHasher::new();
+    h.write_u64(campaign_seed);
+    h.write_usize(population.len());
+    for subject in population {
+        h.write_str(&subject.profile.id);
+        h.write_str(&subject.stratum);
+        h.write_str(&format!("{:?}", subject.profile.gaming));
+        h.write_bool(subject.profile.racing_games);
+        h.write_str(&format!("{:?}", subject.profile.station));
+        h.write_str(&format!("{:?}", subject.profile.handedness));
+        h.write_f64(subject.profile.attentiveness);
+    }
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthesis_is_deterministic_and_prefix_stable() {
+        let a = synthesize_population(31, 16);
+        let b = synthesize_population(31, 16);
+        assert_eq!(a, b);
+        assert_eq!(population_digest(31, &a), population_digest(31, &b));
+        // Growing the population appends without re-rolling the prefix.
+        let grown = synthesize_population(31, 32);
+        assert_eq!(&grown[..16], &a[..]);
+    }
+
+    #[test]
+    fn ids_embed_the_stratum_and_avoid_the_paper_roster() {
+        let pop = synthesize_population(7, 64);
+        let mut seen = std::collections::BTreeSet::new();
+        for s in &pop {
+            assert_eq!(s.profile.id, format!("{}/p{:05}", s.stratum, s.index));
+            assert_eq!(s.stratum, stratum_label(&s.profile));
+            assert!(seen.insert(s.profile.id.clone()), "duplicate id");
+            assert!(!s.profile.id.starts_with('T'), "collides with roster");
+        }
+    }
+
+    #[test]
+    fn different_seeds_give_different_populations() {
+        let a = synthesize_population(1, 8);
+        let b = synthesize_population(2, 8);
+        assert_ne!(population_digest(1, &a), population_digest(2, &b));
+        assert_ne!(a, b);
+    }
+}

@@ -69,6 +69,11 @@ pub struct ScenarioConfig {
     /// Off by default; the campaign digests exclude it, so enabling it
     /// never changes what a run computes.
     pub timeline: bool,
+    /// Pin every point-of-interest injection of a faulty run to this one
+    /// fault instead of drawing per point per lap (population campaigns
+    /// condition each run on a single fault cell). `None` — the default —
+    /// keeps the §V.C random draw bit-for-bit unchanged.
+    pub fault_override: Option<PaperFault>,
 }
 
 /// Ring depth for runs whose trace is retained ([`ScenarioConfig::trace`]):
@@ -94,6 +99,7 @@ impl Default for ScenarioConfig {
             telemetry: false,
             trace: false,
             timeline: false,
+            fault_override: None,
         }
     }
 }
@@ -302,12 +308,21 @@ fn build_run(job: &ProtocolJob) -> (RdsSession, ProtocolDriver) {
         driver.set_extrapolation(extrapolation);
     }
 
-    // --- Fault schedule draws (one per point per lap).
-    let mut fault_rng = RngStream::from_seed(seed).substream(&format!("faults-{}", profile.id));
+    // --- Fault schedule draws (one per point per lap), unless the run is
+    // pinned to one condition.
     let laps_planned = config.laps.max(1);
-    let draws: Vec<Vec<PaperFault>> = (0..laps_planned)
-        .map(|_| plan.draw_faults(&mut fault_rng))
-        .collect();
+    let draws: Vec<Vec<PaperFault>> = match config.fault_override {
+        Some(fault) => (0..laps_planned)
+            .map(|_| vec![fault; plan.fault_points.len()])
+            .collect(),
+        None => {
+            let mut fault_rng =
+                RngStream::from_seed(seed).substream(&format!("faults-{}", profile.id));
+            (0..laps_planned)
+                .map(|_| plan.draw_faults(&mut fault_rng))
+                .collect()
+        }
+    };
 
     // --- Controller state.
     let target = config
@@ -711,6 +726,28 @@ mod tests {
             assert_eq!(s.progress, b.progress);
             assert_eq!(s.frames_seen, b.frames_seen);
             assert_eq!(s.stutter_time, b.stutter_time);
+        }
+    }
+
+    #[test]
+    fn fault_override_pins_every_injection() {
+        let cfg = ScenarioConfig {
+            fault_override: Some(PaperFault::Loss5Pct),
+            ..ScenarioConfig::quick()
+        };
+        let out = run_protocol(&profile(), RunKind::Faulty, 101, &cfg);
+        assert!(!out.record.schedule.is_empty());
+        for sf in &out.record.schedule {
+            assert_eq!(sf.fault, PaperFault::Loss5Pct, "override pins every draw");
+        }
+        // The default path is untouched: same seed, no override draws the
+        // historical random sequence.
+        let plain = run_protocol(&profile(), RunKind::Faulty, 101, &ScenarioConfig::quick());
+        let plan = ScenarioPlan::town05();
+        let mut rng = RngStream::from_seed(101).substream("faults-TQ");
+        let expected = plan.draw_faults(&mut rng);
+        for (i, sf) in plain.record.schedule.iter().enumerate() {
+            assert_eq!(sf.fault, expected[i]);
         }
     }
 

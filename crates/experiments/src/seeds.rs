@@ -47,6 +47,39 @@ pub fn run_seed(campaign_seed: u64, subject_id: &str, kind: RunKind) -> u64 {
     subject_seed(campaign_seed, subject_id) ^ kind_salt(kind)
 }
 
+/// Salt-domain separator for **synthetic** (population-synthesized)
+/// subjects (`"synthsub"` as ASCII).
+///
+/// [`run_seed`] keys on free-form subject id strings, so before this salt
+/// existed nothing stopped a synthetic subject id from landing in the
+/// paper roster's seed space — a latent footgun once subject ids stopped
+/// being the twelve fixed `T1`…`T12` labels. Synthetic derivations mix
+/// this salt into the campaign seed *before* the per-subject substream
+/// split, putting them in a disjoint domain from every historical
+/// derivation; `tests/population_props.rs` proves the disjointness over
+/// 10⁵ ids. Frozen: changing it invalidates every population golden.
+pub const SYNTHETIC_DOMAIN_SALT: u64 = 0x7379_6e74_6873_7562;
+
+/// A synthetic subject's base seed: like [`subject_seed`], but in the
+/// [`SYNTHETIC_DOMAIN_SALT`] domain so it can never collide with a
+/// paper-roster subject seed regardless of the id string.
+pub fn synthetic_subject_seed(campaign_seed: u64, subject_id: &str) -> u64 {
+    RngStream::from_seed(campaign_seed ^ SYNTHETIC_DOMAIN_SALT)
+        .substream(subject_id)
+        .seed()
+}
+
+/// The seed of one population-campaign run: the synthetic subject seed
+/// split by the fault-condition label (population runs are pinned to a
+/// single condition, so the condition — not the run kind — is the run's
+/// identity axis). A pure function of `(campaign_seed, subject_id,
+/// condition)`, independent of scheduling and of every other run.
+pub fn synthetic_run_seed(campaign_seed: u64, subject_id: &str, condition: &str) -> u64 {
+    RngStream::from_seed(synthetic_subject_seed(campaign_seed, subject_id))
+        .substream(condition)
+        .seed()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

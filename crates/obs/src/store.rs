@@ -53,8 +53,10 @@ pub fn to_micro(value: f64) -> i64 {
 }
 
 /// Identity of one run within a campaign: scenario × subject × run-level
-/// kind (`training` / `golden` / `faulty`). The checkpoint layer uses
-/// this as the "already done" key when resuming.
+/// kind (`training` / `golden` / `faulty`; population campaigns use the
+/// fault-condition label, e.g. `delay:50ms`, so a subject's runs across
+/// conditions stay distinct). The checkpoint layer uses this as the
+/// "already done" key when resuming.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
 pub struct RunKey {
     /// Scenario name (e.g. `town05`).
@@ -601,6 +603,33 @@ impl CampaignStore {
         ))
     }
 
+    /// Pools one condition's aggregates across every subject whose id
+    /// starts with `subject_prefix` — the adaptive sampler's bandit
+    /// signal, where a stratum's subjects share an id prefix
+    /// (`g2a0/p00017` pools under `g2a0/`). An empty prefix pools the
+    /// condition across all subjects. A single `BTreeMap` range scan, so
+    /// the per-round planning cost stays sub-linear in the store size.
+    pub fn pooled_cell(
+        &self,
+        scenario: &str,
+        condition: &str,
+        subject_prefix: &str,
+    ) -> CellAggregate {
+        let start = (
+            scenario.to_owned(),
+            condition.to_owned(),
+            subject_prefix.to_owned(),
+        );
+        let mut agg = CellAggregate::default();
+        for ((sc, co, su), cell) in self.cells.range(start..) {
+            if sc != scenario || co != condition || !su.starts_with(subject_prefix) {
+                break;
+            }
+            agg.merge(cell);
+        }
+        agg
+    }
+
     /// Pools every non-`run:*` condition across subjects into one
     /// [`RiskPoint`] per (scenario, condition), in label order — the
     /// `P(collision)` vs delay/loss surface with Wilson intervals at
@@ -1004,6 +1033,53 @@ mod tests {
             .is_some());
         let timings = store.timings_json();
         assert!(JsonValue::parse(&timings).is_ok());
+    }
+
+    #[test]
+    fn pooled_cell_matches_brute_force_over_prefixes() {
+        let mut store = CampaignStore::new();
+        for (i, (subject, collided)) in [
+            ("g0a1/p00000", 0),
+            ("g0a1/p00003", 1),
+            ("g0a2/p00001", 1),
+            ("g2a0/p00002", 0),
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            let s = RunSummary {
+                scenario: "town05".into(),
+                subject: subject.into(),
+                kind: "delay:25ms".into(),
+                digest: 0x40 + i as u64,
+                cells: vec![CellSample {
+                    condition: "delay:25ms".into(),
+                    exposures: 3,
+                    collided,
+                    collisions: collided,
+                    ..CellSample::default()
+                }],
+                ..RunSummary::default()
+            };
+            store.fold(&s);
+        }
+        for prefix in ["", "g0a1/", "g0a2/", "g2a0/", "zzz/"] {
+            let pooled = store.pooled_cell("town05", "delay:25ms", prefix);
+            let mut expect = CellAggregate::default();
+            for (sc, co, su, agg) in store.cells() {
+                if sc == "town05" && co == "delay:25ms" && su.starts_with(prefix) {
+                    expect.merge(agg);
+                }
+            }
+            assert_eq!(pooled, expect, "prefix {prefix:?}");
+        }
+        assert_eq!(store.pooled_cell("town05", "delay:25ms", "g0a1/").runs, 2);
+        assert_eq!(
+            store.pooled_cell("town05", "delay:25ms", "g0a1/").collided,
+            1
+        );
+        assert_eq!(store.pooled_cell("town05", "delay:25ms", "").runs, 4);
+        assert_eq!(store.pooled_cell("town05", "loss:02pct", "").runs, 0);
     }
 
     #[test]

@@ -12,7 +12,10 @@
 //! runs in release mode in CI's `resume-equivalence` job and behind
 //! `--ignored` here.
 
-use rdsim::experiments::{run_campaign, store_digest, CampaignOptions, ScenarioConfig};
+use rdsim::experiments::{
+    decision_log_json, run_campaign, run_population_campaign, store_digest, CampaignOptions,
+    PopulationOptions, SamplerConfig, SamplerPolicy, ScenarioConfig,
+};
 use rdsim_obs::Z_95;
 use std::fs;
 use std::path::PathBuf;
@@ -157,6 +160,83 @@ fn resume_validates_its_inputs_before_running_anything() {
         run_campaign(&wrong_seed).is_err(),
         "a checkpoint minted for seed 7 must not resume seed 8"
     );
+}
+
+/// Adaptive-campaign resume equivalence: interrupting a UCB population
+/// campaign **mid-round** and resuming on a different schedule must
+/// reproduce the single-shot run byte-for-byte — store digest, report
+/// JSON, population digest and, critically, the *sequence of sampler
+/// decisions* (resumed runs are replayed into the rounds that planned
+/// them, so every barrier sees exactly the rounds before it, never a
+/// pre-folded future).
+#[test]
+fn adaptive_campaign_interrupted_mid_round_resumes_identically() {
+    let dir = scratch_dir("adaptive");
+    let mut sampler = SamplerConfig::new(SamplerPolicy::Ucb);
+    sampler.round_size = 3;
+    sampler.min_pulls = 1;
+    let base = || {
+        let mut o = PopulationOptions::new(31, 4, 8, sampler.clone());
+        o.config = short_config();
+        o
+    };
+
+    let mut single = base();
+    single.jobs = 2;
+    let single = run_population_campaign(&single).expect("single-shot population campaign");
+    assert_eq!(single.completed, 8);
+    assert!(!single.interrupted);
+
+    // Interrupt after 4 of 8 runs — inside round 1 (rounds are 3 wide),
+    // on a serial schedule.
+    let ck = dir.join("population.jsonl");
+    let mut part1 = base();
+    part1.jobs = 1;
+    part1.interrupt_after = Some(4);
+    part1.checkpoint = Some(ck.clone());
+    let part1 = run_population_campaign(&part1).expect("interrupted mid-round");
+    assert!(part1.interrupted);
+    assert_eq!(part1.completed, 4);
+    // The decisions made before the interrupt are a prefix of the
+    // single-shot decision sequence.
+    let single_log = decision_log_json(&single.rounds);
+    let part1_log = decision_log_json(&part1.rounds);
+    assert!(
+        part1.rounds.len() < single.rounds.len() || part1_log == single_log,
+        "an interrupted campaign cannot have planned beyond the single shot"
+    );
+    for (a, b) in part1.rounds.iter().zip(&single.rounds) {
+        assert_eq!(
+            a.allocations, b.allocations,
+            "pre-interrupt decisions must match the single shot at round {}",
+            a.round
+        );
+    }
+
+    // Resume on a batched two-worker schedule.
+    let mut part2 = base();
+    part2.jobs = 2;
+    part2.batch = 2;
+    part2.checkpoint = Some(ck);
+    part2.resume = true;
+    let part2 = run_population_campaign(&part2).expect("resumed to completion");
+    assert_eq!(part2.resumed, 4, "all checkpointed runs adopted");
+    assert_eq!(part2.completed, 8);
+    assert!(!part2.interrupted);
+
+    assert_eq!(store_digest(&part2.store), store_digest(&single.store));
+    assert_eq!(part2.store.fingerprint(), single.store.fingerprint());
+    assert_eq!(
+        part2.store.report_json(Z_95),
+        single.store.report_json(Z_95),
+        "report JSON must be byte-identical across the split"
+    );
+    assert_eq!(
+        decision_log_json(&part2.rounds),
+        single_log,
+        "the resumed campaign must replay the exact decision sequence"
+    );
+    assert_eq!(part2.population_digest, single.population_digest);
 }
 
 /// Full-roster resume equivalence at `--quick` scale. Slow in debug
