@@ -1,16 +1,22 @@
-//! Session-pipeline bench: per-session vs batched stepping throughput.
+//! Session-pipeline bench: serial vs batched stepping throughput.
 //!
-//! Not a criterion bench — a custom harness that steps the same 8
-//! sessions to completion at lockstep batch sizes 1, 4 and 8
-//! ([`rdsim_core::SessionBatch`]), prints steps/sec, re-checks that every
-//! batch size reproduces the serial run-log digests bit for bit, and
-//! writes a machine-readable `BENCH_session.json` at the workspace root.
-//! Batch 1 is the per-session baseline (one `SessionBatch` per session —
-//! the exact `run_protocol` path). The recorded numbers are honest
-//! medians on whatever hardware ran the bench; `available_parallelism`
-//! is recorded next to them because batching amortizes per-run overhead
-//! and cache misses, not cores — on any machine the digests must match,
-//! which is the check that matters.
+//! Not a criterion bench — a custom harness that steps the same 32
+//! sessions to completion serially (plain `session.step()` loops) and
+//! at lockstep batch widths 1, 4, 8, 16 and 32
+//! ([`rdsim_core::SessionBatch`], which routes eligible sessions through
+//! the stage-major SoA sweep), prints the per-width steps/sec curve,
+//! re-checks that every width reproduces the serial run-log digests bit
+//! for bit, and writes a machine-readable `BENCH_session.json` at the
+//! workspace root. The recorded numbers are honest medians on whatever
+//! hardware ran the bench; `available_parallelism` is recorded next to
+//! them because batching amortizes per-run overhead and cache misses,
+//! not cores — on any machine the digests must match, which is the
+//! check that matters.
+//!
+//! `soa_speedup` compares batch-8 throughput against the pre-SoA
+//! engine's measured ~57k steps/sec on the reference container and is
+//! gated in-bench: the data-oriented refactor must keep paying for
+//! itself or this bench fails.
 
 use rdsim_bench::report::{Group, Report};
 use rdsim_core::{
@@ -26,9 +32,18 @@ use std::time::Instant;
 /// Timed samples per batch size (median reported).
 const SAMPLES: usize = 3;
 /// Sessions stepped per sample.
-const SESSIONS: usize = 8;
+const SESSIONS: usize = 32;
 /// Steps per session (20 s of sim time at 50 Hz).
 const STEPS: u64 = 1_000;
+/// Lockstep widths the curve is measured at.
+const WIDTHS: [usize; 5] = [1, 4, 8, 16, 32];
+/// Steps/sec of the pre-SoA engine (per-session stepping, same
+/// scenario) on the reference single-core container — the fixed
+/// baseline `soa_speedup` is measured against.
+const PRE_SOA_STEPS_PER_SEC: f64 = 57_000.0;
+/// In-bench gate: batch-8 must beat the pre-SoA baseline by at least
+/// this factor.
+const MIN_SOA_SPEEDUP: f64 = 2.0;
 
 fn session(i: usize) -> RdsSession {
     let seed = 1_000 + i as u64;
@@ -53,6 +68,22 @@ fn operator(i: usize) -> ScriptedOperator {
     ScriptedOperator::constant(ControlInput::new(0.25 + (i % 4) as f64 * 0.05, 0.0, 0.0))
 }
 
+/// Steps all `SESSIONS` sessions to completion one at a time through the
+/// plain serial path; returns (wall secs, per-session run-log digests).
+fn run_serial() -> (f64, Vec<u64>) {
+    let start = Instant::now();
+    let mut digests = Vec::with_capacity(SESSIONS);
+    for i in 0..SESSIONS {
+        let mut s = session(i);
+        let mut op = operator(i);
+        for _ in 0..STEPS {
+            s.step(&mut op);
+        }
+        digests.push(s.into_log().digest());
+    }
+    (start.elapsed().as_secs_f64(), digests)
+}
+
 /// Steps all `SESSIONS` sessions to completion in lockstep groups of
 /// `batch`; returns (wall secs, per-session run-log digests).
 fn run_batched(batch: usize) -> (f64, Vec<u64>) {
@@ -72,14 +103,15 @@ fn run_batched(batch: usize) -> (f64, Vec<u64>) {
     (start.elapsed().as_secs_f64(), digests)
 }
 
-/// Median wall seconds over `SAMPLES` executions at `batch`.
-fn time_batch(batch: usize, reference: &[u64]) -> f64 {
+/// Median wall seconds over `SAMPLES` runs of `f`, digest-checked
+/// against the serial reference.
+fn time_runs(f: impl Fn() -> (f64, Vec<u64>), what: &str, reference: &[u64]) -> f64 {
     let mut times = Vec::with_capacity(SAMPLES);
     for _ in 0..SAMPLES {
-        let (secs, digests) = run_batched(batch);
+        let (secs, digests) = f();
         assert_eq!(
             digests, reference,
-            "digest drift at batch {batch} — lockstep changed results"
+            "digest drift at {what} — lockstep changed results"
         );
         times.push(secs);
     }
@@ -91,26 +123,57 @@ fn main() {
     let _ = std::env::args();
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     let total_steps = SESSIONS as u64 * STEPS;
+    let rate = |secs: f64| total_steps as f64 / secs;
 
     // Warm-up also produces the serial reference digests every timed run
     // is checked against.
-    let (warm, reference) = run_batched(1);
-    eprintln!("warm-up: {warm:.3} s for {SESSIONS} sessions × {STEPS} steps (batch 1)");
+    let (warm, reference) = run_serial();
+    eprintln!("warm-up: {warm:.3} s for {SESSIONS} sessions × {STEPS} steps (serial)");
 
-    let b1 = time_batch(1, &reference);
-    let b4 = time_batch(4, &reference);
-    let b8 = time_batch(8, &reference);
-    let rate = |secs: f64| total_steps as f64 / secs;
+    let serial = time_runs(run_serial, "serial", &reference);
+    let widths: Vec<(usize, f64)> = WIDTHS
+        .iter()
+        .map(|&w| {
+            (
+                w,
+                time_runs(|| run_batched(w), &format!("batch {w}"), &reference),
+            )
+        })
+        .collect();
 
     println!(
         "== session pipeline ({SESSIONS} sessions × {STEPS} steps × {SAMPLES} samples, {cores} core(s)) =="
     );
-    for (name, secs) in [("batch=1", b1), ("batch=4", b4), ("batch=8", b8)] {
+    println!("serial: {serial:.3} s  ({:.0} steps/sec)", rate(serial));
+    for &(w, secs) in &widths {
         println!(
-            "{name}: {secs:.3} s  ({:.0} steps/sec, {:.2}× vs per-session)",
+            "batch={w}: {secs:.3} s  ({:.0} steps/sec, {:.2}× vs serial)",
             rate(secs),
-            b1 / secs
+            serial / secs
         );
+    }
+
+    let b8 = widths
+        .iter()
+        .find(|(w, _)| *w == 8)
+        .map(|&(_, secs)| secs)
+        .expect("width 8 measured");
+    let soa_speedup = rate(b8) / PRE_SOA_STEPS_PER_SEC;
+    println!("soa_speedup: {soa_speedup:.2}× vs pre-SoA {PRE_SOA_STEPS_PER_SEC:.0} steps/sec");
+    assert!(
+        soa_speedup >= MIN_SOA_SPEEDUP,
+        "SoA regression: batch-8 {:.0} steps/sec is only {soa_speedup:.2}× the pre-SoA \
+         baseline of {PRE_SOA_STEPS_PER_SEC:.0} (gate: {MIN_SOA_SPEEDUP}×)",
+        rate(b8),
+    );
+
+    let mut secs_group = Group::new().float("serial", serial, 6);
+    let mut rate_group = Group::new().float("serial", rate(serial), 0);
+    let mut speedup_group = Group::new();
+    for &(w, secs) in &widths {
+        secs_group = secs_group.float(&format!("batch_{w}"), secs, 6);
+        rate_group = rate_group.float(&format!("batch_{w}"), rate(secs), 0);
+        speedup_group = speedup_group.float(&format!("batch_{w}"), serial / secs, 3);
     }
 
     let mut report = Report::new("session_batched");
@@ -119,26 +182,10 @@ fn main() {
         .uint("steps_per_session", STEPS)
         .uint("samples", SAMPLES as u64)
         .uint("available_parallelism", cores as u64)
-        .group(
-            "median_secs",
-            Group::new()
-                .float("batch_1", b1, 6)
-                .float("batch_4", b4, 6)
-                .float("batch_8", b8, 6),
-        )
-        .group(
-            "steps_per_sec",
-            Group::new()
-                .float("batch_1", rate(b1), 0)
-                .float("batch_4", rate(b4), 0)
-                .float("batch_8", rate(b8), 0),
-        )
-        .group(
-            "speedup_vs_per_session",
-            Group::new()
-                .float("batch_4", b1 / b4, 3)
-                .float("batch_8", b1 / b8, 3),
-        )
+        .group("median_secs", secs_group)
+        .group("steps_per_sec", rate_group)
+        .group("speedup_vs_serial", speedup_group)
+        .float("soa_speedup", soa_speedup, 3)
         .bool("digest_match", true);
     report.write("session");
 }

@@ -1,0 +1,184 @@
+//! Structure-of-arrays state for the batch engine.
+//!
+//! A [`crate::SessionBatch`] steps N independent sessions per tick. Doing
+//! that session-major (run all ten stages of session 0, then session 1, …)
+//! touches each stage's code and data N times with everything else in
+//! between; doing it *stage-major* (run stage 0 for all N, then stage 1
+//! for all N, …) keeps one stage's code and working set hot while it
+//! sweeps a dense slice of per-slot state. This module owns that per-slot
+//! state:
+//!
+//! * [`SoaLanes`] — parallel columnar arrays keyed by batch slot: the
+//!   per-tick clock, fault-window attribution and next-edge deadlines,
+//!   qdisc next-release heads, and mirrors of the hot vehicle/operator
+//!   scalars. Deadline columns are *authoritative caches* (they let a
+//!   stage skip work that provably cannot happen yet, e.g. an uplink with
+//!   nothing queued and nothing due); the kinematic/operator columns are
+//!   *gather-only mirrors* (the session's own subsystems keep the
+//!   authoritative state, the lanes expose it as dense arrays).
+//! * [`BatchCtx`] — what a [`crate::Stage`]'s `step_batch` sees: the
+//!   sessions, the slot list for this sweep, the lanes, and an
+//!   [`OperatorProvider`] resolving each slot's operator without
+//!   allocating.
+//!
+//! The scatter/gather boundary is deliberately narrow: stages write run
+//! logs, traces and counters through exactly the same code as the serial
+//! path, so digests, telemetry and forensics cannot see the layout. The
+//! batched-vs-serial harnesses pin this bit for bit.
+
+use crate::pipeline::StageContext;
+use crate::{OperatorSubsystem, RdsSession};
+
+/// Resolves the operator subsystem for a batch slot.
+///
+/// `SessionBatch` implements this over its controller array so the
+/// stage-major loop can reach any slot's operator by index without
+/// collecting `&mut dyn` references up front (which would allocate).
+pub trait OperatorProvider {
+    /// The operator driving the session in `slot`.
+    fn operator_mut(&mut self, slot: usize) -> &mut dyn OperatorSubsystem;
+}
+
+/// Parallel columnar arrays of per-session hot state, keyed by batch
+/// slot. Slots are assigned at [`crate::SessionBatch::push`] time and
+/// never reused; columns grow with the batch and keep retired slots'
+/// last values (nothing reads them again).
+#[derive(Debug, Default)]
+pub struct SoaLanes {
+    /// Post-physics tick clock, µs (mirror of `StepScratch::now`).
+    pub(crate) now_us: Vec<u64>,
+    /// Cached fault-window attribution for the tick.
+    pub(crate) fault_in_window: Vec<bool>,
+    /// Next simulated time (µs) the fault injector can change link
+    /// state; `u64::MAX` = no transition pending. Lets the fault stage
+    /// skip the per-tick window scan between edges.
+    pub(crate) fault_next_edge_us: Vec<u64>,
+    /// Injector revision the cached edge was computed at; `u64::MAX`
+    /// marks "not cached yet".
+    pub(crate) fault_epoch: Vec<u64>,
+    /// Uplink qdisc's next-release head, µs (`u64::MAX` = queue empty).
+    /// Lets the uplink stage skip the link transfer entirely on ticks
+    /// with nothing to send and nothing due.
+    pub(crate) up_next_release_us: Vec<u64>,
+    /// Downlink qdisc's next-release head, µs (maintained for symmetry
+    /// and diagnostics; the downlink sends every tick so it cannot skip).
+    pub(crate) down_next_release_us: Vec<u64>,
+    /// Ego kinematic mirrors, scattered after the vehicle stage.
+    pub(crate) ego_x: Vec<f64>,
+    pub(crate) ego_y: Vec<f64>,
+    pub(crate) ego_heading: Vec<f64>,
+    pub(crate) ego_speed: Vec<f64>,
+    pub(crate) ego_accel: Vec<f64>,
+    pub(crate) ego_steer: Vec<f64>,
+    /// Operator hot-state mirrors, gathered after the operator stage
+    /// from [`OperatorSubsystem::hot_state`] (left untouched for
+    /// operators that expose none).
+    pub(crate) op_wheel: Vec<f64>,
+    pub(crate) op_steer_target: Vec<f64>,
+    pub(crate) op_next_update_us: Vec<u64>,
+}
+
+impl SoaLanes {
+    /// Grows every column to cover `n` slots.
+    pub(crate) fn ensure_slots(&mut self, n: usize) {
+        self.now_us.resize(n, 0);
+        self.fault_in_window.resize(n, false);
+        self.fault_next_edge_us.resize(n, 0);
+        self.fault_epoch.resize(n, u64::MAX);
+        self.up_next_release_us.resize(n, 0);
+        self.down_next_release_us.resize(n, 0);
+        self.ego_x.resize(n, 0.0);
+        self.ego_y.resize(n, 0.0);
+        self.ego_heading.resize(n, 0.0);
+        self.ego_speed.resize(n, 0.0);
+        self.ego_accel.resize(n, 0.0);
+        self.ego_steer.resize(n, 0.0);
+        self.op_wheel.resize(n, 0.0);
+        self.op_steer_target.resize(n, 0.0);
+        self.op_next_update_us.resize(n, 0);
+    }
+
+    /// Number of slots the lanes cover.
+    pub fn slots(&self) -> usize {
+        self.now_us.len()
+    }
+
+    /// Post-physics tick clock per slot, µs.
+    pub fn now_us(&self) -> &[u64] {
+        &self.now_us
+    }
+
+    /// Whether a fault rule was active at each slot's last tick.
+    pub fn fault_in_window(&self) -> &[bool] {
+        &self.fault_in_window
+    }
+
+    /// Ego longitudinal speed mirror, m/s.
+    pub fn ego_speed(&self) -> &[f64] {
+        &self.ego_speed
+    }
+
+    /// Ego position mirrors, metres.
+    pub fn ego_xy(&self) -> (&[f64], &[f64]) {
+        (&self.ego_x, &self.ego_y)
+    }
+
+    /// Operator wheel-angle mirror (slots whose operator exposes no
+    /// [`crate::OperatorHotState`] stay at their default).
+    pub fn op_wheel(&self) -> &[f64] {
+        &self.op_wheel
+    }
+
+    /// Uplink next-release heads, µs (`u64::MAX` = idle).
+    pub fn up_next_release_us(&self) -> &[u64] {
+        &self.up_next_release_us
+    }
+}
+
+/// Everything a batched stage sweep may touch: the session array, the
+/// slots to advance (already filtered to live, batch-eligible sessions
+/// whose stage at the current position is the builtin), the operator
+/// provider and the columnar lanes.
+pub struct BatchCtx<'a> {
+    pub(crate) sessions: &'a mut [RdsSession],
+    pub(crate) ops: &'a mut dyn OperatorProvider,
+    pub(crate) slots: &'a [usize],
+    pub(crate) lanes: &'a mut SoaLanes,
+}
+
+impl BatchCtx<'_> {
+    /// Number of slots in this sweep.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether the sweep is empty.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// The batch slot at sweep position `k`.
+    pub fn slot(&self, k: usize) -> usize {
+        self.slots[k]
+    }
+
+    /// The columnar lanes.
+    pub fn lanes(&self) -> &SoaLanes {
+        &*self.lanes
+    }
+
+    /// Runs `f` with the per-session [`StageContext`] of sweep position
+    /// `k` — exactly the context the serial path would build, so
+    /// `batch.with_slot(k, |ctx| self.advance(ctx))` is the
+    /// bit-identical per-slot fallback.
+    pub fn with_slot<R>(&mut self, k: usize, f: impl FnOnce(&mut StageContext<'_>) -> R) -> R {
+        let slot = self.slots[k];
+        let session = &mut self.sessions[slot];
+        let mut ctx = StageContext {
+            core: &mut session.core,
+            operator: self.ops.operator_mut(slot),
+            scratch: &mut session.scratch,
+        };
+        f(&mut ctx)
+    }
+}

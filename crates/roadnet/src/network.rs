@@ -110,30 +110,59 @@ impl RoadNetwork {
     /// distance) among all lanes.
     ///
     /// Returns `None` only for an empty network.
+    ///
+    /// Lanes are scanned in id order keeping the first strictly-smaller
+    /// distance, with whole-lane bounding boxes pruning lanes that
+    /// provably cannot beat the running best — an exact skip (see
+    /// [`crate::Polyline::distance_lower_bound_sq`]), so the result is
+    /// bit-identical to projecting onto every lane.
     pub fn project(&self, point: Vec2) -> Option<LaneProjection> {
-        self.lanes
-            .iter()
-            .map(|lane| self.project_onto_lane(lane.id(), point))
-            .min_by(|a, b| {
-                a.distance
-                    .get()
-                    .partial_cmp(&b.distance.get())
-                    .expect("distances are finite")
-            })
+        let mut best: Option<LaneProjection> = None;
+        for lane in &self.lanes {
+            if let Some(b) = &best {
+                let best_d2 = b.distance.get() * b.distance.get();
+                if lane.centerline().distance_lower_bound_sq(point) * crate::polyline::PRUNE_SLACK
+                    > best_d2
+                {
+                    continue;
+                }
+            }
+            let proj = self.project_onto_lane(lane.id(), point);
+            if best
+                .as_ref()
+                .is_none_or(|b| proj.distance.get() < b.distance.get())
+            {
+                best = Some(proj);
+            }
+        }
+        best
     }
 
     /// Projects onto the nearest of `candidates`; used by the lane-keeping
-    /// logic to avoid snapping to far-away lanes at junctions.
+    /// logic to avoid snapping to far-away lanes at junctions. Same exact
+    /// bounding-box pruning and first-minimal tie-break as
+    /// [`project`](Self::project).
     pub fn project_among(&self, candidates: &[LaneId], point: Vec2) -> Option<LaneProjection> {
-        candidates
-            .iter()
-            .map(|&id| self.project_onto_lane(id, point))
-            .min_by(|a, b| {
-                a.distance
-                    .get()
-                    .partial_cmp(&b.distance.get())
-                    .expect("distances are finite")
-            })
+        let mut best: Option<LaneProjection> = None;
+        for &id in candidates {
+            if let Some(b) = &best {
+                let best_d2 = b.distance.get() * b.distance.get();
+                if self.lane(id).centerline().distance_lower_bound_sq(point)
+                    * crate::polyline::PRUNE_SLACK
+                    > best_d2
+                {
+                    continue;
+                }
+            }
+            let proj = self.project_onto_lane(id, point);
+            if best
+                .as_ref()
+                .is_none_or(|b| proj.distance.get() < b.distance.get())
+            {
+                best = Some(proj);
+            }
+        }
+        best
     }
 
     /// Walks `distance` metres forward from `pos`, following the first

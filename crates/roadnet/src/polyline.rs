@@ -4,16 +4,71 @@ use rdsim_math::{Pose2, Vec2};
 use rdsim_units::{Meters, Radians};
 use serde::{Deserialize, Serialize};
 
+/// Segments per pruning chunk of the projection index.
+const CHUNK: usize = 16;
+
+/// Skip margin for the exact pruning in [`Polyline::project`]: a chunk or
+/// lane is only skipped when its box lower bound exceeds the pruning
+/// threshold by more than this relative slack, which conservatively
+/// absorbs the few-ulp rounding of the bound and candidate arithmetic.
+pub(crate) const PRUNE_SLACK: f64 = 1.0 - 1e-9;
+
+/// Axis-aligned bounding box over a run of consecutive polyline vertices.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct SegAabb {
+    min_x: f64,
+    min_y: f64,
+    max_x: f64,
+    max_y: f64,
+}
+
+impl SegAabb {
+    const EMPTY: SegAabb = SegAabb {
+        min_x: f64::INFINITY,
+        min_y: f64::INFINITY,
+        max_x: f64::NEG_INFINITY,
+        max_y: f64::NEG_INFINITY,
+    };
+
+    fn include(&mut self, p: Vec2) {
+        self.min_x = self.min_x.min(p.x);
+        self.min_y = self.min_y.min(p.y);
+        self.max_x = self.max_x.max(p.x);
+        self.max_y = self.max_y.max(p.y);
+    }
+
+    /// Lower bound on the squared distance from `p` to anything inside
+    /// the box (0 when `p` is inside).
+    #[inline]
+    pub(crate) fn dist2_lower(&self, p: Vec2) -> f64 {
+        let dx = (self.min_x - p.x).max(0.0).max(p.x - self.max_x);
+        let dy = (self.min_y - p.y).max(0.0).max(p.y - self.max_y);
+        dx * dx + dy * dy
+    }
+}
+
 /// A polyline with precomputed cumulative arc lengths.
 ///
 /// Lane centrelines are stored as polylines densely sampled from straights
 /// and arcs; with ~1 m vertex spacing the chord error of an urban-radius
 /// curve is far below lane-width tolerances.
+///
+/// Construction also builds a chunked bounding-box index ([`CHUNK`]
+/// segments per box) used by [`project`](Self::project) to skip runs of
+/// segments that provably cannot contain the nearest point — an exact
+/// optimisation: results are bit-identical to the plain linear scan.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Polyline {
     points: Vec<Vec2>,
     /// `cum[i]` is the arc length from the start to `points[i]`.
     cum: Vec<f64>,
+    /// Bounding box of vertices `[k*CHUNK ..= min(end, (k+1)*CHUNK)]` —
+    /// i.e. every segment in chunk `k` including its shared endpoints.
+    #[serde(skip)]
+    chunks: Vec<SegAabb>,
+    /// Bounding box of the whole polyline.
+    #[serde(skip)]
+    bounds: SegAabb,
 }
 
 impl Polyline {
@@ -43,7 +98,34 @@ impl Polyline {
             total += w[0].distance(w[1]);
             cum.push(total);
         }
-        Polyline { points: dedup, cum }
+        let nseg = dedup.len() - 1;
+        let mut bounds = SegAabb::EMPTY;
+        for &p in &dedup {
+            bounds.include(p);
+        }
+        let mut chunks = Vec::with_capacity(nseg.div_ceil(CHUNK));
+        for start in (0..nseg).step_by(CHUNK) {
+            let mut bb = SegAabb::EMPTY;
+            // Include both endpoints of every segment in the chunk.
+            for &p in &dedup[start..=(start + CHUNK).min(nseg)] {
+                bb.include(p);
+            }
+            chunks.push(bb);
+        }
+        Polyline {
+            points: dedup,
+            cum,
+            chunks,
+            bounds,
+        }
+    }
+
+    /// Exact lower bound on the squared distance from `p` to any point of
+    /// the polyline (0 when `p` is inside its bounding box). Lets callers
+    /// holding a candidate projection skip whole polylines that provably
+    /// cannot beat it.
+    pub fn distance_lower_bound_sq(&self, p: Vec2) -> f64 {
+        self.bounds.dist2_lower(p)
     }
 
     /// The vertices of the polyline.
@@ -97,14 +179,35 @@ impl Polyline {
         let mut best_s = 0.0;
         let mut best_seg = 0usize;
         let mut best_point = self.points[0];
-        for i in 0..self.points.len() - 1 {
-            let (t, q) = p.project_onto_segment(self.points[i], self.points[i + 1]);
-            let d2 = (p - q).length_squared();
-            if d2 < best_d2 {
-                best_d2 = d2;
-                best_seg = i;
-                best_point = q;
-                best_s = self.cum[i] + (self.cum[i + 1] - self.cum[i]) * t;
+        let nseg = self.points.len() - 1;
+        // Pruning threshold: the squared distance to one real vertex per
+        // chunk upper-bounds the eventual best (that vertex is itself a
+        // projection candidate), so any chunk whose box lower bound
+        // exceeds min(threshold, running best) — with PRUNE_SLACK
+        // absorbing float rounding — contains only candidates that can
+        // never *strictly* beat the best. Skipping them preserves the
+        // first-minimal-segment tie-break exactly.
+        let mut ub = f64::INFINITY;
+        if self.chunks.len() > 1 {
+            for start in (0..nseg).step_by(CHUNK) {
+                ub = ub.min((p - self.points[start]).length_squared());
+            }
+            ub = ub.min((p - self.points[nseg]).length_squared());
+        }
+        for (ci, bb) in self.chunks.iter().enumerate() {
+            if bb.dist2_lower(p) * PRUNE_SLACK > best_d2.min(ub) {
+                continue;
+            }
+            let start = ci * CHUNK;
+            for i in start..(start + CHUNK).min(nseg) {
+                let (t, q) = p.project_onto_segment(self.points[i], self.points[i + 1]);
+                let d2 = (p - q).length_squared();
+                if d2 < best_d2 {
+                    best_d2 = d2;
+                    best_seg = i;
+                    best_point = q;
+                    best_s = self.cum[i] + (self.cum[i + 1] - self.cum[i]) * t;
+                }
             }
         }
         let seg_dir = (self.points[best_seg + 1] - self.points[best_seg])

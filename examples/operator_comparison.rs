@@ -2,11 +2,16 @@
 //! network disturbances — the correlation the paper's questionnaire was
 //! designed to probe (§V.E, §VII).
 //!
+//! All nine subject × fault cells are independent sessions, so they run
+//! through the SoA batch engine ([`SessionBatch`]) in lockstep sweeps of
+//! up to [`BATCH`] sessions — bit-identical to stepping them one at a
+//! time, just faster.
+//!
 //! ```text
 //! cargo run --release --example operator_comparison
 //! ```
 
-use rdsim::core::{RdsSession, RdsSessionConfig};
+use rdsim::core::{FixedRun, RdsSession, RdsSessionConfig, SessionBatch};
 use rdsim::metrics::{steering_reversal_rate, SrrConfig};
 use rdsim::netem::NetemConfig;
 use rdsim::operator::{
@@ -16,6 +21,10 @@ use rdsim::roadnet::town05;
 use rdsim::simulator::World;
 use rdsim::units::{MetersPerSecond, SimDuration};
 use rdsim::vehicle::VehicleSpec;
+
+/// Default lockstep width for the batch engine — the sensible resting
+/// state now that the SoA sweep makes wide batches cheap.
+const BATCH: usize = 16;
 
 fn subject(
     name: &str,
@@ -31,33 +40,6 @@ fn subject(
         handedness: Handedness::RightTraffic,
         attentiveness,
     }
-}
-
-/// Drives 90 s under the given fault; returns (SRR rev/min, worst lateral m).
-fn evaluate(profile: &SubjectProfile, fault: Option<NetemConfig>, seed: u64) -> (f64, f64) {
-    let net = town05();
-    let lane = net.spawn_point("ego-start").expect("spawn").lane;
-    let mut world = World::new(net.clone(), seed);
-    world.spawn_ego_at("ego-start", VehicleSpec::passenger_car());
-    let mut session = RdsSession::new(world, RdsSessionConfig::default(), seed);
-    if let Some(f) = fault {
-        session.inject_now(f);
-    }
-    let mut driver = HumanDriverModel::new(profile, net.clone(), seed);
-    driver.set_instruction(Instruction::drive(lane, MetersPerSecond::new(12.0)));
-    session.run(&mut driver, SimDuration::from_secs(90));
-    let log = session.into_log();
-    let srr = steering_reversal_rate(&log.steering_series(), &SrrConfig::default())
-        .map(|r| r.rate_per_min)
-        .unwrap_or(f64::NAN);
-    let worst_lat = log
-        .ego_samples()
-        .iter()
-        .filter(|s| s.speed.get() > 1.0)
-        .filter_map(|s| net.project(s.position))
-        .map(|p| p.lateral.get().abs())
-        .fold(0.0f64, f64::max);
-    (srr, worst_lat)
 }
 
 fn main() {
@@ -86,16 +68,63 @@ fn main() {
         ("50ms", Some("delay 50ms".parse().expect("rule"))),
         ("5%", Some("loss 5%".parse().expect("rule"))),
     ];
+
+    // Build every subject × fault cell (90 s of lane driving each) …
+    let net = town05();
+    let lane = net.spawn_point("ego-start").expect("spawn").lane;
+    let config = RdsSessionConfig::default();
+    let steps = SimDuration::from_secs(90).div_steps(config.dt);
+    let mut cells = Vec::new();
+    for profile in &subjects {
+        for (i, (_, fault)) in faults.iter().enumerate() {
+            let seed = 555 + i as u64;
+            let mut world = World::new(net.clone(), seed);
+            world.spawn_ego_at("ego-start", VehicleSpec::passenger_car());
+            let mut session = RdsSession::new(world, config.clone(), seed);
+            if let Some(f) = fault {
+                session.inject_now(*f);
+            }
+            let mut driver = HumanDriverModel::new(profile, net.clone(), seed);
+            driver.set_instruction(Instruction::drive(lane, MetersPerSecond::new(12.0)));
+            cells.push((session, driver));
+        }
+    }
+
+    // … and step them to completion in lockstep groups of BATCH.
+    let mut results: Vec<(f64, f64)> = Vec::new();
+    let mut cells = cells.into_iter().peekable();
+    while cells.peek().is_some() {
+        let mut batch = SessionBatch::new();
+        for (session, driver) in cells.by_ref().take(BATCH) {
+            batch.push(session, FixedRun::new(driver, steps));
+        }
+        batch.run_to_completion();
+        results.extend(batch.finish().into_iter().map(|(session, _)| {
+            let log = session.into_log();
+            let srr = steering_reversal_rate(&log.steering_series(), &SrrConfig::default())
+                .map(|r| r.rate_per_min)
+                .unwrap_or(f64::NAN);
+            let worst_lat = log
+                .ego_samples()
+                .iter()
+                .filter(|s| s.speed.get() > 1.0)
+                .filter_map(|s| net.project(s.position))
+                .map(|p| p.lateral.get().abs())
+                .fold(0.0f64, f64::max);
+            (srr, worst_lat)
+        }));
+    }
+
     println!("90 s of lane driving; cells: SRR rev/min (worst lateral m)\n");
     print!("{:<44}", "subject");
     for (label, _) in &faults {
         print!(" {label:>16}");
     }
     println!();
-    for profile in &subjects {
+    for (si, profile) in subjects.iter().enumerate() {
         print!("{:<44}", profile.id);
-        for (i, (_, fault)) in faults.iter().enumerate() {
-            let (srr, lat) = evaluate(profile, *fault, 555 + i as u64);
+        for fi in 0..faults.len() {
+            let (srr, lat) = results[si * faults.len() + fi];
             print!(" {:>9.1} ({:>3.1})", srr, lat);
         }
         println!();
