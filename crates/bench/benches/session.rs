@@ -44,8 +44,23 @@ const PRE_SOA_STEPS_PER_SEC: f64 = 57_000.0;
 /// In-bench gate: batch-8 must beat the pre-SoA baseline by at least
 /// this factor.
 const MIN_SOA_SPEEDUP: f64 = 2.0;
+/// In-bench gate for the finite-queue datapath: the same batch-8 sweep
+/// with every fault window carrying a rate limit — so the BDP-sized
+/// queue, its tail-drop accounting and the serialization clock are live
+/// for the whole window — may take at most this factor of the plain
+/// batch-8 wall time. The limit check itself is one branch per enqueue;
+/// the headroom is for the rate path it enables.
+const MAX_QUEUE_OVERHEAD: f64 = 1.4;
+/// Rate attached to the fault windows of the queue-overhead sweep:
+/// 1 Mbit/s against 400 kbit/s of video oversubscribes nothing, but
+/// keeps the serialization clock and finite-limit check on every packet.
+const QUEUE_SWEEP_RATE: u64 = 1_000_000;
 
 fn session(i: usize) -> RdsSession {
+    session_with(i, false)
+}
+
+fn session_with(i: usize, rate_limited: bool) -> RdsSession {
     let seed = 1_000 + i as u64;
     let mut world = World::new(town05(), seed);
     world.spawn_ego_at("ego-start", VehicleSpec::passenger_car());
@@ -54,11 +69,17 @@ fn session(i: usize) -> RdsSession {
         ..RdsSessionConfig::default()
     };
     let mut s = RdsSession::new(world, config, seed);
-    // Exercise the netem stages: a real fault window mid-run.
+    // Exercise the netem stages: a real fault window mid-run. The
+    // queue-overhead sweep adds a rate so the window runs the finite
+    // BDP-sized queue and the serialization clock on every packet.
+    let mut fault = PaperFault::ALL[i % PaperFault::ALL.len()].config();
+    if rate_limited {
+        fault = fault.with_rate(QUEUE_SWEEP_RATE);
+    }
     s.schedule_fault(InjectionWindow::new(
         SimTime::from_secs(5),
         SimDuration::from_secs(5),
-        PaperFault::ALL[i % PaperFault::ALL.len()].config(),
+        fault,
     ))
     .expect("non-overlapping");
     s
@@ -87,6 +108,10 @@ fn run_serial() -> (f64, Vec<u64>) {
 /// Steps all `SESSIONS` sessions to completion in lockstep groups of
 /// `batch`; returns (wall secs, per-session run-log digests).
 fn run_batched(batch: usize) -> (f64, Vec<u64>) {
+    run_batched_with(batch, false)
+}
+
+fn run_batched_with(batch: usize, rate_limited: bool) -> (f64, Vec<u64>) {
     let start = Instant::now();
     let mut digests = Vec::with_capacity(SESSIONS);
     let mut i = 0;
@@ -94,7 +119,10 @@ fn run_batched(batch: usize) -> (f64, Vec<u64>) {
         let group = batch.min(SESSIONS - i);
         let mut b = SessionBatch::new();
         for j in i..i + group {
-            b.push(session(j), FixedRun::new(operator(j), STEPS));
+            b.push(
+                session_with(j, rate_limited),
+                FixedRun::new(operator(j), STEPS),
+            );
         }
         b.run_to_completion();
         digests.extend(b.finish().into_iter().map(|(s, _)| s.into_log().digest()));
@@ -153,11 +181,33 @@ fn main() {
         );
     }
 
+    // The queue-overhead sweep: same batch-8 lockstep, but the fault
+    // windows carry a rate so the finite BDP queue is live. Digests
+    // differ from the plain reference (the rate delays packets), so the
+    // check here is self-consistency across samples.
+    let (_, queue_reference) = run_batched_with(8, true);
+    let queue_b8 = time_runs(
+        || run_batched_with(8, true),
+        "batch 8 + finite queue",
+        &queue_reference,
+    );
+
     let b8 = widths
         .iter()
         .find(|(w, _)| *w == 8)
         .map(|&(_, secs)| secs)
         .expect("width 8 measured");
+    let queue_overhead = queue_b8 / b8;
+    println!(
+        "queue overhead: batch=8 with rate-limited windows {queue_b8:.3} s \
+         ({:.0} steps/sec, {queue_overhead:.2}× plain batch-8)",
+        rate(queue_b8)
+    );
+    assert!(
+        queue_overhead <= MAX_QUEUE_OVERHEAD,
+        "finite-queue regression: rate-limited batch-8 took {queue_overhead:.2}× the plain \
+         sweep (gate: {MAX_QUEUE_OVERHEAD}×)"
+    );
     let soa_speedup = rate(b8) / PRE_SOA_STEPS_PER_SEC;
     println!("soa_speedup: {soa_speedup:.2}× vs pre-SoA {PRE_SOA_STEPS_PER_SEC:.0} steps/sec");
     assert!(
@@ -186,6 +236,8 @@ fn main() {
         .group("steps_per_sec", rate_group)
         .group("speedup_vs_serial", speedup_group)
         .float("soa_speedup", soa_speedup, 3)
+        .float("queue_overhead", queue_overhead, 3)
+        .bool("queue_overhead_ok", queue_overhead <= MAX_QUEUE_OVERHEAD)
         .bool("digest_match", true);
     report.write("session");
 }

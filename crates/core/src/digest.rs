@@ -190,6 +190,12 @@ impl Digestible for NetemConfig {
             }
             None => h.write_bool(false),
         }
+        // Encoded only when set so configs without a limit keep the
+        // digests they had before the field existed.
+        if let Some(limit) = self.limit {
+            h.write_bool(true);
+            h.write_u32(limit);
+        }
     }
 }
 
@@ -276,11 +282,13 @@ impl Digestible for TimelineWindow {
         h.write_u64(self.cmd_age_sum_us);
         h.write_u64(self.cmd_age_max_us);
         h.write_u64(self.up_dropped);
+        h.write_u64(self.up_queue_dropped);
         h.write_u64(self.up_delayed);
         h.write_u64(self.up_duplicated);
         h.write_u64(self.up_reordered);
         h.write_u64(self.up_queue_max);
         h.write_u64(self.down_dropped);
+        h.write_u64(self.down_queue_dropped);
         h.write_u64(self.down_delayed);
         h.write_u64(self.down_duplicated);
         h.write_u64(self.down_reordered);

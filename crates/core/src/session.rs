@@ -14,7 +14,9 @@ use crate::{
     EgoSample, IncidentKind, IncidentMark, InfrastructureSubsystem, LeadObservation,
     OperatorSubsystem, OtherSample, RunLog,
 };
-use rdsim_netem::{DuplexLink, FaultInjector, InjectionAction, InjectionWindow, NetemConfig};
+use rdsim_netem::{
+    DuplexLink, FaultInjector, InjectionAction, InjectionWindow, NetemConfig, TraceSchedule,
+};
 use rdsim_obs::{Counter, Histogram, Recorder, Timeline, TraceId, TraceStage, Tracer};
 use rdsim_simulator::{ActorKind, CameraConfig, SimulatorServer, World};
 use rdsim_units::{Meters, SimDuration, SimTime};
@@ -219,9 +221,11 @@ pub(crate) struct SessionCore {
 #[derive(Debug, Default)]
 pub(crate) struct TimelineTaps {
     up_dropped: u64,
+    up_queue_dropped: u64,
     up_duplicated: u64,
     up_reordered: u64,
     down_dropped: u64,
+    down_queue_dropped: u64,
     down_duplicated: u64,
     down_reordered: u64,
     /// Direction of the current steering excursion: `Some(true)` rising,
@@ -330,6 +334,9 @@ fn netem_fault_bits(cfg: &NetemConfig) -> u64 {
     }
     if cfg.rate.is_some() {
         bits |= Timeline::FAULT_RATE;
+    }
+    if cfg.effective_limit().is_some() {
+        bits |= Timeline::FAULT_LIMIT;
     }
     bits
 }
@@ -504,9 +511,11 @@ impl SessionCore {
     fn timeline_tick(&mut self, now: SimTime, speed_mps: f64, steer: f64, ttc_s: Option<f64>) {
         // Gather every link-side value first, then borrow the window once.
         let up_dropped = self.link.uplink.stats().dropped;
+        let up_queue_dropped = self.link.uplink.queue_dropped();
         let up_duplicated = self.link.uplink.duplicated();
         let up_reordered = self.link.uplink.reordered();
         let down_dropped = self.link.downlink.stats().dropped;
+        let down_queue_dropped = self.link.downlink.queue_dropped();
         let down_duplicated = self.link.downlink.duplicated();
         let down_reordered = self.link.downlink.reordered();
         let up_in_flight = self.link.uplink.in_flight() as u64;
@@ -521,15 +530,19 @@ impl SessionCore {
         let taps = &mut self.tl_taps;
         let reversals = taps.srr_step(steer);
         let d_up_dropped = up_dropped - taps.up_dropped;
+        let d_up_queue_dropped = up_queue_dropped - taps.up_queue_dropped;
         let d_up_duplicated = up_duplicated - taps.up_duplicated;
         let d_up_reordered = up_reordered - taps.up_reordered;
         let d_down_dropped = down_dropped - taps.down_dropped;
+        let d_down_queue_dropped = down_queue_dropped - taps.down_queue_dropped;
         let d_down_duplicated = down_duplicated - taps.down_duplicated;
         let d_down_reordered = down_reordered - taps.down_reordered;
         taps.up_dropped = up_dropped;
+        taps.up_queue_dropped = up_queue_dropped;
         taps.up_duplicated = up_duplicated;
         taps.up_reordered = up_reordered;
         taps.down_dropped = down_dropped;
+        taps.down_queue_dropped = down_queue_dropped;
         taps.down_duplicated = down_duplicated;
         taps.down_reordered = down_reordered;
         let Some(tl) = self.timeline.as_mut() else {
@@ -537,9 +550,11 @@ impl SessionCore {
         };
         let w = tl.window_mut(now.as_micros());
         w.up_dropped += d_up_dropped;
+        w.up_queue_dropped += d_up_queue_dropped;
         w.up_duplicated += d_up_duplicated;
         w.up_reordered += d_up_reordered;
         w.down_dropped += d_down_dropped;
+        w.down_queue_dropped += d_down_queue_dropped;
         w.down_duplicated += d_down_duplicated;
         w.down_reordered += d_down_reordered;
         w.up_queue_max = w.up_queue_max.max(up_in_flight);
@@ -779,6 +794,17 @@ impl RdsSession {
     #[allow(clippy::result_large_err)] // mirrors FaultInjector::schedule
     pub fn schedule_fault(&mut self, window: InjectionWindow) -> Result<(), InjectionWindow> {
         self.core.injector.schedule(window)
+    }
+
+    /// Schedules every compiled window of a measured-network trace.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first trace window that overlaps an already
+    /// scheduled one; windows before it are left scheduled.
+    #[allow(clippy::result_large_err)] // mirrors FaultInjector::schedule
+    pub fn schedule_trace(&mut self, trace: &TraceSchedule) -> Result<(), InjectionWindow> {
+        self.core.injector.schedule_trace(trace)
     }
 
     /// Injects a rule immediately (test-leader style ad-hoc injection).

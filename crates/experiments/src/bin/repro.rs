@@ -4,7 +4,7 @@
 //! repro [all|table1|table2|table3|table4|fig4|collisions|questionnaire|
 //!        validity|model-vehicle] [--seed N] [--quick] [--jobs N]
 //!       [--batch N] [--telemetry] [--telemetry-out FILE]
-//!       [--trace-out DIR] [--forensics DIR] [--progress]
+//!       [--trace-in FILE] [--trace-out DIR] [--forensics DIR] [--progress]
 //!       [--report-out DIR] [--checkpoint FILE] [--resume]
 //!       [--interrupt-after N]
 //!       [--campaign RUNS] [--population N] [--sampler NAME] [--round N]
@@ -26,6 +26,14 @@
 //! `--telemetry-out FILE` additionally writes the campaign telemetry as
 //! machine-readable JSON to FILE (the stdout table is unchanged, and is
 //! only printed when `--telemetry` itself is passed).
+//! `--trace-in FILE` replays a measured network trace (JSONL or CSV of
+//! `t, delay_ms, jitter_ms, loss_pct, rate_kbit` samples; see
+//! `examples/traces/`) over every study run: the trace compiles into
+//! deterministic config edges the fault injector replays, the file stem
+//! becomes the run's `trace:<stem>` campaign condition, and the printed
+//! campaign digest covers both the trace's identity and its content —
+//! byte-identical across `--jobs`/`--batch` (the CI
+//! `trace-replay-determinism` job holds it).
 //! `--trace-out DIR` retains each study run's flight-recorder snapshot
 //! and writes it as Chrome/Perfetto `trace_event` JSON
 //! (`DIR/<subject>_<kind>.trace.json`, loadable in ui.perfetto.dev or
@@ -79,6 +87,7 @@ use rdsim_experiments::{
     StudyResults, SweepReport, TextTable,
 };
 use rdsim_metrics::{SrrConfig, TtcConfig, TtcStats};
+use rdsim_netem::TraceSchedule;
 use rdsim_obs::{write_f64, write_json_string, CampaignStore, Z_95};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -92,6 +101,7 @@ fn main() -> ExitCode {
     let mut batch: Option<usize> = None;
     let mut telemetry = false;
     let mut telemetry_out: Option<PathBuf> = None;
+    let mut trace_in: Option<PathBuf> = None;
     let mut trace_out: Option<PathBuf> = None;
     let mut forensics: Option<PathBuf> = None;
     let mut progress = false;
@@ -134,6 +144,13 @@ fn main() -> ExitCode {
                 Some(file) => telemetry_out = Some(PathBuf::from(file)),
                 None => {
                     eprintln!("--telemetry-out needs a file path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--trace-in" => match iter.next() {
+                Some(file) => trace_in = Some(PathBuf::from(file)),
+                None => {
+                    eprintln!("--trace-in needs a trace file (JSONL or CSV)");
                     return ExitCode::FAILURE;
                 }
             },
@@ -224,6 +241,35 @@ fn main() -> ExitCode {
     config.telemetry = telemetry || telemetry_out.is_some();
     config.trace = trace_out.is_some() || forensics.is_some();
     config.timeline = forensics.is_some();
+    if let Some(file) = &trace_in {
+        let label = file
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or("trace")
+            .to_owned();
+        let text = match std::fs::read_to_string(file) {
+            Ok(text) => text,
+            Err(err) => {
+                eprintln!("failed to read trace {}: {err}", file.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        match TraceSchedule::parse(&label, &text) {
+            Ok(trace) => {
+                eprintln!(
+                    "replaying trace '{label}' ({} sample(s), {} edge(s), {:.1} s) over every run",
+                    trace.samples(),
+                    trace.edges(),
+                    trace.end().as_micros() as f64 * 1e-6
+                );
+                config.ambient_trace = Some(trace);
+            }
+            Err(err) => {
+                eprintln!("failed to parse trace {}: {err}", file.display());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
 
     let needs_study = matches!(
         command.as_str(),
@@ -408,6 +454,16 @@ fn main() -> ExitCode {
             "campaign digest: {:016x} (seed {seed}, jobs {jobs}, batch {batch})",
             campaign_digest(study)
         );
+        // Schedule-invariant by construction (no jobs/batch report): the
+        // CI trace-replay-determinism job both byte-diffs and greps it.
+        if let Some(trace) = &config.ambient_trace {
+            println!(
+                "trace condition: {} ({} sample(s), {} edge(s))",
+                trace.condition(),
+                trace.samples(),
+                trace.edges()
+            );
+        }
     }
     if let Some(o) = &outcome {
         // The whole line is schedule-invariant (no jobs/batch report) and

@@ -30,6 +30,13 @@ pub fn run_digest(output: &RunOutput) -> u64 {
     h.write_u64(output.frames_seen);
     h.write_f64(output.progress);
     h.write_digest(output.telemetry.fingerprint());
+    // Trace identity, encoded only when a trace drove the run so every
+    // historical (trace-less) digest is unchanged. The trace's content is
+    // already covered through the record's injection-event log.
+    if let Some(condition) = &output.trace_condition {
+        h.write_bool(true);
+        h.write_str(condition);
+    }
     h.finish()
 }
 

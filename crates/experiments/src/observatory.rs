@@ -134,6 +134,38 @@ pub fn summarize_run(scenario: &str, seed: u64, output: &RunOutput, wall_ns: u64
             .sum(),
     });
 
+    // A replayed measurement is a first-class condition: the whole run is
+    // one exposure of its `trace:<label>` cell (stratum-compatible with
+    // the sampler grid and the store's cell keys). Exposure time is the
+    // impaired fraction of the replay, recovered from the logged add /
+    // delete edge pairs.
+    if let Some(condition) = &output.trace_condition {
+        let mut impaired_us = 0u64;
+        let mut opened: Option<SimTime> = None;
+        for ev in record.log.fault_events() {
+            match ev.action {
+                rdsim_netem::InjectionAction::Added => opened = Some(ev.time),
+                rdsim_netem::InjectionAction::Deleted => {
+                    if let Some(start) = opened.take() {
+                        impaired_us += ev.time.saturating_since(start).as_micros();
+                    }
+                }
+            }
+        }
+        summary.cells.push(CellSample {
+            condition: condition.clone(),
+            exposures: 1,
+            collided: u64::from(collisions > 0),
+            collisions,
+            ttc_breaches: stats.as_ref().map_or(0, |s| s.violations as u64),
+            ttc_samples: stats.as_ref().map_or(0, |s| s.samples as u64),
+            srr_reversals: srr.as_ref().map_or(0, |r| r.reversals as u64),
+            srr_rate_micro: srr.as_ref().map_or(0, |r| to_micro(r.rate_per_min)),
+            srr_runs: u64::from(srr.is_some()),
+            fault_exposure_us: impaired_us,
+        });
+    }
+
     // Per-fault-condition cells: each injection window is one exposure.
     let schedule = &record.schedule;
     if !schedule.is_empty() {
@@ -582,6 +614,51 @@ mod tests {
         // And round-trip through the checkpoint line format.
         let line = summary.to_json();
         assert_eq!(RunSummary::from_json(&line).expect("parse"), summary);
+    }
+
+    #[test]
+    fn trace_runs_register_a_trace_condition_cell() {
+        let trace = rdsim_netem::TraceSchedule::parse(
+            "lab",
+            "{\"t\": 0.0, \"delay_ms\": 40.0, \"loss_pct\": 1.0}\n\
+             {\"t\": 4.0}\n\
+             {\"t\": 8.0, \"delay_ms\": 25.0, \"rate_kbit\": 8000}\n\
+             {\"t\": 12.0, \"delay_ms\": 25.0, \"rate_kbit\": 8000}\n",
+        )
+        .expect("valid trace");
+        let config = ScenarioConfig {
+            ambient_trace: Some(trace),
+            ..short_config()
+        };
+        let out = run_protocol(&SubjectProfile::typical("TQ"), RunKind::Golden, 9, &config);
+        let summary = summarize_run(SCENARIO, 9, &out, 1);
+        let cell = summary
+            .cells
+            .iter()
+            .find(|c| c.condition == "trace:lab")
+            .expect("the trace is a first-class condition cell");
+        assert_eq!(cell.exposures, 1);
+        assert!(
+            cell.fault_exposure_us > 0,
+            "impaired time recovered from the edge log"
+        );
+        // The cell key survives the checkpoint line format, so resumed
+        // campaigns fold trace cells exactly like fault cells.
+        let line = summary.to_json();
+        let parsed = RunSummary::from_json(&line).expect("parse");
+        assert_eq!(parsed, summary);
+        // A trace-less run registers no trace cell.
+        let plain = run_protocol(
+            &SubjectProfile::typical("TQ"),
+            RunKind::Golden,
+            9,
+            &short_config(),
+        );
+        let plain_summary = summarize_run(SCENARIO, 9, &plain, 1);
+        assert!(plain_summary
+            .cells
+            .iter()
+            .all(|c| !c.condition.starts_with("trace:")));
     }
 
     #[test]

@@ -16,7 +16,7 @@ use rdsim_core::{
     SessionController,
 };
 use rdsim_math::RngStream;
-use rdsim_netem::InjectionWindow;
+use rdsim_netem::{InjectionWindow, TraceSchedule};
 use rdsim_obs::{Recorder, Registry, RunTelemetry, Timeline, TraceLog, Tracer};
 use rdsim_operator::{HumanDriverModel, Instruction, SubjectProfile};
 use rdsim_roadnet::town05;
@@ -51,6 +51,13 @@ pub struct ScenarioConfig {
     /// validity sweeps). Point-of-interest injections in faulty runs
     /// override it while active, so combine only with non-faulty kinds.
     pub ambient_fault: Option<rdsim_netem::NetemConfig>,
+    /// A measured-network trace replayed over the run (`repro
+    /// --trace-in`): its compiled config edges drive the injector
+    /// exactly like scheduled windows, and the run is tagged with the
+    /// trace's `trace:<label>` condition ([`RunOutput::trace_condition`]).
+    /// Point-of-interest injections in faulty runs fight the replay for
+    /// the link, so combine only with non-faulty kinds.
+    pub ambient_trace: Option<TraceSchedule>,
     /// Overrides the driver's mental-extrapolation quality (operators
     /// have a poor internal model of an unfamiliar plant; see
     /// [`HumanDriverModel::set_extrapolation`]).
@@ -95,6 +102,7 @@ impl Default for ScenarioConfig {
             max_duration: SimDuration::from_secs(900),
             vehicle: VehicleSpec::passenger_car(),
             ambient_fault: None,
+            ambient_trace: None,
             driver_extrapolation: None,
             telemetry: false,
             trace: false,
@@ -144,6 +152,13 @@ pub struct RunOutput {
     /// via [`Timeline::to_json`].
     #[serde(default)]
     pub timeline: Timeline,
+    /// The `trace:<label>` condition of the replayed measurement, when the
+    /// run was driven by [`ScenarioConfig::ambient_trace`]. Folded into
+    /// [`crate::run_digest`] (the trace's *content* already reaches the
+    /// digest through the logged injection events; this pins its identity)
+    /// and registered as a campaign store cell.
+    #[serde(default)]
+    pub trace_condition: Option<String>,
 }
 
 /// One protocol run awaiting execution (the unit [`run_protocol_batch`]
@@ -301,6 +316,11 @@ fn build_run(job: &ProtocolJob) -> (RdsSession, ProtocolDriver) {
     session.preallocate(config.max_duration);
     if let Some(fault) = config.ambient_fault {
         session.inject_now(fault);
+    }
+    if let Some(trace) = &config.ambient_trace {
+        session
+            .schedule_trace(trace)
+            .expect("a fresh session has no windows for the trace to conflict with");
     }
     let mut driver = HumanDriverModel::new(profile, net.clone(), seed);
     driver.set_vehicle_hint(config.vehicle.wheelbase(), config.vehicle.max_steer());
@@ -545,6 +565,11 @@ impl ProtocolDriver {
             telemetry: self.registry.map(|r| r.snapshot()).unwrap_or_default(),
             trace,
             timeline,
+            trace_condition: self
+                .config
+                .ambient_trace
+                .as_ref()
+                .map(TraceSchedule::condition),
         }
     }
 }

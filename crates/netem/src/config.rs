@@ -145,7 +145,22 @@ pub struct NetemConfig {
     pub reorder: Option<ReorderConfig>,
     /// Rate limit.
     pub rate: Option<RateConfig>,
+    /// Queue capacity in packets (netem's `limit`). `None` falls back to
+    /// the BDP-derived default when `rate` is set, unbounded otherwise —
+    /// see [`NetemConfig::effective_limit`].
+    #[serde(default)]
+    pub limit: Option<u32>,
 }
+
+/// Reference packet size (bytes) for turning a bandwidth-delay product
+/// into a packet-count queue limit. Matches the 1500-byte Ethernet MTU
+/// most BDP sizing rules of thumb assume.
+pub const BDP_REFERENCE_PACKET: u64 = 1500;
+
+/// Smallest auto-derived queue limit. Short-delay/low-rate links have a
+/// sub-packet BDP; a handful of packets of headroom keeps the limiter
+/// from degenerating into drop-every-burst.
+pub const MIN_AUTO_LIMIT: u32 = 16;
 
 impl NetemConfig {
     /// A config that passes traffic through untouched.
@@ -216,6 +231,12 @@ impl NetemConfig {
         self
     }
 
+    /// Builder-style: sets an explicit queue limit in packets.
+    pub fn with_limit(mut self, packets: u32) -> Self {
+        self.limit = Some(packets);
+        self
+    }
+
     /// `true` if the rule does nothing.
     pub fn is_passthrough(&self) -> bool {
         self.delay.is_none()
@@ -224,6 +245,28 @@ impl NetemConfig {
             && self.corrupt.is_none()
             && self.reorder.is_none()
             && self.rate.is_none()
+            && self.limit.is_none()
+    }
+
+    /// The queue capacity this rule enforces, in packets.
+    ///
+    /// An explicit `limit` always wins. Without one, a rate-limited rule
+    /// gets a finite queue of ~2× its bandwidth-delay product (BDP =
+    /// rate × one-way base delay, in [`BDP_REFERENCE_PACKET`]-byte
+    /// packets, floored at [`MIN_AUTO_LIMIT`]) — the standard router
+    /// buffer sizing rule, so sustained overload surfaces as tail drops
+    /// instead of an unbounded serialization backlog. A rule with
+    /// neither `limit` nor `rate` keeps the historical unbounded queue,
+    /// which is what keeps every pre-existing golden byte-identical.
+    pub fn effective_limit(&self) -> Option<u32> {
+        if self.limit.is_some() {
+            return self.limit;
+        }
+        let rate = self.rate.filter(|r| r.bits_per_second > 0)?;
+        let delay_us = self.delay.map_or(0.0, |d| d.base.get() * 1_000.0).max(0.0);
+        let bdp_bytes = rate.bits_per_second as f64 / 8.0 * (delay_us / 1_000_000.0);
+        let packets = (2.0 * bdp_bytes / BDP_REFERENCE_PACKET as f64).ceil();
+        Some((packets as u32).max(MIN_AUTO_LIMIT))
     }
 
     /// Validates parameter ranges.
@@ -286,6 +329,9 @@ impl NetemConfig {
             if self.delay.is_none() {
                 return Err("reorder requires a delay to reorder against".to_owned());
             }
+        }
+        if self.limit == Some(0) {
+            return Err("limit must be >= 1 packet".to_owned());
         }
         Ok(())
     }
@@ -356,6 +402,9 @@ impl fmt::Display for NetemConfig {
         }
         if let Some(r) = self.rate {
             parts.push(format!("rate {}bit", r.bits_per_second));
+        }
+        if let Some(l) = self.limit {
+            parts.push(format!("limit {l}"));
         }
         f.write_str(&parts.join(" "))
     }
@@ -464,5 +513,49 @@ mod tests {
         let s = format!("{c}");
         let back: NetemConfig = s.parse().unwrap();
         assert_eq!(c, back);
+    }
+
+    #[test]
+    fn limit_displays_validates_and_roundtrips() {
+        let c = NetemConfig::default().with_rate(2_000_000).with_limit(32);
+        assert!(c.validate().is_ok());
+        let s = format!("{c}");
+        assert!(s.ends_with("limit 32"), "{s}");
+        let back: NetemConfig = s.parse().unwrap();
+        assert_eq!(c, back);
+        assert!(NetemConfig::default().with_limit(0).validate().is_err());
+        // A lone limit is not passthrough: it caps the queue.
+        assert!(!NetemConfig::default().with_limit(10).is_passthrough());
+    }
+
+    #[test]
+    fn effective_limit_prefers_explicit_then_bdp() {
+        // Explicit limit wins even with a rate set.
+        let explicit = NetemConfig::default().with_rate(8_000_000).with_limit(7);
+        assert_eq!(explicit.effective_limit(), Some(7));
+        // 8 Mbit/s × 50 ms ⇒ BDP 50 000 B; 2×BDP / 1500 B ⇒ ⌈66.7⌉ = 67.
+        let bdp = NetemConfig::default()
+            .with_delay(Millis::new(50.0))
+            .with_rate(8_000_000);
+        assert_eq!(bdp.effective_limit(), Some(67));
+        // Tiny BDP floors at MIN_AUTO_LIMIT.
+        let tiny = NetemConfig::default()
+            .with_delay(Millis::new(1.0))
+            .with_rate(64_000);
+        assert_eq!(tiny.effective_limit(), Some(MIN_AUTO_LIMIT));
+        // Rate with no delay still gets the floor, not an unbounded queue.
+        assert_eq!(
+            NetemConfig::default()
+                .with_rate(1_000_000)
+                .effective_limit(),
+            Some(MIN_AUTO_LIMIT)
+        );
+        // No rate, no limit ⇒ the historical unbounded queue.
+        assert_eq!(
+            NetemConfig::default()
+                .with_delay(Millis::new(25.0))
+                .effective_limit(),
+            None
+        );
     }
 }

@@ -17,7 +17,10 @@
 //!   delivery statistics;
 //! * [`FaultInjector`] — adds and deletes rules at scheduled times and logs
 //!   every injection exactly as the paper's data-logging schema requires
-//!   (timestamp, fault type, value, added/deleted).
+//!   (timestamp, fault type, value, added/deleted);
+//! * [`TraceSchedule`] — a measured network time-series (JSONL/CSV) compiled
+//!   into deterministic config edges the injector replays, turning the
+//!   six-condition fault matrix into "any measured network".
 //!
 //! # Examples
 //!
@@ -45,12 +48,17 @@ mod packet;
 mod parser;
 pub mod pool;
 mod qdisc;
+mod trace;
 
 pub use bytes::Bytes;
-pub use config::{DelayConfig, LossConfig, NetemConfig, RateConfig, ReorderConfig};
+pub use config::{
+    DelayConfig, LossConfig, NetemConfig, RateConfig, ReorderConfig, BDP_REFERENCE_PACKET,
+    MIN_AUTO_LIMIT,
+};
 pub use injector::{Direction, FaultInjector, InjectionAction, InjectionEvent, InjectionWindow};
 pub use link::{DuplexLink, Link, LinkStats};
 pub use packet::{Packet, PacketKind};
 pub use parser::ParseRuleError;
 pub use pool::{BufPool, PooledBuf};
 pub use qdisc::{FifoQdisc, NetemQdisc, Qdisc};
+pub use trace::{TraceParseError, TraceSample, TraceSchedule};

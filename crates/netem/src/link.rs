@@ -15,6 +15,11 @@ pub struct LinkStats {
     pub delivered: u64,
     /// Packets dropped by loss faults.
     pub dropped: u64,
+    /// Packets tail-dropped by a full finite queue (congestion) —
+    /// disjoint from the loss-model `dropped` ledger. `serde(default)`
+    /// keeps stats recorded before the field existed deserializable.
+    #[serde(default)]
+    pub queue_dropped: u64,
     /// Duplicate copies delivered.
     pub duplicates: u64,
     /// Corrupted packets delivered.
@@ -117,8 +122,10 @@ impl Link {
         packet.sent_at = now;
         self.stats.sent += 1;
         let before_drops = self.qdisc.dropped();
+        let before_queue_drops = self.qdisc.queue_dropped();
         self.qdisc.enqueue(packet, now);
         self.stats.dropped += self.qdisc.dropped() - before_drops;
+        self.stats.queue_dropped += self.qdisc.queue_dropped() - before_queue_drops;
     }
 
     /// Receives every packet whose delivery time has arrived.
@@ -203,6 +210,11 @@ impl Link {
     /// [`LinkStats::duplicates`] counts copies *delivered*).
     pub fn duplicated(&self) -> u64 {
         self.qdisc.duplicated()
+    }
+
+    /// Packets tail-dropped by the finite queue (congestion) so far.
+    pub fn queue_dropped(&self) -> u64 {
+        self.qdisc.queue_dropped()
     }
 
     /// Packets that jumped the delay queue (reorder faults) so far.

@@ -10,6 +10,7 @@
 //! corrupt <p>%
 //! reorder <p>% [<correlation>%] [gap <n>]
 //! rate <n>(bit|kbit|mbit|gbit)
+//! limit <packets>
 //! passthrough
 //! ```
 //!
@@ -153,6 +154,13 @@ impl FromStr for NetemConfig {
                         bits_per_second: parse_rate(tok)?,
                     });
                 }
+                "limit" => {
+                    let tok = take(&tokens, &mut i, "limit needs a packet count")?;
+                    config.limit = Some(
+                        tok.parse::<u32>()
+                            .map_err(|_| ParseRuleError::new(format!("bad limit '{tok}'")))?,
+                    );
+                }
                 other => {
                     return Err(ParseRuleError::new(format!("unknown keyword '{other}'")));
                 }
@@ -248,7 +256,13 @@ fn parse_rate(t: &str) -> Result<u64, ParseRuleError> {
     if v < 0.0 || !v.is_finite() {
         return Err(ParseRuleError::new(format!("negative rate '{t}'")));
     }
-    Ok((v * mult as f64) as u64)
+    let bits = (v * mult as f64) as u64;
+    if bits == 0 {
+        return Err(ParseRuleError::new(format!(
+            "rate '{t}' is zero; a zero rate never transmits"
+        )));
+    }
+    Ok(bits)
 }
 
 #[cfg(test)]
@@ -362,6 +376,31 @@ mod tests {
         assert_eq!(parse_rate("1gbit").unwrap(), 1_000_000_000);
         assert_eq!(parse_rate("500").unwrap(), 500);
         assert!(parse_rate("fast").is_err());
+    }
+
+    #[test]
+    fn rate_accepts_fractions_and_rejects_zero() {
+        assert_eq!(parse_rate("2.5mbit").unwrap(), 2_500_000);
+        assert_eq!(parse_rate("0.5kbit").unwrap(), 500);
+        assert_eq!(parse_rate("1.5gbit").unwrap(), 1_500_000_000);
+        assert!(parse_rate("0bit").is_err());
+        assert!(parse_rate("0").is_err());
+        // Sub-bit fractions truncate to zero and are rejected too.
+        assert!(parse_rate("0.4bit").is_err());
+        let e = "rate 0kbit".parse::<NetemConfig>().unwrap_err();
+        assert!(e.to_string().contains("zero"));
+    }
+
+    #[test]
+    fn limit_keyword_parses_and_rejects_garbage() {
+        let c: NetemConfig = "rate 2.5mbit limit 20".parse().unwrap();
+        assert_eq!(c.rate.unwrap().bits_per_second, 2_500_000);
+        assert_eq!(c.limit, Some(20));
+        assert!("limit".parse::<NetemConfig>().is_err());
+        assert!("limit many".parse::<NetemConfig>().is_err());
+        // Validation propagates: a zero limit is rejected at parse time.
+        let e = "limit 0".parse::<NetemConfig>().unwrap_err();
+        assert!(e.to_string().contains(">= 1"));
     }
 
     #[test]

@@ -54,6 +54,7 @@ struct QdiscObs {
     enqueued: Counter,
     dequeued: Counter,
     dropped: Counter,
+    queue_dropped: Counter,
     duplicated: Counter,
     corrupted: Counter,
     reordered: Counter,
@@ -65,6 +66,7 @@ impl QdiscObs {
             enqueued: recorder.counter(&format!("{prefix}.enqueued")),
             dequeued: recorder.counter(&format!("{prefix}.dequeued")),
             dropped: recorder.counter(&format!("{prefix}.dropped")),
+            queue_dropped: recorder.counter(&format!("{prefix}.queue_dropped")),
             duplicated: recorder.counter(&format!("{prefix}.duplicated")),
             corrupted: recorder.counter(&format!("{prefix}.corrupted")),
             reordered: recorder.counter(&format!("{prefix}.reordered")),
@@ -170,8 +172,15 @@ pub struct NetemQdisc {
     rate_busy_until: SimTime,
     /// Reorder gap counter.
     reorder_count: u32,
+    /// Queue capacity in packets, resolved from the active config
+    /// ([`NetemConfig::effective_limit`]) so the enqueue hot path never
+    /// recomputes the BDP. `None` = unbounded (the historical default).
+    effective_limit: Option<u32>,
     /// Statistics: dropped packets.
     dropped: u64,
+    /// Statistics: packets tail-dropped by the finite queue (congestion),
+    /// counted separately from loss-model `dropped`.
+    queue_dropped: u64,
     /// Statistics: duplicated packets.
     duplicated: u64,
     /// Statistics: corrupted packets.
@@ -204,7 +213,9 @@ impl NetemQdisc {
             ge_bad: false,
             rate_busy_until: SimTime::ZERO,
             reorder_count: 0,
+            effective_limit: config.effective_limit(),
             dropped: 0,
+            queue_dropped: 0,
             duplicated: 0,
             corrupted: 0,
             reordered: 0,
@@ -246,14 +257,27 @@ impl NetemQdisc {
 
     /// Replaces the active configuration (equivalent to
     /// `tc qdisc change`). Queued packets keep their release times, like
-    /// real netem.
+    /// real netem. Removing the rate limiter also forgets its
+    /// serialization backlog — as deleting a tbf would — so a later rule
+    /// with a fresh rate starts from an idle link.
     pub fn set_config(&mut self, config: NetemConfig) {
         self.config = config;
+        self.effective_limit = config.effective_limit();
+        if config.rate.is_none() {
+            self.rate_busy_until = SimTime::ZERO;
+        }
     }
 
     /// Packets dropped by loss faults so far.
     pub fn dropped(&self) -> u64 {
         self.dropped
+    }
+
+    /// Packets tail-dropped by the finite queue (congestion) so far.
+    /// Disjoint from [`NetemQdisc::dropped`], which counts loss-model
+    /// decisions only.
+    pub fn queue_dropped(&self) -> u64 {
+        self.queue_dropped
     }
 
     /// Duplicate copies created so far.
@@ -393,11 +417,43 @@ impl Qdisc for NetemQdisc {
             );
             return 0;
         }
-        let duplicate = match self.config.duplicate {
+        let mut duplicate = match self.config.duplicate {
             Some(p) => self.rng.bernoulli(p.get()),
             None => false,
         };
         self.maybe_corrupt(&mut packet, now);
+
+        // Finite queue: tail-drop at capacity. Runs after the loss /
+        // duplicate / corrupt draws (their RNG order is frozen by the
+        // digest contract) and before the rate limiter, so a dropped
+        // packet never occupies serialization time.
+        if let Some(limit) = self.effective_limit {
+            let free = (limit as usize).saturating_sub(self.heap.len());
+            if free == 0 {
+                self.queue_dropped += 1;
+                if let Some(obs) = &self.obs {
+                    obs.queue_dropped.inc();
+                }
+                self.tracer.record(
+                    packet.trace_id(),
+                    TraceStage::NetemQueueDrop,
+                    now.as_micros(),
+                    packet.trace_arg(),
+                );
+                return 0;
+            }
+            if duplicate && free < 2 {
+                // Room for the original only: the copy is congestion-
+                // dropped before it is created, like netem's duplicate
+                // respecting `limit`. No trace event — the copy never
+                // existed as an artifact.
+                self.queue_dropped += 1;
+                if let Some(obs) = &self.obs {
+                    obs.queue_dropped.inc();
+                }
+                duplicate = false;
+            }
+        }
 
         // Rate limiting: serialisation occupies the link sequentially.
         let mut base_time = now;
@@ -498,6 +554,10 @@ impl Qdisc for NetemQdisc {
 
     fn clear(&mut self) {
         self.heap.clear();
+        // Tearing the link down idles the rate limiter too; leaving
+        // `rate_busy_until` in the future would leak serialization
+        // backlog into whatever rule is installed next.
+        self.rate_busy_until = SimTime::ZERO;
     }
 }
 
@@ -960,5 +1020,137 @@ mod tests {
         q.enqueue(pkt(3), SimTime::ZERO);
         q.clear();
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn clear_resets_rate_limiter_backlog() {
+        // 64 kbit/s ⇒ a 64-byte packet serializes in 8 ms.
+        let mut q = NetemQdisc::with_config(NetemConfig::default().with_rate(64_000), 9);
+        for seq in 0..10 {
+            q.enqueue(pkt(seq), SimTime::ZERO);
+        }
+        // Backlog: the 10th packet releases at 80 ms.
+        assert_eq!(q.next_release(), Some(SimTime::from_millis(8)));
+        q.clear();
+        assert!(q.is_empty());
+        // Regression: a fresh packet after clear() must serialize from an
+        // idle link, not behind the pre-teardown backlog.
+        q.enqueue(pkt(99), SimTime::ZERO);
+        assert_eq!(q.next_release(), Some(SimTime::from_millis(8)));
+    }
+
+    #[test]
+    fn removing_the_rate_forgets_the_backlog() {
+        let mut q = NetemQdisc::with_config(NetemConfig::default().with_rate(64_000), 9);
+        for seq in 0..10 {
+            q.enqueue(pkt(seq), SimTime::ZERO);
+        }
+        // Fault teardown swaps in passthrough; a later rate rule starts
+        // from an idle link.
+        q.set_config(NetemConfig::passthrough());
+        drain_all(&mut q);
+        q.set_config(NetemConfig::default().with_rate(64_000));
+        q.enqueue(pkt(99), SimTime::from_millis(1));
+        assert_eq!(q.next_release(), Some(SimTime::from_millis(9)));
+    }
+
+    #[test]
+    fn tail_drop_caps_queue_and_is_deterministic() {
+        let config = NetemConfig::default().with_rate(64_000).with_limit(4);
+        let run = || {
+            let mut q = NetemQdisc::with_config(config, 21);
+            let mut peak = 0usize;
+            for seq in 0..20 {
+                q.enqueue(pkt(seq), SimTime::ZERO);
+                peak = peak.max(q.len());
+            }
+            let survivors: Vec<u64> = drain_all(&mut q).iter().map(|p| p.seq).collect();
+            (peak, q.queue_dropped(), survivors)
+        };
+        let (peak, dropped, survivors) = run();
+        assert!(peak <= 4, "queue length never exceeds the limit");
+        assert_eq!(dropped, 16);
+        assert_eq!(survivors, vec![0, 1, 2, 3], "tail drop keeps the head");
+        // Loss-model drops stay zero: congestion is a separate ledger.
+        assert_eq!(run().1, dropped, "deterministic under a fixed seed");
+        assert_eq!(run().2, survivors);
+    }
+
+    #[test]
+    fn bdp_limit_applies_without_explicit_limit() {
+        // 1 Mbit/s × 50 ms ⇒ 2×BDP / 1500 B = ⌈8.3⌉, floored to 16.
+        let config = NetemConfig::default()
+            .with_delay(Millis::new(50.0))
+            .with_rate(1_000_000);
+        let limit = config.effective_limit().expect("rate implies a limit") as usize;
+        let mut q = NetemQdisc::with_config(config, 5);
+        for seq in 0..3 * limit as u64 {
+            q.enqueue(pkt(seq), SimTime::ZERO);
+            assert!(q.len() <= limit);
+        }
+        assert_eq!(q.len(), limit);
+        assert_eq!(q.queue_dropped(), 2 * limit as u64);
+        assert_eq!(q.dropped(), 0, "no loss-model drops involved");
+    }
+
+    #[test]
+    fn duplicate_copy_respects_the_limit() {
+        // duplicate 100%: each packet wants 2 slots. limit 3 ⇒ the second
+        // packet's copy is congestion-dropped, the third packet entirely.
+        let config = NetemConfig::default()
+            .with_duplicate(Ratio::ONE)
+            .with_limit(3);
+        let mut q = NetemQdisc::with_config(config, 7);
+        assert_eq!(q.enqueue(pkt(0), SimTime::ZERO), 2);
+        assert_eq!(q.enqueue(pkt(1), SimTime::ZERO), 1, "copy suppressed");
+        assert_eq!(q.enqueue(pkt(2), SimTime::ZERO), 0, "queue full");
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.queue_dropped(), 2);
+        assert_eq!(q.duplicated(), 1, "only the stored copy counts");
+    }
+
+    /// Wilson score interval for `k` successes in `n` trials at ~99.9%
+    /// confidence (z = 3.29).
+    fn wilson_ci(k: u64, n: u64) -> (f64, f64) {
+        let z = 3.29f64;
+        let n = n as f64;
+        let p = k as f64 / n;
+        let z2 = z * z;
+        let denom = 1.0 + z2 / n;
+        let centre = (p + z2 / (2.0 * n)) / denom;
+        let half = (z / denom) * (p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt();
+        (centre - half, centre + half)
+    }
+
+    #[test]
+    fn gilbert_elliott_stationary_rate_matches_closed_form() {
+        // Stationary bad-state occupancy is p/(p+r); with loss 1 in bad
+        // and 0 in good the stationary loss rate is exactly that.
+        let p = Ratio::new(0.05);
+        let r = Ratio::new(0.20);
+        let config: NetemConfig = "loss gemodel 5% 20% 100% 0%".parse().unwrap();
+        assert_eq!(
+            config.loss,
+            Some(LossConfig::GilbertElliott {
+                p,
+                r,
+                loss_in_bad: Ratio::ONE,
+                loss_in_good: Ratio::ZERO,
+            })
+        );
+        let predicted = config.loss.unwrap().average_rate().get();
+        assert!((predicted - 0.05 / 0.25).abs() < 1e-12);
+        let n = 200_000u64;
+        let mut q = NetemQdisc::with_config(config, 1234);
+        for seq in 0..n {
+            q.enqueue(pkt(seq), SimTime::from_millis(seq));
+        }
+        let (lo, hi) = wilson_ci(q.dropped(), n);
+        assert!(
+            (lo..=hi).contains(&predicted),
+            "closed-form {predicted} outside Wilson CI [{lo}, {hi}] \
+             (empirical {})",
+            q.dropped() as f64 / n as f64
+        );
     }
 }

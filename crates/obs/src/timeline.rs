@@ -75,8 +75,12 @@ pub struct TimelineWindow {
     pub cmd_age_sum_us: u64,
     /// Maximum actuated-command age.
     pub cmd_age_max_us: u64,
-    /// Uplink packets dropped by the link.
+    /// Uplink packets dropped by the link's loss model.
     pub up_dropped: u64,
+    /// Uplink packets tail-dropped by a full finite queue (congestion) —
+    /// split from `up_dropped` so dossiers can tell congestion from
+    /// radio loss.
+    pub up_queue_dropped: u64,
     /// Uplink frames delivered late (nonzero queue + propagation).
     pub up_delayed: u64,
     /// Uplink packets duplicated by the link.
@@ -85,8 +89,10 @@ pub struct TimelineWindow {
     pub up_reordered: u64,
     /// Maximum uplink in-flight queue depth observed.
     pub up_queue_max: u64,
-    /// Downlink packets dropped by the link.
+    /// Downlink packets dropped by the link's loss model.
     pub down_dropped: u64,
+    /// Downlink packets tail-dropped by a full finite queue (congestion).
+    pub down_queue_dropped: u64,
     /// Downlink commands delivered late (nonzero queue + propagation).
     pub down_delayed: u64,
     /// Downlink packets duplicated by the link.
@@ -125,11 +131,13 @@ impl Default for TimelineWindow {
             cmd_age_sum_us: 0,
             cmd_age_max_us: 0,
             up_dropped: 0,
+            up_queue_dropped: 0,
             up_delayed: 0,
             up_duplicated: 0,
             up_reordered: 0,
             up_queue_max: 0,
             down_dropped: 0,
+            down_queue_dropped: 0,
             down_delayed: 0,
             down_duplicated: 0,
             down_reordered: 0,
@@ -162,11 +170,15 @@ impl TimelineWindow {
         self.cmd_age_sum_us = self.cmd_age_sum_us.saturating_add(other.cmd_age_sum_us);
         self.cmd_age_max_us = self.cmd_age_max_us.max(other.cmd_age_max_us);
         self.up_dropped = self.up_dropped.saturating_add(other.up_dropped);
+        self.up_queue_dropped = self.up_queue_dropped.saturating_add(other.up_queue_dropped);
         self.up_delayed = self.up_delayed.saturating_add(other.up_delayed);
         self.up_duplicated = self.up_duplicated.saturating_add(other.up_duplicated);
         self.up_reordered = self.up_reordered.saturating_add(other.up_reordered);
         self.up_queue_max = self.up_queue_max.max(other.up_queue_max);
         self.down_dropped = self.down_dropped.saturating_add(other.down_dropped);
+        self.down_queue_dropped = self
+            .down_queue_dropped
+            .saturating_add(other.down_queue_dropped);
         self.down_delayed = self.down_delayed.saturating_add(other.down_delayed);
         self.down_duplicated = self.down_duplicated.saturating_add(other.down_duplicated);
         self.down_reordered = self.down_reordered.saturating_add(other.down_reordered);
@@ -250,6 +262,10 @@ impl Timeline {
     pub const FAULT_REORDER: u64 = 1 << 5;
     /// Fault bit: an active rule rate-limits the link.
     pub const FAULT_RATE: u64 = 1 << 6;
+    /// Fault bit: an active rule enforces a finite queue (explicit
+    /// `limit` or the BDP default a rate implies), so drops in this
+    /// window may be congestion, not radio loss.
+    pub const FAULT_LIMIT: u64 = 1 << 7;
 
     /// Creates an empty timeline with `width_us`-wide windows (min 1 µs).
     pub fn new(width_us: u64) -> Self {
@@ -375,11 +391,13 @@ fn window_json(w: &TimelineWindow) -> JsonValue {
         ("cmd_age_sum_us".into(), num(w.cmd_age_sum_us)),
         ("cmd_age_max_us".into(), num(w.cmd_age_max_us)),
         ("up_dropped".into(), num(w.up_dropped)),
+        ("up_queue_dropped".into(), num(w.up_queue_dropped)),
         ("up_delayed".into(), num(w.up_delayed)),
         ("up_duplicated".into(), num(w.up_duplicated)),
         ("up_reordered".into(), num(w.up_reordered)),
         ("up_queue_max".into(), num(w.up_queue_max)),
         ("down_dropped".into(), num(w.down_dropped)),
+        ("down_queue_dropped".into(), num(w.down_queue_dropped)),
         ("down_delayed".into(), num(w.down_delayed)),
         ("down_duplicated".into(), num(w.down_duplicated)),
         ("down_reordered".into(), num(w.down_reordered)),

@@ -158,6 +158,9 @@ pub enum TraceStage {
     FaultEdge,
     /// A safety incident. `arg` = [`incident_arg`] payload.
     Incident,
+    /// Packet tail-dropped by a full finite queue (congestion, not a
+    /// loss-model decision). `arg` = packet metadata word.
+    NetemQueueDrop,
 }
 
 impl TraceStage {
@@ -179,6 +182,7 @@ impl TraceStage {
             TraceStage::Actuate => "actuate",
             TraceStage::FaultEdge => "fault.edge",
             TraceStage::Incident => "incident",
+            TraceStage::NetemQueueDrop => "netem.queue_drop",
         }
     }
 
@@ -200,6 +204,7 @@ impl TraceStage {
             TraceStage::Actuate => 12,
             TraceStage::FaultEdge => 13,
             TraceStage::Incident => 14,
+            TraceStage::NetemQueueDrop => 15,
         }
     }
 }
